@@ -1,0 +1,18 @@
+# Developer shortcuts.  The offline CI recipe is exactly:
+#   pip install -e . && pytest tests/ && pytest benchmarks/ --benchmark-only
+
+.PHONY: install test bench examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done
+
+all: install test bench examples

@@ -1,0 +1,65 @@
+"""E10 — the practical-k regime: cost vs k on the census workload.
+
+The paper motivates its O(k log k) ratio by noting "it generally
+suffices in practice for k to be a small constant around 5 or 6" [9].
+This experiment sweeps k over 2..8 on the census quasi-identifiers and
+reports suppression cost and utility metrics — showing the privacy/
+utility trade-off the practitioner faces at those k values, and that the
+k=5..6 regime keeps a large fraction of cells intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.center_cover import CenterCoverAnonymizer
+from repro.core.metrics import metric_report
+from repro.workloads import census_table, quasi_identifiers
+
+from .conftest import fmt
+
+_sweep: dict[int, dict] = {}
+
+KS = [2, 3, 4, 5, 6, 8]
+
+
+@pytest.mark.parametrize("k", KS)
+def test_e10_cost_at_k(benchmark, k):
+    table = quasi_identifiers(census_table(150, seed=0))
+    algorithm = CenterCoverAnonymizer()
+    result = benchmark.pedantic(algorithm.anonymize, args=(table, k),
+                                rounds=1, iterations=1)
+    assert result.is_valid(table)
+    _sweep[k] = metric_report(result.anonymized, k)
+    benchmark.extra_info.update(k=k, **{
+        key: value for key, value in _sweep[k].items()
+        if isinstance(value, (int, float))
+    })
+
+
+def test_e10_summary(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_sweep) < len(KS):
+        pytest.skip("sweep cells did not all run (filtered invocation)")
+    rows = [
+        [k,
+         _sweep[k]["stars"],
+         fmt(_sweep[k]["suppression_ratio"], 3),
+         fmt(_sweep[k]["precision"], 3),
+         _sweep[k]["classes"],
+         fmt(_sweep[k]["avg_class_size_ratio"], 2)]
+        for k in KS
+    ]
+    report.table(
+        "E10 cost vs k on census quasi-identifiers (n=150)",
+        ["k", "stars", "suppressed frac", "precision", "classes",
+         "avg class/k"],
+        rows,
+    )
+    # cost grows with k...
+    costs = [_sweep[k]["stars"] for k in KS]
+    assert all(a <= b * 1.25 for a, b in zip(costs, costs[1:])), (
+        "cost should be (weakly) increasing in k"
+    )
+    # ...and the practical regime k=5..6 is not catastrophic
+    assert _sweep[6]["precision"] > 0.2

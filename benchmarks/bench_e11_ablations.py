@@ -1,0 +1,103 @@
+"""E11 — ablations of the pipeline's design choices (extension).
+
+DESIGN.md calls out three internal choices worth isolating:
+
+* **shrink step** — after Reduce, groups larger than 2k-1 are split
+  (the Section 4.1 WLOG).  Ablation: anonymize the un-split partition.
+  Splitting should never cost more and usually saves stars.
+* **local search** — the optional hill-climbing pass over the final
+  partition.  Ablation: off vs on, over several base algorithms.
+* **ball diameter estimate** — Lemma 4.2's 2r surrogate vs exact
+  diameters in the greedy ratio (across several seeds; E4 has one).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    CenterCoverAnonymizer,
+    KMemberAnonymizer,
+    LocalSearchAnonymizer,
+    MondrianAnonymizer,
+    RandomPartitionAnonymizer,
+)
+from repro.algorithms.center_cover import build_ball_cover
+from repro.algorithms.reduce_cover import reduce_and_shrink, reduce_cover
+from repro.core.partition import anonymize_partition
+from repro.workloads import planted_groups_table, uniform_table
+
+from .conftest import fmt
+
+K = 3
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_e11_shrink_step(benchmark, report, seed):
+    """Stars with vs without the post-Reduce splitting step."""
+    table = uniform_table(40, 5, alphabet_size=3, seed=seed)
+
+    def both():
+        cover = build_ball_cover(table, K)
+        unsplit = reduce_cover(cover)
+        split = reduce_and_shrink(table, cover)
+        _, s_unsplit = anonymize_partition(table, unsplit)
+        _, s_split = anonymize_partition(table, split)
+        return s_unsplit.total_stars(), s_split.total_stars()
+
+    unsplit_stars, split_stars = benchmark.pedantic(both, rounds=1,
+                                                    iterations=1)
+    assert split_stars <= unsplit_stars
+    benchmark.extra_info.update(unsplit=unsplit_stars, split=split_stars)
+    report.table(
+        f"E11 shrink-step ablation (seed={seed}, k={K})",
+        ["stars without split", "stars with split", "saved"],
+        [[unsplit_stars, split_stars, unsplit_stars - split_stars]],
+    )
+
+
+BASES = {
+    "center_cover": CenterCoverAnonymizer,
+    "mondrian": MondrianAnonymizer,
+    "kmember": KMemberAnonymizer,
+    "random": lambda: RandomPartitionAnonymizer(seed=0),
+}
+
+
+@pytest.mark.parametrize("base", list(BASES))
+def test_e11_local_search(benchmark, report, base):
+    """Improvement delivered by the hill-climbing pass per base."""
+    table = uniform_table(40, 5, alphabet_size=3, seed=7)
+
+    def run():
+        before = BASES[base]().anonymize(table, K).stars
+        after = LocalSearchAnonymizer(BASES[base]()).anonymize(table, K).stars
+        return before, after
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert after <= before
+    saved = before - after
+    benchmark.extra_info.update(base=base, before=before, after=after)
+    report.line(
+        f"E11 local search over {base}: {before} -> {after} stars "
+        f"({fmt(100 * saved / max(before, 1), 1)}% saved)"
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_e11_diameter_mode(benchmark, report, seed):
+    """Lemma 4.2 surrogate vs exact ball diameters, cost impact."""
+    table = planted_groups_table(10, K, 5, noise=0.15, seed=seed)
+
+    def run():
+        surrogate = CenterCoverAnonymizer("radius_bound").anonymize(table, K)
+        exact = CenterCoverAnonymizer("exact").anonymize(table, K)
+        return surrogate.stars, exact.stars
+
+    surrogate_stars, exact_stars = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    benchmark.extra_info.update(surrogate=surrogate_stars, exact=exact_stars)
+    report.line(
+        f"E11 diameter mode (seed={seed}): radius_bound={surrogate_stars}, "
+        f"exact={exact_stars}"
+    )

@@ -1,0 +1,70 @@
+"""E15 — streaming anonymization: the price of monotone disclosure
+(extension).
+
+Incremental release must never let a published cell become more
+specific (else successive snapshots can be intersected).  This
+experiment measures what that invariant costs versus one-shot batch
+anonymization of the same final table, across stream lengths — and
+verifies every intermediate snapshot is publishable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import CenterCoverAnonymizer
+from repro.algorithms.incremental import IncrementalAnonymizer
+from repro.workloads import census_table
+
+from .conftest import fmt
+
+K = 3
+
+
+@pytest.mark.parametrize("n", [30, 60, 120])
+def test_e15_streaming_overhead(benchmark, report, n):
+    source = census_table(n, seed=5, age_bucket=10).project(
+        ["age", "sex", "race"]
+    )
+
+    def stream():
+        inc = IncrementalAnonymizer(k=K, degree=source.degree,
+                                    attributes=source.attributes)
+        for row in source.rows:
+            inc.insert([row])
+            assert inc.is_publishable()
+        return inc
+
+    inc = benchmark.pedantic(stream, rounds=1, iterations=1)
+    streaming_stars = inc.total_stars()
+    batch_stars = CenterCoverAnonymizer().anonymize(source, K).stars
+    overhead = streaming_stars / max(1, batch_stars)
+    benchmark.extra_info.update(
+        n=n, streaming=streaming_stars, batch=batch_stars, overhead=overhead
+    )
+    report.table(
+        f"E15 streaming vs batch (n={n}, k={K})",
+        ["streaming stars", "batch stars", "overhead factor"],
+        [[streaming_stars, batch_stars, fmt(overhead, 2)]],
+    )
+    # the invariant has a price, but it must stay sane
+    assert streaming_stars <= source.total_cells()
+    assert streaming_stars >= batch_stars * 0.5  # sanity on the comparison
+
+
+def test_e15_throughput(benchmark, report):
+    """Insert throughput: the per-row work is bounded by group count,
+    so a 500-row stream should take well under a second."""
+    source = census_table(500, seed=6, age_bucket=10).project(["age", "sex"])
+
+    def stream():
+        inc = IncrementalAnonymizer(k=K, degree=2)
+        inc.insert(source.rows)
+        return inc
+
+    inc = benchmark.pedantic(stream, rounds=2, iterations=1)
+    assert inc.n_rows == 500
+    report.line(
+        f"E15 throughput: 500 inserts, {len(inc._groups)} groups, "
+        f"{inc.total_stars()} stars"
+    )

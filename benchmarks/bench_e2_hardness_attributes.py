@@ -1,0 +1,69 @@
+"""E2 — Theorem 3.2: the attribute-suppression reduction's threshold.
+
+H has a perfect matching iff the binary incidence table can be
+k-anonymized by suppressing exactly m - n/k whole attributes (any fewer
+is impossible; the theorem's proof shows at least m - n/k are always
+needed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.exact import optimal_attribute_suppression
+from repro.hardness.matching import find_perfect_matching
+from repro.workloads import attribute_reduction_instance
+
+CASES = [
+    (2, 2, True, 0),
+    (3, 3, True, 1),
+    (2, 2, False, 0),
+    (3, 3, False, 1),
+]
+
+
+@pytest.mark.parametrize("n_groups,extra,with_matching,seed", CASES)
+def test_e2_threshold(benchmark, report, n_groups, extra, with_matching, seed):
+    red = attribute_reduction_instance(
+        n_groups, k=3, extra_edges=extra, with_matching=with_matching, seed=seed
+    )
+    count, suppressed = benchmark.pedantic(
+        optimal_attribute_suppression, args=(red.table, 3),
+        rounds=1, iterations=1,
+    )
+    assert count >= red.threshold, "fewer than m - n/k attributes sufficed!"
+    meets = count == red.threshold
+    assert meets == with_matching
+    if meets:
+        kept = [j for j in range(red.table.degree) if j not in suppressed]
+        red.matching_from_kept_attributes(kept)  # decodes a matching
+    benchmark.extra_info.update(
+        n=red.table.n_rows, m=red.table.degree,
+        threshold=red.threshold, min_suppressed=count,
+        matching=with_matching,
+    )
+    report.table(
+        f"E2 Theorem 3.2 (n_groups={n_groups}, extra={extra}, seed={seed})",
+        ["n", "m", "threshold m-n/k", "min suppressed attrs",
+         "perfect matching", "hits threshold"],
+        [[red.table.n_rows, red.table.degree, red.threshold, count,
+          with_matching, meets]],
+    )
+
+
+def test_e2_column_structure(benchmark, report):
+    """Every attribute column has exactly k ones ('for every j there are
+    exactly k vectors with v_l[j] = b1')."""
+    red = attribute_reduction_instance(3, k=3, extra_edges=4, seed=5)
+
+    def column_weights():
+        return [
+            sum(1 for row in red.table.rows if row[j] == 1)
+            for j in range(red.table.degree)
+        ]
+
+    weights = benchmark(column_weights)
+    assert set(weights) == {3}
+    report.line(
+        f"E2 structure: all {red.table.degree} columns have exactly k=3 ones"
+    )

@@ -1,0 +1,85 @@
+"""E7 — Figure 1: the triangle inequality on diameters of overlapping
+sets, d(S_i u S_j) <= d(S_i) + d(S_j), which justifies Reduce's merge
+step.
+
+We sample many overlapping group pairs from random tables, measure the
+realized ratio d(union) / (d(S_i) + d(S_j)), and confirm it never
+exceeds 1 — plus we time Reduce itself on overlap-heavy covers, since
+Figure 1 is exactly why Reduce preserves the diameter sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reduce_cover import reduce_cover
+from repro.core.distance import diameter_of
+from repro.core.partition import Cover
+from repro.core.table import Table
+
+from .conftest import fmt
+
+
+def _random_table(seed: int, n: int, m: int, sigma: int) -> Table:
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, sigma, size=(n, m))
+    return Table([tuple(int(v) for v in row) for row in data])
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_e7_figure1_triangle(benchmark, report, seed):
+    table = _random_table(seed, 20, 6, 3)
+    rng = np.random.default_rng(1000 + seed)
+
+    def sample_ratios():
+        ratios = []
+        for _ in range(300):
+            shared = int(rng.integers(0, table.n_rows))
+            size_a = int(rng.integers(2, 5))
+            size_b = int(rng.integers(2, 5))
+            a = frozenset(
+                {shared} | {int(v) for v in rng.choice(table.n_rows, size_a)}
+            )
+            b = frozenset(
+                {shared} | {int(v) for v in rng.choice(table.n_rows, size_b)}
+            )
+            denom = diameter_of(table, a) + diameter_of(table, b)
+            if denom == 0:
+                continue
+            ratios.append(diameter_of(table, a | b) / denom)
+        return ratios
+
+    ratios = benchmark.pedantic(sample_ratios, rounds=1, iterations=1)
+    worst = max(ratios)
+    assert worst <= 1.0, "Figure 1's triangle inequality violated"
+    benchmark.extra_info.update(samples=len(ratios), worst=worst)
+    report.line(
+        f"E7 Figure 1 seed={seed}: {len(ratios)} overlapping pairs, "
+        f"max d(union)/(d(Si)+d(Sj)) = {fmt(worst, 3)} (bound 1.0)"
+    )
+
+
+def test_e7_reduce_preserves_diameter_sum(benchmark, report):
+    """Reduce on an overlap-heavy cover: d never increases (the merge
+    case leans on Figure 1)."""
+    table = _random_table(9, 24, 5, 3)
+    rng = np.random.default_rng(99)
+    groups = []
+    covered: set[int] = set()
+    while covered != set(range(24)):
+        members = {int(v) for v in rng.choice(24, size=3, replace=False)}
+        groups.append(frozenset(members))
+        covered |= members
+    cover = Cover(groups, 24, k=2,
+                  k_max=max(3, max(len(g) for g in groups)))
+
+    partition = benchmark(reduce_cover, cover)
+    before = cover.diameter_sum(table)
+    after = partition.diameter_sum(table)
+    assert after <= before
+    report.table(
+        "E7 Reduce diameter sums",
+        ["cover sets", "d(cover)", "partition groups", "d(partition)"],
+        [[len(cover), before, len(partition), after]],
+    )

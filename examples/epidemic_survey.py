@@ -1,0 +1,92 @@
+"""Epidemic-tracking scenario: release a disease survey privately.
+
+The paper's introduction motivates k-anonymity with epidemic tracking: a
+data miner needs the full table to spot trends, but releasing it raw
+identifies patients.  This example anonymizes the quasi-identifiers of a
+synthetic census-style survey at k = 5 ("the value for k used in
+practice is no more than 5 or 6" [9]), compares algorithms, and shows a
+trend that survives anonymization.
+
+Run:  python examples/epidemic_survey.py
+"""
+
+from collections import Counter
+
+from repro import (
+    CenterCoverAnonymizer,
+    KMemberAnonymizer,
+    MondrianAnonymizer,
+    MSTForestAnonymizer,
+    RandomPartitionAnonymizer,
+    is_k_anonymous,
+)
+from repro.core.metrics import metric_report
+from repro.workloads import census_table, quasi_identifiers
+
+K = 5
+N = 200
+
+
+def main() -> None:
+    survey = census_table(N, seed=42, age_bucket=10)
+    # Restrict to the externally linkable attributes (the narrower the
+    # quasi-identifier set, the less must be withheld).
+    identifiers = quasi_identifiers(survey).project(["age", "sex", "race"])
+    diagnoses = survey.column("diagnosis")
+
+    print(f"Survey: {N} records, quasi-identifiers "
+          f"{', '.join(identifiers.attributes)}\n")
+
+    print(f"{'algorithm':<16} {'stars':>6} {'suppressed':>11} "
+          f"{'precision':>10} {'classes':>8}")
+    results = {}
+    for algorithm in [
+        CenterCoverAnonymizer(),
+        MondrianAnonymizer(),
+        KMemberAnonymizer(),
+        MSTForestAnonymizer(),
+        RandomPartitionAnonymizer(seed=0),
+    ]:
+        result = algorithm.anonymize(identifiers, K)
+        assert is_k_anonymous(result.anonymized, K)
+        report = metric_report(result.anonymized, K)
+        results[algorithm.name] = result
+        print(
+            f"{algorithm.name:<16} {report['stars']:>6} "
+            f"{report['suppression_ratio']:>10.1%} "
+            f"{report['precision']:>10.3f} {report['classes']:>8}"
+        )
+
+    # Release = anonymized identifiers + untouched sensitive column.
+    best = min(results.values(), key=lambda r: r.stars)
+    released_rows = [
+        (*qi_row, diag)
+        for qi_row, diag in zip(best.anonymized.rows, diagnoses)
+    ]
+
+    from repro import STAR
+
+    age_index = identifiers.attribute_index("age")
+    print(f"\nBest release: {best.algorithm} ({best.stars} stars). "
+          "Aggregate trends survive on the retained cells:")
+    flu = Counter()
+    totals = Counter()
+    for row in released_rows:
+        age = row[age_index]
+        if age is STAR:
+            band = "(age hidden)"
+        else:
+            band = "under 40" if int(age) < 40 else "40 and over"
+        totals[band] += 1
+        if row[-1] == "Flu":
+            flu[band] += 1
+    for band in sorted(totals):
+        print(f"  {band}: {flu[band]}/{totals[band]} flu cases "
+              f"({flu[band] / totals[band]:.0%})")
+
+    print("\nEvery individual record, however, is hidden in a crowd of "
+          f"at least {K}.")
+
+
+if __name__ == "__main__":
+    main()

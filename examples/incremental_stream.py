@@ -1,0 +1,72 @@
+"""Streaming release: keep a growing table k-anonymous, snapshot after
+snapshot, without enabling intersection attacks.
+
+Records arrive one at a time (new patients at the hospital).  The
+incremental anonymizer maintains a single grouping: new arrivals wait
+in a pending buffer (withheld, shown fully starred) until a crowd of k
+exists, then settle into groups whose published image never becomes
+more specific afterwards.
+
+Run:  python examples/incremental_stream.py
+"""
+
+from repro import STAR, is_k_anonymous
+from repro.algorithms.incremental import IncrementalAnonymizer
+from repro.workloads import census_table
+
+K = 3
+STREAM = 30
+
+
+def main() -> None:
+    source = census_table(STREAM, seed=11, age_bucket=10).project(
+        ["age", "sex", "race"]
+    )
+    inc = IncrementalAnonymizer(
+        k=K, degree=source.degree, attributes=source.attributes
+    )
+
+    print(f"Streaming {STREAM} records, releasing a {K}-anonymous snapshot "
+          "after each arrival:\n")
+    checkpoints = {1, 2, 3, 10, 20, STREAM}
+    for step, row in enumerate(source.rows, start=1):
+        inc.insert([row])
+        assert inc.is_publishable()
+        if step in checkpoints:
+            snapshot = inc.released()
+            stars = inc.total_stars()
+            settled = step - inc.n_pending
+            print(
+                f"after {step:>2} arrivals: {settled:>2} settled, "
+                f"{inc.n_pending} pending, {stars} stars"
+            )
+
+    final = inc.released()
+    assert is_k_anonymous(
+        final.select_rows(
+            [i for i in range(final.n_rows)
+             if any(v is not STAR for v in final[i])]
+        ),
+        K,
+    ) or final.n_rows == 0
+    print("\nFinal snapshot (first 10 rows):")
+    print(final.select_rows(range(10)).pretty())
+    # the price of streaming: compare with anonymizing the final table
+    # in one batch (which would enable intersection attacks if published
+    # incrementally!)
+    from repro import CenterCoverAnonymizer
+
+    batch = CenterCoverAnonymizer().anonymize(source, K)
+    print(
+        f"\nStreaming release: {inc.total_stars()} stars; one-shot batch "
+        f"release of the same table: {batch.stars} stars."
+    )
+    print(
+        "The gap is the price of the monotone-disclosure invariant: a "
+        "published cell, once starred, stayed starred across all "
+        f"{STREAM} snapshots, so diffing snapshots reveals nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Privacy analysis: linkage attacks, risk, and l-diversity.
+
+Demonstrates *why* k matters: simulate a linkage attack against a raw
+release (everyone re-identified), then against k-anonymized releases
+(risk capped at 1/k), and finally show the homogeneity gap that
+distinct l-diversity closes.
+
+Run:  python examples/privacy_analysis.py
+"""
+
+from collections import Counter
+
+from repro import CenterCoverAnonymizer
+from repro.privacy import (
+    LDiverseAnonymizer,
+    diversity_level,
+    linkage_attack,
+    risk_report,
+)
+from repro.workloads import census_table, quasi_identifiers
+
+N = 120
+K = 4
+
+
+def main() -> None:
+    survey = census_table(N, seed=7, age_bucket=10)
+    identifiers = quasi_identifiers(survey).project(["age", "sex", "race"])
+    diagnoses = list(survey.column("diagnosis"))
+    people = [f"person-{i:03d}" for i in range(N)]
+
+    # --- 1. the raw release is a re-identification machine -----------
+    raw_counts = linkage_attack(identifiers, identifiers, people)
+    unique = sum(1 for c in raw_counts.values() if c == 1)
+    print(f"Raw release: {unique}/{N} individuals match exactly one record")
+    print(f"  max prosecutor risk: {risk_report(identifiers).max_risk:.0%}\n")
+
+    # --- 2. k-anonymity caps the risk at 1/k -------------------------
+    result = CenterCoverAnonymizer().anonymize(identifiers, K)
+    released = result.anonymized
+    counts = linkage_attack(released, identifiers, people)
+    report = risk_report(released)
+    print(f"{K}-anonymous release ({result.stars} cells suppressed):")
+    print(f"  every individual matches >= {min(counts.values())} records")
+    print(f"  max prosecutor risk: {report.max_risk:.0%} "
+          f"(guarantee: {1 / K:.0%})")
+    assert report.meets_k(K)
+
+    # --- 3. ...but homogeneous classes still leak the diagnosis ------
+    level = diversity_level(released, diagnoses)
+    homogeneous = sum(
+        1
+        for cls in Counter(released.rows).items()
+        if len({diagnoses[i] for i, row in enumerate(released.rows)
+                if row == cls[0]}) == 1
+    )
+    print(f"\nDiversity of the k-anonymous release: l = {level} "
+          f"({homogeneous} homogeneous classes leak their diagnosis)")
+
+    # --- 4. enforce distinct 2-diversity ------------------------------
+    diverse = LDiverseAnonymizer(2).anonymize_with_sensitive(
+        identifiers, K, diagnoses
+    )
+    print(f"2-diverse release: l = "
+          f"{diversity_level(diverse.anonymized, diagnoses)}, "
+          f"{diverse.stars} cells suppressed "
+          f"(+{diverse.stars - result.stars} vs plain k-anonymity)")
+    print("\nPrivacy ladder: raw -> k-anonymous (identity) -> "
+          "l-diverse (identity + attribute).")
+
+
+if __name__ == "__main__":
+    main()

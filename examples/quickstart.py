@@ -1,0 +1,63 @@
+"""Quickstart: k-anonymize a small table with the paper's algorithms.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CenterCoverAnonymizer,
+    ExactAnonymizer,
+    GreedyCoverAnonymizer,
+    Table,
+    is_k_anonymous,
+    theorem_4_1_ratio,
+    theorem_4_2_ratio,
+)
+
+
+def main() -> None:
+    # A toy relation: m = 3 attributes over small alphabets.
+    table = Table(
+        [
+            ("red", "circle", 1),
+            ("red", "circle", 2),
+            ("red", "square", 1),
+            ("blue", "square", 7),
+            ("blue", "square", 8),
+            ("blue", "circle", 7),
+        ],
+        attributes=["color", "shape", "size"],
+    )
+    k = 3
+
+    print("Original relation:")
+    print(table.pretty())
+    print()
+
+    # The exact optimum (NP-hard in general -- fine at this size).
+    exact = ExactAnonymizer().anonymize(table, k)
+    print(f"Exact optimum: {exact.stars} suppressed cells")
+    print(exact.anonymized.pretty())
+    print()
+
+    # Theorem 4.1: greedy cover over all small subsets.
+    greedy = GreedyCoverAnonymizer().anonymize(table, k)
+    print(
+        f"Greedy cover (Theorem 4.1): {greedy.stars} cells; "
+        f"guarantee {theorem_4_1_ratio(k):.1f}x optimal"
+    )
+
+    # Theorem 4.2: the strongly polynomial ball algorithm.
+    center = CenterCoverAnonymizer().anonymize(table, k)
+    print(
+        f"Center cover (Theorem 4.2): {center.stars} cells; "
+        f"guarantee {theorem_4_2_ratio(k, table.degree):.1f}x optimal"
+    )
+    print()
+
+    for result in (exact, greedy, center):
+        assert is_k_anonymous(result.anonymized, k)
+    print(f"All releases verified {k}-anonymous.")
+
+
+if __name__ == "__main__":
+    main()

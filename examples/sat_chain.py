@@ -1,0 +1,86 @@
+"""The hardness chain, from first principles, as running code:
+
+    3SAT  --(Garey-Johnson)-->  3-dimensional matching
+          --(Theorem 3.1)---->  optimal 3-anonymity
+
+A CNF formula's satisfiability is decided by whether a database can be
+3-anonymized within the n(m-1) star budget; certificates translate both
+ways at every step.
+
+Run:  python examples/sat_chain.py
+"""
+
+from repro.core.anonymity import is_k_anonymous, suppressed_cell_count
+from repro.hardness import (
+    Cnf,
+    EntrySuppressionReduction,
+    ThreeSatToMatchingReduction,
+    has_perfect_matching,
+    planted_satisfiable_cnf,
+    solve_sat,
+)
+
+
+def show_formula(formula: Cnf) -> str:
+    def literal(lit: int) -> str:
+        return f"x{lit}" if lit > 0 else f"!x{-lit}"
+
+    return " & ".join(
+        "(" + " | ".join(literal(lit) for lit in clause) + ")"
+        for clause in formula.clauses
+    )
+
+
+def run_chain(formula: Cnf, label: str) -> None:
+    print(f"--- {label}: {show_formula(formula)} ---")
+    assignment = solve_sat(formula)
+    print(f"DPLL: {'SAT ' + str(assignment) if assignment else 'UNSAT'}")
+
+    gadget = ThreeSatToMatchingReduction(formula)
+    print(
+        f"Garey-Johnson gadget: {gadget.n_elements} elements, "
+        f"{gadget.hypergraph.n_edges} triples"
+    )
+    matchable = has_perfect_matching(gadget.hypergraph)
+    print(f"perfect matching exists: {matchable}")
+    assert matchable == (assignment is not None)
+
+    anonymity = EntrySuppressionReduction(gadget.hypergraph, 3)
+    n, m = anonymity.table.n_rows, anonymity.table.degree
+    print(
+        f"k-anonymity instance: {n} x {m} table, "
+        f"threshold l = n(m-1) = {anonymity.threshold}"
+    )
+
+    if assignment is not None:
+        matching = gadget.matching_from_assignment(assignment)
+        anonymized = anonymity.anonymize_from_matching(matching)
+        assert is_k_anonymous(anonymized, 3)
+        assert suppressed_cell_count(anonymized) == anonymity.threshold
+        # and decode all the way back to a satisfying assignment
+        decoded = gadget.assignment_from_matching(
+            anonymity.matching_from_anonymized(anonymized)
+        )
+        assert formula.evaluate(decoded)
+        print(
+            "chain: assignment -> matching -> threshold anonymization -> "
+            f"matching -> assignment {decoded}  [intact]"
+        )
+    else:
+        print("no matching, so no anonymization can reach the threshold")
+    print()
+
+
+def main() -> None:
+    satisfiable, _ = planted_satisfiable_cnf(3, 3, seed=4)
+    run_chain(satisfiable, "satisfiable formula")
+    run_chain(Cnf(1, [(1,), (-1,)]), "unsatisfiable formula")
+    run_chain(Cnf(2, [(1,), (2,), (-1, -2)]), "another UNSAT formula")
+    print(
+        "Deciding 'can this table be 3-anonymized within budget l?' decides "
+        "3SAT - so optimal k-anonymity is NP-hard (Theorem 3.1, grounded)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Value-aware anonymization: weighted cells and generalization recoding.
+
+Two refinements of the paper's uniform star count, on one table:
+
+1. **weighted suppression** — hiding a diagnosis-related cell costs more
+   utility than hiding a zip digit; the exact weighted optimum shifts
+   stars toward the cheap columns;
+2. **cell-level generalization** — with hierarchies, a disagreeing cell
+   becomes its group's least common ancestor ("30-39") instead of ``*``,
+   strictly reducing information loss.
+
+Run:  python examples/value_aware.py
+"""
+
+from repro import Table
+from repro.core.weights import (
+    optimal_weighted_anonymization,
+    weighted_star_cost,
+)
+from repro.algorithms.exact import optimal_anonymization
+from repro.core.partition import anonymize_partition
+from repro.generalization import (
+    Hierarchy,
+    interval_hierarchy,
+    recode_partition,
+    recoding_loss,
+)
+from repro.generalization.optimal_recoding import optimal_recoding
+
+TABLE = Table(
+    [
+        (34, "010", "Flu"),
+        (36, "010", "Flu"),
+        (38, "011", "Healthy"),
+        (47, "011", "Healthy"),
+        (49, "020", "Asthma"),
+        (52, "020", "Asthma"),
+    ],
+    attributes=["age", "zip", "diagnosis"],
+)
+K = 2
+
+
+def weighted_demo() -> None:
+    print("--- weighted suppression ---")
+    uniform_opt, partition = optimal_anonymization(TABLE, K)
+    released, _ = anonymize_partition(TABLE, partition)
+    print(f"uniform optimum: {uniform_opt} stars")
+    print(released.pretty())
+
+    # diagnosis is 10x more valuable than age; zip in between
+    weights = [1.0, 3.0, 10.0]
+    weighted_opt, weighted_partition = optimal_weighted_anonymization(
+        TABLE, K, weights
+    )
+    weighted_released, _ = anonymize_partition(TABLE, weighted_partition)
+    print(f"\nweighted optimum: total weight "
+          f"{weighted_star_cost(weighted_released, weights):g} "
+          f"(weights {weights})")
+    print(weighted_released.pretty())
+    diag = TABLE.attribute_index("diagnosis")
+    from repro import STAR
+
+    starred_diag = sum(
+        1 for row in weighted_released.rows if row[diag] is STAR
+    )
+    print(f"diagnosis cells starred under weighting: {starred_diag}\n")
+
+
+def recoding_demo() -> None:
+    print("--- cell-level generalization recoding ---")
+    hierarchies = [
+        interval_hierarchy(0, 64, base_width=4, branching=2),
+        Hierarchy.from_nested(
+            {"*": {"01x": ["010", "011"], "02x": ["020"]}}
+        ),
+        Hierarchy.suppression(["Flu", "Healthy", "Asthma"]),
+    ]
+    loss, partition = optimal_recoding(TABLE, K, hierarchies)
+    released = recode_partition(TABLE, partition, hierarchies)
+    print(f"optimal recoding loss: {loss:.2f} "
+          f"(vs {optimal_anonymization(TABLE, K)[0]} full-star units)")
+    print(released.pretty())
+    assert recoding_loss(TABLE, partition, hierarchies) == loss
+
+
+def main() -> None:
+    print("Original:")
+    print(TABLE.pretty())
+    print()
+    weighted_demo()
+    recoding_demo()
+    print(
+        "\nSame theory, richer objectives: the partition engine accepts "
+        "any additive group cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

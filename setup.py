@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package, so PEP 517 editable
+builds (which need bdist_wheel) fail; this shim lets
+`pip install -e . --no-use-pep517 --no-build-isolation` (or plain
+`pip install -e .` with the pip.conf shipped in CI images) use the
+classic `setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""repro — reproduction of Meyerson & Williams,
+"On the Complexity of Optimal K-Anonymity" (PODS 2004).
+
+Public API highlights
+---------------------
+
+Data model (Section 2)::
+
+    from repro import Table, Suppressor, STAR, is_k_anonymous
+
+Approximation algorithms (Section 4)::
+
+    from repro import GreedyCoverAnonymizer   # Theorem 4.1, O(k log k)-approx
+    from repro import CenterCoverAnonymizer   # Theorem 4.2, strongly polynomial
+
+Exact optima (for ground truth; the problem is NP-hard)::
+
+    from repro import optimal_anonymization, ExactAnonymizer
+
+Hardness reductions (Section 3)::
+
+    from repro.hardness import EntrySuppressionReduction
+    from repro.hardness import AttributeSuppressionReduction
+"""
+
+from repro.algorithms import (
+    AnonymizationResult,
+    Anonymizer,
+    BranchBoundAnonymizer,
+    CenterCoverAnonymizer,
+    DataflyAnonymizer,
+    ExactAnonymizer,
+    GreedyCoverAnonymizer,
+    InfeasibleAnonymizationError,
+    KMemberAnonymizer,
+    LocalSearchAnonymizer,
+    MSTForestAnonymizer,
+    MondrianAnonymizer,
+    PairMatchingAnonymizer,
+    RandomPartitionAnonymizer,
+    SimulatedAnnealingAnonymizer,
+    SmallMExactAnonymizer,
+    SortedChunkAnonymizer,
+    SuppressEverythingAnonymizer,
+    optimal_anonymization,
+    optimal_attribute_suppression,
+)
+from repro.core import (
+    STAR,
+    Alphabet,
+    Cover,
+    Partition,
+    Suppressor,
+    Table,
+    anon_cost,
+    anonymity_level,
+    anonymize_partition,
+    diameter,
+    distance,
+    group_image,
+    is_k_anonymous,
+    suppressed_cell_count,
+)
+from repro.theory import theorem_4_1_ratio, theorem_4_2_ratio
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "STAR",
+    "Alphabet",
+    "AnonymizationResult",
+    "Anonymizer",
+    "BranchBoundAnonymizer",
+    "CenterCoverAnonymizer",
+    "Cover",
+    "DataflyAnonymizer",
+    "ExactAnonymizer",
+    "GreedyCoverAnonymizer",
+    "InfeasibleAnonymizationError",
+    "KMemberAnonymizer",
+    "LocalSearchAnonymizer",
+    "MSTForestAnonymizer",
+    "MondrianAnonymizer",
+    "PairMatchingAnonymizer",
+    "Partition",
+    "RandomPartitionAnonymizer",
+    "SimulatedAnnealingAnonymizer",
+    "SmallMExactAnonymizer",
+    "SortedChunkAnonymizer",
+    "SuppressEverythingAnonymizer",
+    "Suppressor",
+    "Table",
+    "anon_cost",
+    "anonymity_level",
+    "anonymize_partition",
+    "diameter",
+    "distance",
+    "group_image",
+    "is_k_anonymous",
+    "optimal_anonymization",
+    "optimal_attribute_suppression",
+    "suppressed_cell_count",
+    "theorem_4_1_ratio",
+    "theorem_4_2_ratio",
+]

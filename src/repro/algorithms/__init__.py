@@ -1,0 +1,88 @@
+"""Anonymization algorithms.
+
+The paper's algorithms:
+
+* :class:`GreedyCoverAnonymizer` — Theorem 4.1: greedy set cover over all
+  subsets of cardinality in [k, 2k-1], Reduce, suppress.  3k(1+ln 2k)
+  approximation, runtime exponential in k.
+* :class:`CenterCoverAnonymizer` — Theorem 4.2: greedy set cover over
+  center/radius balls, Reduce, suppress.  6k(1+ln m) approximation,
+  strongly polynomial.
+
+Exact solvers (for ground truth on small instances):
+
+* :func:`optimal_anonymization` — subset-DP exact optimum.
+* :class:`BranchBoundAnonymizer` — exact with Lemma 4.1-style pruning.
+* :func:`optimal_attribute_suppression` — exact k-ANONYMITY-ON-ATTRIBUTES.
+
+Baselines from the surrounding literature for the comparison benchmarks:
+random chunking, sorted chunking, Mondrian, Datafly, greedy k-member
+clustering, and an MST-forest extension heuristic.
+"""
+
+from repro.algorithms.base import (
+    AnonymizationResult,
+    Anonymizer,
+    InfeasibleAnonymizationError,
+)
+from repro.algorithms.baselines import (
+    RandomPartitionAnonymizer,
+    SortedChunkAnonymizer,
+    SuppressEverythingAnonymizer,
+)
+from repro.algorithms.center_cover import CenterCoverAnonymizer, build_ball_cover
+from repro.algorithms.chain import GreedyChainAnonymizer, nearest_neighbour_order
+from repro.algorithms.datafly import DataflyAnonymizer, greedy_attribute_suppression
+from repro.algorithms.exact import (
+    ExactAnonymizer,
+    brute_force_optimal,
+    optimal_anonymization,
+    optimal_attribute_suppression,
+)
+from repro.algorithms.branch_bound import BranchBoundAnonymizer
+from repro.algorithms.forest import MSTForestAnonymizer
+from repro.algorithms.greedy_cover import GreedyCoverAnonymizer, build_greedy_cover
+from repro.algorithms.kmember import KMemberAnonymizer
+from repro.algorithms.annealing import SimulatedAnnealingAnonymizer
+from repro.algorithms.local_search import LocalSearchAnonymizer, improve_partition
+from repro.algorithms.pair_matching import (
+    PairMatchingAnonymizer,
+    minimum_weight_pairing,
+)
+from repro.algorithms.mondrian import MondrianAnonymizer
+from repro.algorithms.reduce_cover import reduce_cover
+from repro.algorithms.small_m import SmallMExactAnonymizer
+from repro.algorithms.topdown import TopDownGreedyAnonymizer
+
+__all__ = [
+    "AnonymizationResult",
+    "Anonymizer",
+    "BranchBoundAnonymizer",
+    "CenterCoverAnonymizer",
+    "DataflyAnonymizer",
+    "ExactAnonymizer",
+    "GreedyChainAnonymizer",
+    "GreedyCoverAnonymizer",
+    "InfeasibleAnonymizationError",
+    "KMemberAnonymizer",
+    "LocalSearchAnonymizer",
+    "MSTForestAnonymizer",
+    "MondrianAnonymizer",
+    "PairMatchingAnonymizer",
+    "RandomPartitionAnonymizer",
+    "SimulatedAnnealingAnonymizer",
+    "SmallMExactAnonymizer",
+    "SortedChunkAnonymizer",
+    "SuppressEverythingAnonymizer",
+    "TopDownGreedyAnonymizer",
+    "brute_force_optimal",
+    "build_ball_cover",
+    "build_greedy_cover",
+    "greedy_attribute_suppression",
+    "improve_partition",
+    "minimum_weight_pairing",
+    "nearest_neighbour_order",
+    "optimal_anonymization",
+    "optimal_attribute_suppression",
+    "reduce_cover",
+]

@@ -1,0 +1,125 @@
+"""Simulated-annealing anonymizer (metaheuristic extension).
+
+Local search (see :mod:`repro.algorithms.local_search`) stops at the
+first local optimum; simulated annealing escapes shallow ones by
+accepting uphill moves with probability ``exp(-delta / T)`` under a
+geometric cooling schedule.  The neighbourhood is the same
+partition-preserving move set (relocate, swap), so **every visited
+state is a valid (k, *)-partition** and the final answer is the best
+state ever visited — never worse than the starting point.
+
+Fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.base import AnonymizationResult, Anonymizer
+from repro.core.distance import disagreeing_coordinates
+from repro.core.partition import Partition
+from repro.core.table import Table
+
+
+def _group_cost(rows, members) -> int:
+    vectors = [rows[i] for i in members]
+    return len(vectors) * len(disagreeing_coordinates(vectors))
+
+
+class SimulatedAnnealingAnonymizer(Anonymizer):
+    """Anneal a partition produced by an inner anonymizer.
+
+    :param inner: base algorithm providing the initial partition
+        (default: Theorem 4.2's ball algorithm).
+    :param steps: number of proposed moves.
+    :param start_temperature: initial temperature, in star units.
+    :param cooling: geometric factor applied each step.
+    :param seed: RNG seed (int or numpy Generator).
+
+    >>> from repro.core.table import Table
+    >>> t = Table([(0, 0), (9, 9), (0, 0), (9, 9)])
+    >>> SimulatedAnnealingAnonymizer(steps=200, seed=1).anonymize(t, 2).stars
+    0
+    """
+
+    def __init__(
+        self,
+        inner: Anonymizer | None = None,
+        steps: int = 2000,
+        start_temperature: float = 4.0,
+        cooling: float = 0.995,
+        seed: int | np.random.Generator = 0,
+    ):
+        from repro.algorithms.center_cover import CenterCoverAnonymizer
+
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        if start_temperature <= 0 or not 0 < cooling < 1:
+            raise ValueError("need start_temperature > 0 and 0 < cooling < 1")
+        self._inner = inner if inner is not None else CenterCoverAnonymizer()
+        self._steps = steps
+        self._t0 = start_temperature
+        self._cooling = cooling
+        self._rng = np.random.default_rng(seed)
+        self.name = f"{self._inner.name}+anneal"
+
+    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+        self._check_feasible(table, k)
+        base = self._inner.anonymize(table, k)
+        if base.partition is None or table.n_rows == 0 or len(
+            base.partition.groups
+        ) < 2:
+            return base
+
+        rows = table.rows
+        rng = self._rng
+        groups: list[set[int]] = [set(g) for g in base.partition.groups]
+        costs = [_group_cost(rows, g) for g in groups]
+        current = sum(costs)
+        best_groups = [set(g) for g in groups]
+        best_cost = current
+        k_cap = max(2 * k - 1, max(len(g) for g in groups))
+
+        temperature = self._t0
+        accepted = 0
+        for _ in range(self._steps):
+            a, b = rng.choice(len(groups), size=2, replace=False)
+            a, b = int(a), int(b)
+            move_swap = bool(rng.integers(0, 2)) or len(groups[a]) <= k
+            if move_swap:
+                u = sorted(groups[a])[int(rng.integers(0, len(groups[a])))]
+                v = sorted(groups[b])[int(rng.integers(0, len(groups[b])))]
+                new_a = (groups[a] - {u}) | {v}
+                new_b = (groups[b] - {v}) | {u}
+            else:
+                if len(groups[b]) >= k_cap:
+                    continue
+                u = sorted(groups[a])[int(rng.integers(0, len(groups[a])))]
+                new_a = groups[a] - {u}
+                new_b = groups[b] | {u}
+            cost_a = _group_cost(rows, new_a)
+            cost_b = _group_cost(rows, new_b)
+            delta = cost_a + cost_b - costs[a] - costs[b]
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                groups[a], groups[b] = new_a, new_b
+                costs[a], costs[b] = cost_a, cost_b
+                current += delta
+                accepted += 1
+                if current < best_cost:
+                    best_cost = current
+                    best_groups = [set(g) for g in groups]
+            temperature = max(temperature * self._cooling, 1e-6)
+
+        partition = Partition(
+            [frozenset(g) for g in best_groups], table.n_rows, k,
+            k_max=max(2 * k - 1, max(len(g) for g in best_groups)),
+        )
+        result = self._result_from_partition(
+            table, k, partition,
+            {"base_stars": base.stars, "accepted_moves": accepted,
+             "steps": self._steps, "base_algorithm": self._inner.name},
+        )
+        assert result.stars <= base.stars
+        return result

@@ -1,0 +1,115 @@
+"""Common interface for anonymization algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.anonymity import is_k_anonymous, suppressed_cell_count
+from repro.core.partition import Cover, Partition, anonymize_partition
+from repro.core.suppressor import Suppressor
+from repro.core.table import Table
+
+
+class InfeasibleAnonymizationError(ValueError):
+    """Raised when no k-anonymization exists (fewer than k rows)."""
+
+
+@dataclass(frozen=True)
+class AnonymizationResult:
+    """The output of an anonymization algorithm.
+
+    :ivar anonymized: the released table ``t(V)``.
+    :ivar suppressor: the suppressor ``t`` that produced it.
+    :ivar partition: the (k, *)-partition inducing the suppression, when
+        the algorithm is partition-based (None for e.g. Datafly).
+    :ivar algorithm: the producing algorithm's name.
+    :ivar k: the anonymity parameter.
+    :ivar extras: algorithm-specific diagnostics (iteration counts,
+        cover sizes, bound values, ...).
+    """
+
+    anonymized: Table
+    suppressor: Suppressor
+    partition: Partition | None
+    algorithm: str
+    k: int
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def stars(self) -> int:
+        """Number of suppressed cells — the paper's objective value."""
+        return suppressed_cell_count(self.anonymized)
+
+    def is_valid(self, original: Table) -> bool:
+        """True iff the output is a k-anonymous suppression of *original*."""
+        try:
+            Suppressor.from_tables(original, self.anonymized)
+        except ValueError:
+            return False
+        return is_k_anonymous(self.anonymized, self.k)
+
+
+class Anonymizer(abc.ABC):
+    """Abstract base: produce a k-anonymous suppression of a table."""
+
+    #: short machine-readable identifier, overridden by subclasses
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+        """Return a k-anonymization of *table*.
+
+        :raises InfeasibleAnonymizationError: if ``0 < n < k``.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared plumbing for subclasses
+    # ------------------------------------------------------------------
+
+    def _check_feasible(self, table: Table, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        if 0 < table.n_rows < k:
+            raise InfeasibleAnonymizationError(
+                f"{table.n_rows} rows cannot be {k}-anonymized"
+            )
+
+    def _result_from_partition(
+        self,
+        table: Table,
+        k: int,
+        partition: Cover,
+        extras: dict[str, Any] | None = None,
+    ) -> AnonymizationResult:
+        """Anonymize along a partition and wrap the result."""
+        if not isinstance(partition, Partition):
+            partition = Partition(
+                partition.groups, partition.n_rows, partition.k,
+                k_max=partition.k_max,
+            )
+        anonymized, suppressor = anonymize_partition(table, partition)
+        return AnonymizationResult(
+            anonymized=anonymized,
+            suppressor=suppressor,
+            partition=partition,
+            algorithm=self.name,
+            k=k,
+            extras=extras or {},
+        )
+
+    def _empty_result(self, table: Table, k: int) -> AnonymizationResult:
+        """Result for the zero-row table (vacuously k-anonymous)."""
+        suppressor = Suppressor({}, n_rows=0, degree=table.degree)
+        return AnonymizationResult(
+            anonymized=table,
+            suppressor=suppressor,
+            partition=None,
+            algorithm=self.name,
+            k=k,
+            extras={},
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

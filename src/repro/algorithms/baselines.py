@@ -1,0 +1,111 @@
+"""Trivial baseline anonymizers for the comparison benchmarks.
+
+These put the paper's algorithms in context: the random and sorted
+chunkers cost nothing to run but ignore geometry entirely (random) or use
+only lexicographic locality (sorted); suppress-everything is the always
+feasible worst case with exactly ``n * m`` stars.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.algorithms.base import AnonymizationResult, Anonymizer
+from repro.core.partition import Partition
+from repro.core.suppressor import Suppressor
+from repro.core.table import Table
+
+
+def chunk_indices(indices: Sequence[int], k: int) -> list[frozenset[int]]:
+    """Chop an index sequence into consecutive groups of size in [k, 2k-1].
+
+    Full chunks of size ``k``; the final ``< k`` remainder (if any) is
+    absorbed into the last chunk, which therefore has size at most
+    ``2k - 1``.
+
+    >>> [sorted(g) for g in chunk_indices(range(7), 3)]
+    [[0, 1, 2], [3, 4, 5, 6]]
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    indices = list(indices)
+    if not indices:
+        return []
+    if len(indices) < k:
+        raise ValueError(f"{len(indices)} rows cannot form a group of size {k}")
+    groups = [indices[i: i + k] for i in range(0, len(indices), k)]
+    if len(groups[-1]) < k:
+        groups[-2].extend(groups[-1])
+        groups.pop()
+    return [frozenset(g) for g in groups]
+
+
+class RandomPartitionAnonymizer(Anonymizer):
+    """Shuffle the rows, then chunk — the geometry-blind baseline."""
+
+    name = "random_partition"
+
+    def __init__(self, seed: int | np.random.Generator = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+        self._check_feasible(table, k)
+        if table.n_rows == 0:
+            return self._empty_result(table, k)
+        order = list(range(table.n_rows))
+        self._rng.shuffle(order)
+        partition = Partition(chunk_indices(order, k), table.n_rows, k)
+        return self._result_from_partition(table, k, partition)
+
+
+class SortedChunkAnonymizer(Anonymizer):
+    """Sort rows lexicographically, then chunk consecutive runs.
+
+    A surprisingly strong cheap baseline on tables with correlated
+    attributes; the classic first move of syntactic anonymizers.
+    """
+
+    name = "sorted_chunk"
+
+    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+        self._check_feasible(table, k)
+        if table.n_rows == 0:
+            return self._empty_result(table, k)
+        rows = table.rows
+        order = sorted(
+            range(table.n_rows),
+            key=lambda i: tuple(str(value) for value in rows[i]),
+        )
+        partition = Partition(chunk_indices(order, k), table.n_rows, k)
+        return self._result_from_partition(table, k, partition)
+
+
+class SuppressEverythingAnonymizer(Anonymizer):
+    """Star every cell: always k-anonymous (for n >= k), cost ``n * m``.
+
+    The paper's objective upper bound; useful as a sanity ceiling in the
+    benchmark tables.
+    """
+
+    name = "suppress_everything"
+
+    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+        self._check_feasible(table, k)
+        if table.n_rows == 0:
+            return self._empty_result(table, k)
+        coords = range(table.degree)
+        suppressor = Suppressor(
+            {i: coords for i in range(table.n_rows)},
+            n_rows=table.n_rows,
+            degree=table.degree,
+        )
+        return AnonymizationResult(
+            anonymized=suppressor.apply(table),
+            suppressor=suppressor,
+            partition=None,
+            algorithm=self.name,
+            k=k,
+            extras={},
+        )

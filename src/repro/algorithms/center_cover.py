@@ -1,0 +1,157 @@
+"""Theorem 4.2: the strongly polynomial center/ball algorithm.
+
+Instead of all ``O(|V|^{2k-1})`` small subsets, Phase 1 greedily covers
+``V`` using only *balls*
+
+    S_{c,r} = { v in V : d(c, v) <= r }
+
+with centers ``c in V``.  The paper offers two parameterizations — radii
+``i in {1..m}`` (``m |V|`` sets) or radii ``d(c, c')`` for ``c' in V``
+(``|V|^2`` sets) — and advises using whichever is smaller.  As *set
+families* the two coincide: ball membership only changes at radii that
+are realized distances, so this module enumerates one candidate per
+(center, realized radius) pair with at least ``k`` members.
+
+Lemma 4.2 bounds ``d(S_{c,r}) <= 2r``, and Lemma 4.3 shows restricting to
+balls costs at most a factor 2 in diameter sum; greedy then yields a
+``6k(1 + ln m)``-approximation overall, in strongly polynomial time.
+
+The greedy loop uses lazy evaluation (a priority queue of stale ratios,
+re-evaluated on pop), exploiting that ``r(S) = d(S)/|S \\ D|`` only grows
+as coverage ``D`` grows — the practical speedup the paper anticipates
+("we are confident that this time bound can be significantly improved
+using appropriate data structures").
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+
+from repro.algorithms.base import AnonymizationResult, Anonymizer
+from repro.algorithms.reduce_cover import reduce_and_shrink
+from repro.core.distance import fast_pairwise_distance_matrix as _distance_matrix
+from repro.core.partition import Cover
+from repro.core.table import Table
+
+
+
+def build_ball_cover(
+    table: Table,
+    k: int,
+    diameter_mode: str = "radius_bound",
+) -> Cover:
+    """Greedy set cover over center/radius balls (Phase 1 of Theorem 4.2).
+
+    :param diameter_mode: how a candidate ball's diameter enters the
+        greedy ratio: ``"radius_bound"`` uses Lemma 4.2's ``min(2r, m)``
+        surrogate (strongly polynomial, the paper's accounting);
+        ``"exact"`` computes true diameters (slower, sometimes better
+        covers).
+    :returns: a (k, n)-cover of the table by balls.
+    :raises ValueError: on ``0 < n < k`` or an unknown mode.
+    """
+    if diameter_mode not in ("radius_bound", "exact"):
+        raise ValueError(f"unknown diameter_mode {diameter_mode!r}")
+    n = table.n_rows
+    m = table.degree
+    if k < 1:
+        raise ValueError("k must be positive")
+    if n == 0:
+        return Cover([], 0, k)
+    if n < k:
+        raise ValueError(f"{n} rows cannot be covered by sets of size >= {k}")
+
+    dist = _distance_matrix(table)
+
+    # Per center: rows ordered by (distance, index); candidates are the
+    # prefixes ending at a distance boundary with at least k members.
+    orders: list[list[int]] = []
+    heap: list[tuple[Fraction, int, int, int, int]] = []
+    for c in range(n):
+        row = dist[c]
+        order = sorted(range(n), key=lambda v: (row[v], v))
+        orders.append(order)
+        for p in range(k, n + 1):
+            is_boundary = p == n or row[order[p]] > row[order[p - 1]]
+            if not is_boundary:
+                continue
+            radius = row[order[p - 1]]
+            d_est = min(2 * radius, m)
+            # heap entry: (ratio, diameter estimate, center, prefix, stale new-count)
+            heapq.heappush(heap, (Fraction(d_est, p), d_est, c, p, p))
+
+    exact_diams: dict[tuple[int, int], int] = {}
+
+    def ball_diameter(c: int, p: int) -> int:
+        cached = exact_diams.get((c, p))
+        if cached is not None:
+            return cached
+        members = orders[c][:p]
+        best = 0
+        for a in range(p):
+            row = dist[members[a]]
+            for b in range(a + 1, p):
+                d = row[members[b]]
+                if d > best:
+                    best = d
+        exact_diams[(c, p)] = best
+        return best
+
+    uncovered = [True] * n
+    remaining = n
+    chosen: list[frozenset[int]] = []
+    evaluations = 0
+    while remaining:
+        ratio, d_est, c, p, stale_new = heapq.heappop(heap)
+        evaluations += 1
+        newly = sum(1 for v in orders[c][:p] if uncovered[v])
+        if newly == 0:
+            continue
+        if diameter_mode == "exact":
+            d_est = ball_diameter(c, p)
+        current = Fraction(d_est, newly)
+        if heap and (current, d_est, c, p) > heap[0][:4]:
+            heapq.heappush(heap, (current, d_est, c, p, newly))
+            continue
+        members = frozenset(orders[c][:p])
+        chosen.append(members)
+        for v in orders[c][:p]:
+            uncovered[v] = False
+        remaining -= newly
+    k_max = max([2 * k - 1] + [len(g) for g in chosen])
+    return Cover(chosen, n, k, k_max=k_max)
+
+
+class CenterCoverAnonymizer(Anonymizer):
+    """The full Theorem 4.2 pipeline: ball Cover -> Reduce -> suppress.
+
+    Strongly polynomial; the workhorse algorithm for non-toy tables.
+
+    >>> from repro.core.table import Table
+    >>> t = Table([(0, 0), (0, 1), (1, 0), (1, 1)] * 3)
+    >>> result = CenterCoverAnonymizer().anonymize(t, 3)
+    >>> result.is_valid(t)
+    True
+    """
+
+    name = "center_cover"
+
+    def __init__(self, diameter_mode: str = "radius_bound"):
+        if diameter_mode not in ("radius_bound", "exact"):
+            raise ValueError(f"unknown diameter_mode {diameter_mode!r}")
+        self._diameter_mode = diameter_mode
+
+    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+        self._check_feasible(table, k)
+        if table.n_rows == 0:
+            return self._empty_result(table, k)
+        cover = build_ball_cover(table, k, diameter_mode=self._diameter_mode)
+        partition = reduce_and_shrink(table, cover)
+        extras = {
+            "cover_sets": len(cover),
+            "cover_diameter_sum": cover.diameter_sum(table),
+            "partition_diameter_sum": partition.diameter_sum(table),
+            "diameter_mode": self._diameter_mode,
+        }
+        return self._result_from_partition(table, k, partition, extras)

@@ -1,0 +1,133 @@
+"""Local-search post-optimization of partition-based anonymizations.
+
+The paper's algorithms build a (k, 2k-1)-partition once and stop; in
+practice a cheap hill-climbing pass over the partition recovers much of
+the remaining gap to optimal.  Two moves, applied until a local optimum
+(or a move budget) is reached:
+
+* **relocate** — move one row from a group with more than ``k`` members
+  into another group, if the total ANON cost drops;
+* **swap** — exchange two rows between two groups, if the total cost
+  drops (legal at any group sizes).
+
+Both moves preserve the (k, *)-partition invariants, so the result is
+always a valid k-anonymization with cost no worse than the input's —
+the improvement is certified, not heuristic.  This addresses the
+paper's closing remark that the bounds "can be significantly improved
+using appropriate data structures" on the practical side.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import AnonymizationResult, Anonymizer
+from repro.core.distance import disagreeing_coordinates
+from repro.core.partition import Partition
+from repro.core.table import Table
+
+
+def _group_cost(rows, members) -> int:
+    vectors = [rows[i] for i in members]
+    return len(vectors) * len(disagreeing_coordinates(vectors))
+
+
+def improve_partition(
+    table: Table,
+    partition: Partition,
+    max_rounds: int = 50,
+) -> tuple[Partition, int]:
+    """Hill-climb a partition with relocate and swap moves.
+
+    :returns: ``(improved_partition, rounds_used)``; the improved
+        partition's ANON cost is <= the input's.
+    """
+    rows = table.rows
+    k = partition.k
+    groups: list[set[int]] = [set(g) for g in partition.groups]
+    costs = [_group_cost(rows, g) for g in groups]
+
+    def try_relocate() -> bool:
+        for src in range(len(groups)):
+            if len(groups[src]) <= k:
+                continue
+            for v in sorted(groups[src]):
+                without = groups[src] - {v}
+                cost_without = _group_cost(rows, without)
+                for dst in range(len(groups)):
+                    if dst == src:
+                        continue
+                    if len(groups[dst]) >= 2 * k - 1:
+                        continue
+                    cost_with = _group_cost(rows, groups[dst] | {v})
+                    delta = (
+                        cost_without + cost_with - costs[src] - costs[dst]
+                    )
+                    if delta < 0:
+                        groups[src].remove(v)
+                        groups[dst].add(v)
+                        costs[src] = cost_without
+                        costs[dst] = cost_with
+                        return True
+        return False
+
+    def try_swap() -> bool:
+        for a in range(len(groups)):
+            for b in range(a + 1, len(groups)):
+                for u in sorted(groups[a]):
+                    for v in sorted(groups[b]):
+                        new_a = (groups[a] - {u}) | {v}
+                        new_b = (groups[b] - {v}) | {u}
+                        cost_a = _group_cost(rows, new_a)
+                        cost_b = _group_cost(rows, new_b)
+                        if cost_a + cost_b < costs[a] + costs[b]:
+                            groups[a], groups[b] = new_a, new_b
+                            costs[a], costs[b] = cost_a, cost_b
+                            return True
+        return False
+
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        if not (try_relocate() or try_swap()):
+            break
+    k_max = max([partition.k_max] + [len(g) for g in groups])
+    return (
+        Partition([frozenset(g) for g in groups], partition.n_rows, k,
+                  k_max=k_max),
+        rounds,
+    )
+
+
+class LocalSearchAnonymizer(Anonymizer):
+    """Wrap any partition-based anonymizer with a hill-climbing pass.
+
+    >>> from repro.algorithms import CenterCoverAnonymizer
+    >>> from repro.core.table import Table
+    >>> t = Table([(0, 0), (0, 1), (1, 0), (1, 1), (5, 5), (5, 5)])
+    >>> base = CenterCoverAnonymizer()
+    >>> polished = LocalSearchAnonymizer(base)
+    >>> polished.anonymize(t, 2).stars <= base.anonymize(t, 2).stars
+    True
+    """
+
+    def __init__(self, inner: Anonymizer | None = None, max_rounds: int = 50):
+        from repro.algorithms.center_cover import CenterCoverAnonymizer
+
+        self._inner = inner if inner is not None else CenterCoverAnonymizer()
+        self._max_rounds = max_rounds
+        self.name = f"{self._inner.name}+local"
+
+    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+        self._check_feasible(table, k)
+        base = self._inner.anonymize(table, k)
+        if base.partition is None or table.n_rows == 0:
+            return base
+        improved, rounds = improve_partition(
+            table, base.partition, max_rounds=self._max_rounds
+        )
+        result = self._result_from_partition(
+            table, k, improved,
+            {"base_stars": base.stars, "rounds": rounds,
+             "base_algorithm": self._inner.name},
+        )
+        assert result.stars <= base.stars
+        return result

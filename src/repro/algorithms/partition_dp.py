@@ -1,0 +1,123 @@
+"""A reusable exact partition-DP engine.
+
+Several exact solvers share one skeleton: partition ``n`` items into
+groups of size ``[k, 2k-1]`` minimizing an *additive* group cost (the
+WLOG size cap is sound whenever splitting a group never increases its
+cost, which holds for every cost in this repository: star counts,
+weighted stars, and hierarchy recoding loss all shrink when a group
+shrinks).  This module implements the skeleton once — memoized DP over
+bitmask states with canonical lowest-set-bit seeding, plus optimal
+partition reconstruction — and the concrete solvers inject their group
+cost:
+
+* `repro.algorithms.exact.optimal_anonymization` — ``|S| * |D(S)|``;
+* `repro.core.weights.optimal_weighted_anonymization` — weighted stars;
+* `repro.generalization.optimal_recoding` — LCA recoding loss.
+
+Exponential in n (the problem is NP-hard); intended for n <= ~16.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from itertools import combinations
+
+GroupCost = Callable[[tuple[int, ...]], float]
+
+_INF = float("inf")
+
+
+def minimum_cost_partition(
+    n: int,
+    k: int,
+    group_cost: GroupCost,
+    group_max: int | None = None,
+) -> tuple[float, list[frozenset[int]]]:
+    """Exact minimum additive-cost partition into groups of [k, group_max].
+
+    :param n: number of items (indices ``0..n-1``).
+    :param k: minimum group size.
+    :param group_cost: cost of one group, given its sorted member tuple.
+        Must be non-negative; called at most once per distinct group.
+    :param group_max: maximum group size (default ``2k - 1``).
+    :returns: ``(optimal_cost, groups)``.
+    :raises ValueError: if ``0 < n < k`` or ``k < 1``.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if n == 0:
+        return 0.0, []
+    if n < k:
+        raise ValueError(f"{n} items cannot form groups of size >= {k}")
+    upper = min((2 * k - 1) if group_max is None else group_max, n)
+    if upper < k:
+        raise ValueError("group_max must be at least k")
+
+    cost_cache: dict[tuple[int, ...], float] = {}
+
+    def cached_cost(members: tuple[int, ...]) -> float:
+        value = cost_cache.get(members)
+        if value is None:
+            value = group_cost(members)
+            cost_cache[members] = value
+        return value
+
+    memo: dict[int, float] = {}
+
+    def solve(mask: int) -> float:
+        if mask == 0:
+            return 0.0
+        cached = memo.get(mask)
+        if cached is not None:
+            return cached
+        remaining = mask.bit_count()
+        if remaining < k:
+            memo[mask] = _INF
+            return _INF
+        lowest = (mask & -mask).bit_length() - 1
+        others = [i for i in range(lowest + 1, n) if mask >> i & 1]
+        best = _INF
+        for size in range(k, min(upper, remaining) + 1):
+            if 0 < remaining - size < k:
+                continue
+            for mates in combinations(others, size - 1):
+                members = (lowest, *mates)
+                group_mask = 0
+                for i in members:
+                    group_mask |= 1 << i
+                candidate = cached_cost(members) + solve(mask ^ group_mask)
+                if candidate < best:
+                    best = candidate
+        memo[mask] = best
+        return best
+
+    full = (1 << n) - 1
+    optimal = solve(full)
+    assert optimal != _INF, "n >= k always admits a partition"
+
+    # Reconstruct by replaying optimal choices (tolerant to float noise).
+    groups: list[frozenset[int]] = []
+    mask = full
+    while mask:
+        remaining = mask.bit_count()
+        lowest = (mask & -mask).bit_length() - 1
+        others = [i for i in range(lowest + 1, n) if mask >> i & 1]
+        found = False
+        for size in range(k, min(upper, remaining) + 1):
+            if 0 < remaining - size < k:
+                continue
+            for mates in combinations(others, size - 1):
+                members = (lowest, *mates)
+                group_mask = 0
+                for i in members:
+                    group_mask |= 1 << i
+                total = cached_cost(members) + solve(mask ^ group_mask)
+                if abs(total - solve(mask)) < 1e-9:
+                    groups.append(frozenset(members))
+                    mask ^= group_mask
+                    found = True
+                    break
+            if found:
+                break
+        assert found, "reconstruction must follow an optimal branch"
+    return optimal, groups

@@ -1,0 +1,288 @@
+"""Command-line interface: ``kanon anonymize --k 3 table.csv``.
+
+Subcommands
+-----------
+
+``anonymize``
+    Read a CSV, k-anonymize with a chosen algorithm, write the result.
+``check``
+    Report the anonymity level and star count of a (possibly already
+    anonymized) CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.algorithms import (
+    Anonymizer,
+    CenterCoverAnonymizer,
+    DataflyAnonymizer,
+    ExactAnonymizer,
+    GreedyChainAnonymizer,
+    GreedyCoverAnonymizer,
+    KMemberAnonymizer,
+    LocalSearchAnonymizer,
+    MSTForestAnonymizer,
+    MondrianAnonymizer,
+    RandomPartitionAnonymizer,
+    SortedChunkAnonymizer,
+)
+from repro.core.anonymity import anonymity_level, suppressed_cell_count
+from repro.core.metrics import metric_report
+from repro.io import read_csv, write_csv
+
+_ALGORITHMS: dict[str, type[Anonymizer]] = {
+    "center": CenterCoverAnonymizer,
+    "greedy": GreedyCoverAnonymizer,
+    "exact": ExactAnonymizer,
+    "mondrian": MondrianAnonymizer,
+    "datafly": DataflyAnonymizer,
+    "kmember": KMemberAnonymizer,
+    "forest": MSTForestAnonymizer,
+    "random": RandomPartitionAnonymizer,
+    "sorted": SortedChunkAnonymizer,
+    "chain": GreedyChainAnonymizer,
+    "local": LocalSearchAnonymizer,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kanon",
+        description=(
+            "Optimal k-anonymity via suppression — reproduction of "
+            "Meyerson & Williams (PODS 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    anonymize = sub.add_parser("anonymize", help="k-anonymize a CSV table")
+    anonymize.add_argument("input", help="input CSV path")
+    anonymize.add_argument("-k", type=int, required=True, help="anonymity parameter")
+    anonymize.add_argument(
+        "--algorithm",
+        choices=sorted(_ALGORITHMS),
+        default="center",
+        help="algorithm (default: center — the Theorem 4.2 algorithm)",
+    )
+    anonymize.add_argument("-o", "--output", help="output CSV path (default: stdout)")
+    anonymize.add_argument(
+        "--ldiv",
+        type=int,
+        default=None,
+        metavar="L",
+        help=(
+            "also enforce distinct L-diversity, treating the LAST column "
+            "as the sensitive attribute (released untouched)"
+        ),
+    )
+    anonymize.add_argument(
+        "--no-header", action="store_true", help="input has no header row"
+    )
+
+    check = sub.add_parser("check", help="report anonymity level and stars")
+    check.add_argument("input", help="input CSV path")
+    check.add_argument("-k", type=int, default=None,
+                       help="also report utility metrics at this k")
+    check.add_argument(
+        "--no-header", action="store_true", help="input has no header row"
+    )
+
+    risk = sub.add_parser(
+        "risk", help="prosecutor re-identification risk of a release"
+    )
+    risk.add_argument("input", help="released CSV path")
+    risk.add_argument(
+        "--external",
+        help="adversary's external CSV (same schema) for a linkage attack",
+    )
+    risk.add_argument(
+        "--no-header", action="store_true", help="inputs have no header row"
+    )
+
+    validate = sub.add_parser(
+        "validate", help="gate a release against its original table"
+    )
+    validate.add_argument("input", help="original CSV path")
+    validate.add_argument("released", help="released CSV path")
+    validate.add_argument("-k", type=int, required=True,
+                          help="claimed anonymity parameter")
+    validate.add_argument(
+        "--no-header", action="store_true", help="inputs have no header row"
+    )
+
+    dossier = sub.add_parser(
+        "dossier", help="full release dossier for an (original, released) pair"
+    )
+    dossier.add_argument("input", help="original CSV path")
+    dossier.add_argument("released", help="released CSV path")
+    dossier.add_argument("-k", type=int, required=True)
+    dossier.add_argument(
+        "--sensitive",
+        help="name of a sensitive column present in BOTH files (released "
+             "untouched); enables the attribute-disclosure section",
+    )
+    dossier.add_argument(
+        "--no-header", action="store_true", help="inputs have no header row"
+    )
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="rerun a paper experiment (no input file needed)",
+    )
+    experiment.add_argument(
+        "name",
+        choices=["ratio-greedy", "ratio-center", "threshold-entries",
+                 "threshold-attributes", "k-sweep"],
+        help="which experiment to run",
+    )
+    experiment.add_argument("-k", type=int, default=3)
+    experiment.add_argument("--trials", type=int, default=10)
+    return parser
+
+
+def _run_experiment(args) -> int:
+    """The `experiment` command: rerun a paper experiment from scratch."""
+    from repro.experiments import k_sweep, ratio_experiment, threshold_experiment
+
+    if args.name.startswith("ratio-"):
+        algorithm = (
+            GreedyCoverAnonymizer() if args.name == "ratio-greedy"
+            else CenterCoverAnonymizer()
+        )
+        exp = ratio_experiment(algorithm, k=args.k, trials=args.trials)
+        print(f"{exp.algorithm}, k={exp.k}: "
+              f"mean ratio {exp.mean_ratio:.3f}, max {exp.max_ratio:.3f}, "
+              f"proven bound {exp.bound:.1f}")
+        for row in exp.rows:
+            print(f"  seed {row.seed}: OPT {row.opt}, cost {row.cost} "
+                  f"({row.ratio:.2f}x)")
+        return 0 if exp.within_bound else 1
+    if args.name.startswith("threshold-"):
+        kind = args.name.split("-", 1)[1]
+        for with_matching in (True, False):
+            result = threshold_experiment(kind=kind,
+                                          with_matching=with_matching)
+            print(f"{kind}, matching={with_matching}: threshold "
+                  f"{result.threshold}, optimum {result.optimum}, "
+                  f"consistent={result.consistent_with_theorem}")
+            if not result.consistent_with_theorem:
+                return 1
+        return 0
+    # k-sweep
+    from repro.workloads import census_table, quasi_identifiers
+
+    table = quasi_identifiers(census_table(120, seed=0))
+    for point in k_sweep(table):
+        print(f"k={point.k}: {point.stars} stars, "
+              f"precision {point.precision:.3f}, {point.classes} classes")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    table = read_csv(args.input, header=not args.no_header)
+
+    if args.command == "anonymize":
+        algorithm = _ALGORITHMS[args.algorithm]()
+        if args.ldiv is not None:
+            from repro.privacy import LDiverseAnonymizer
+
+            sensitive = table.column(table.degree - 1)
+            identifiers = table.project(list(range(table.degree - 1)))
+            wrapped = LDiverseAnonymizer(args.ldiv, inner=algorithm)
+            result = wrapped.anonymize_with_sensitive(
+                identifiers, args.k, sensitive
+            )
+            from repro.core.table import Table as _Table
+
+            released = _Table(
+                [row + (value,) for row, value
+                 in zip(result.anonymized.rows, sensitive)],
+                attributes=table.attributes,
+            )
+            result = type(result)(
+                anonymized=released,
+                suppressor=result.suppressor,
+                partition=result.partition,
+                algorithm=result.algorithm,
+                k=result.k,
+                extras=result.extras,
+            )
+        else:
+            result = algorithm.anonymize(table, args.k)
+        output = result.anonymized.to_csv(header=not args.no_header)
+        if args.output:
+            write_csv(result.anonymized, args.output, header=not args.no_header)
+            print(
+                f"{result.algorithm}: {result.stars} cells suppressed "
+                f"({result.stars / max(1, table.total_cells()):.1%}) -> "
+                f"{args.output}",
+                file=sys.stderr,
+            )
+        else:
+            sys.stdout.write(output)
+        return 0
+
+    if args.command == "check":
+        level = anonymity_level(table)
+        stars = suppressed_cell_count(table)
+        print(f"rows: {table.n_rows}  degree: {table.degree}")
+        print(f"anonymity level: {level}")
+        print(f"suppressed cells: {stars}")
+        if args.k is not None:
+            for key, value in metric_report(table, args.k).items():
+                print(f"{key}: {value}")
+        return 0
+
+    if args.command == "validate":
+        from repro.validate import validate_release
+
+        released = read_csv(args.released, header=not args.no_header)
+        report = validate_release(table, released, args.k)
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.command == "dossier":
+        from repro.report import release_dossier
+
+        released = read_csv(args.released, header=not args.no_header)
+        sensitive = None
+        if args.sensitive:
+            sensitive = released.column(args.sensitive)
+            keep = [a for a in released.attributes if a != args.sensitive]
+            released = released.project(keep)
+            table = table.project(keep)
+        text = release_dossier(table, released, args.k, sensitive=sensitive)
+        print(text)
+        return 0 if text.splitlines()[0].endswith(f"APPROVED (k={args.k})") else 1
+
+    # risk
+    from repro.privacy import linkage_attack, risk_report
+
+    report = risk_report(table)
+    print(f"classes: {report.class_count}")
+    print(f"max prosecutor risk: {report.max_risk:.4f}")
+    print(f"mean prosecutor risk: {report.mean_risk:.4f}")
+    print(f"records at max risk: {report.records_at_max}")
+    if args.external:
+        external = read_csv(args.external, header=not args.no_header)
+        counts = linkage_attack(
+            table, external, list(range(external.n_rows))
+        )
+        pinned = sum(1 for c in counts.values() if c == 1)
+        print(
+            f"linkage attack: {pinned}/{external.n_rows} external records "
+            f"match exactly one released record"
+        )
+        print(f"minimum match set size: {min(counts.values(), default=0)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""The k-anonymity predicate (Definition 2.2) and equivalence classes.
+
+``t(V)`` is k-anonymous iff every anonymized vector belongs to a multiset
+of at least ``k`` identical anonymized vectors ("k-groups").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from collections.abc import Hashable
+
+from repro.core.alphabet import STAR
+from repro.core.table import Table
+
+Row = tuple[Hashable, ...]
+
+
+def equivalence_classes(table: Table) -> dict[Row, list[int]]:
+    """Group row indices by identical (anonymized) record.
+
+    The returned dict maps each distinct record to the sorted list of row
+    indices carrying it; these are the candidate k-groups.
+    """
+    classes: dict[Row, list[int]] = defaultdict(list)
+    for i, row in enumerate(table.rows):
+        classes[row].append(i)
+    return dict(classes)
+
+
+def anonymity_level(table: Table) -> float:
+    """The largest ``k`` for which the table is k-anonymous.
+
+    This is the minimum multiplicity over distinct records.  An empty
+    table is vacuously k-anonymous for every k, so its level is ``inf``.
+    """
+    if table.n_rows == 0:
+        return math.inf
+    return min(len(indices) for indices in equivalence_classes(table).values())
+
+
+def is_k_anonymous(table: Table, k: int) -> bool:
+    """Definition 2.2: every record occurs at least ``k`` times.
+
+    >>> t = Table([(1, STAR), (1, STAR), (2, 3)])
+    >>> is_k_anonymous(t, 2)
+    False
+    >>> is_k_anonymous(t.select_rows([0, 1]), 2)
+    True
+    """
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    return anonymity_level(table) >= k
+
+
+def suppressed_cell_count(table: Table) -> int:
+    """Total number of ``*`` cells — the paper's optimization objective."""
+    return sum(
+        1 for row in table.rows for value in row if value is STAR
+    )
+
+
+def violating_rows(table: Table, k: int) -> list[int]:
+    """Row indices whose record occurs fewer than ``k`` times.
+
+    Useful for diagnostics and for test assertions about *why* a table
+    fails k-anonymity.
+    """
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    bad: list[int] = []
+    for indices in equivalence_classes(table).values():
+        if len(indices) < k:
+            bad.extend(indices)
+    return sorted(bad)

@@ -1,0 +1,192 @@
+"""Distances, diameters, and the ANON cost (Definition 4.1 and Section 4.1).
+
+* ``distance(u, v)`` — the number of coordinates where ``u`` and ``v``
+  differ; a metric on ``Sigma^m`` (the Hamming distance for categorical
+  vectors).
+* ``diameter(S)`` — the maximum pairwise distance within a group.
+* ``anon_cost(S)`` (paper: ``ANON(S)``) — the total number of cells that
+  must be suppressed to make all vectors of ``S`` textually identical.
+
+The key structural facts used throughout the paper, all of which the test
+suite checks, are:
+
+* ``anon_cost(S) == |S| * |disagreeing_coordinates(S)|`` — a coordinate
+  either agrees across the whole group and survives, or disagrees
+  somewhere and must be starred in *every* member.
+* ``diameter(S) <= |disagreeing_coordinates(S)| <= (|S|-1) * diameter(S)``
+  — which yields Lemma 4.1's sandwich between optimal anonymity cost and
+  minimum diameter sums.
+* the triangle inequality on diameters of overlapping sets (Figure 1):
+  ``diameter(S1 | S2) <= diameter(S1) + diameter(S2)`` when they share a
+  vector.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.core.alphabet import STAR
+
+Row = tuple[Hashable, ...]
+
+
+def distance(u: Sequence[Hashable], v: Sequence[Hashable]) -> int:
+    """Number of coordinates in which *u* and *v* differ (Definition 4.1).
+
+    >>> distance((1, 0, 1, 0), (0, 1, 1, 0))
+    2
+    """
+    if len(u) != len(v):
+        raise ValueError(f"vectors of degrees {len(u)} and {len(v)} are incomparable")
+    return sum(1 for a, b in zip(u, v) if a != b)
+
+
+def differing_coordinates(u: Sequence[Hashable], v: Sequence[Hashable]) -> list[int]:
+    """The coordinate positions where *u* and *v* differ."""
+    if len(u) != len(v):
+        raise ValueError(f"vectors of degrees {len(u)} and {len(v)} are incomparable")
+    return [j for j, (a, b) in enumerate(zip(u, v)) if a != b]
+
+
+def diameter(rows: Sequence[Sequence[Hashable]]) -> int:
+    """Maximum pairwise distance within the group (the paper's ``d(S)``).
+
+    Empty and singleton groups have diameter 0.
+    """
+    rows = list(rows)
+    best = 0
+    for i in range(len(rows)):
+        for j in range(i + 1, len(rows)):
+            d = distance(rows[i], rows[j])
+            if d > best:
+                best = d
+    return best
+
+
+def radius_from(center: Sequence[Hashable], rows: Iterable[Sequence[Hashable]]) -> int:
+    """Maximum distance from *center* to any row (used by ball covers)."""
+    return max((distance(center, row) for row in rows), default=0)
+
+
+def disagreeing_coordinates(rows: Sequence[Sequence[Hashable]]) -> list[int]:
+    """Coordinates on which the group does not unanimously agree.
+
+    These are exactly the coordinates a suppressor must star in every
+    member to render the group textually identical.
+    """
+    rows = list(rows)
+    if not rows:
+        return []
+    degree = len(rows[0])
+    first = rows[0]
+    return [
+        j
+        for j in range(degree)
+        if any(row[j] != first[j] for row in rows[1:])
+    ]
+
+
+def group_image(rows: Sequence[Sequence[Hashable]]) -> Row:
+    """The common anonymized vector of a group under minimal suppression.
+
+    Agreeing coordinates keep their value; disagreeing ones become
+    :data:`~repro.core.alphabet.STAR`.
+
+    >>> group_image([(1, 0, 1, 0), (1, 1, 1, 0)])
+    (1, *, 1, 0)
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("a group image needs at least one vector")
+    starred = set(disagreeing_coordinates(rows))
+    return tuple(
+        STAR if j in starred else value for j, value in enumerate(rows[0])
+    )
+
+
+def anon_cost(rows: Sequence[Sequence[Hashable]]) -> int:
+    """``ANON(S)``: cells that must be starred to make the group identical.
+
+    Equals ``|S|`` times the number of disagreeing coordinates — optimal,
+    because a disagreeing coordinate must be starred in every member and
+    an agreeing one need not be starred at all.
+    """
+    rows = list(rows)
+    return len(rows) * len(disagreeing_coordinates(rows))
+
+
+# ----------------------------------------------------------------------
+# Index-set variants (groups as sets of row indices into a table)
+# ----------------------------------------------------------------------
+
+
+def group_rows(table, indices: Iterable[int]) -> list[Row]:
+    """Materialize the rows of a group given by table-row indices."""
+    rows = table.rows
+    return [rows[i] for i in indices]
+
+
+def diameter_of(table, indices: Iterable[int]) -> int:
+    """``d(S)`` for a group of row indices of *table*."""
+    return diameter(group_rows(table, indices))
+
+
+def anon_cost_of(table, indices: Iterable[int]) -> int:
+    """``ANON(S)`` for a group of row indices of *table*."""
+    return anon_cost(group_rows(table, indices))
+
+
+def group_image_of(table, indices: Iterable[int]) -> Row:
+    """Anonymized common image for a group of row indices of *table*."""
+    return group_image(group_rows(table, indices))
+
+
+def pairwise_distance_matrix(table) -> list[list[int]]:
+    """The full ``n x n`` distance matrix of a table's rows.
+
+    Plain Python lists; for heavy numeric workloads prefer
+    :func:`fast_pairwise_distance_matrix`.
+    """
+    rows = table.rows
+    n = len(rows)
+    matrix = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = distance(rows[i], rows[j])
+            matrix[i][j] = d
+            matrix[j][i] = d
+    return matrix
+
+
+def fast_pairwise_distance_matrix(table) -> list[list[int]]:
+    """Like :func:`pairwise_distance_matrix`, vectorized via numpy when
+    the table is star-free (integer-encoding each attribute); falls back
+    to the pure-Python version otherwise.  Always returns plain lists
+    with identical values (property-tested)."""
+    for row in table.rows:
+        if any(cell is STAR for cell in row):
+            return pairwise_distance_matrix(table)
+    if table.n_rows == 0 or table.degree == 0:
+        return pairwise_distance_matrix(table)
+    import numpy as np
+
+    from repro.core.table import rows_as_int_array
+
+    encoded = rows_as_int_array(table)
+    n = encoded.shape[0]
+    matrix = np.empty((n, n), dtype=np.int64)
+    for i in range(n):
+        matrix[i] = (encoded != encoded[i]).sum(axis=1)
+    return matrix.tolist()
+
+
+def is_consistent_suppression(original: Sequence[Hashable],
+                              anonymized: Sequence[Hashable]) -> bool:
+    """True iff *anonymized* is *original* with some cells starred.
+
+    This is the per-vector condition ``t(v)[j] in {v[j], *}`` of
+    Definition 2.1.
+    """
+    if len(original) != len(anonymized):
+        return False
+    return all(b is STAR or a == b for a, b in zip(original, anonymized))

@@ -1,0 +1,68 @@
+"""Utility metrics for anonymized tables.
+
+The paper's objective is the raw number of suppressed cells; the wider
+k-anonymity literature evaluates released tables with several utility
+measures, which the benchmark harness reports alongside the paper's
+objective:
+
+* **suppression ratio** — fraction of cells starred.
+* **precision** (Sweeney 2002) — average retained specificity per cell;
+  under pure suppression a cell is either fully retained (1) or fully
+  suppressed (0).
+* **discernibility metric** (Bayardo & Agrawal 2005) — each record is
+  charged the size of its equivalence class.
+* **average class size** ratio (LeFevre et al. 2006) — ``n / (#classes *
+  k)``; 1.0 is ideal.
+"""
+
+from __future__ import annotations
+
+from repro.core.anonymity import equivalence_classes, suppressed_cell_count
+from repro.core.table import Table
+
+
+def suppression_ratio(anonymized: Table) -> float:
+    """Fraction of cells suppressed, in ``[0, 1]``."""
+    total = anonymized.total_cells()
+    if total == 0:
+        return 0.0
+    return suppressed_cell_count(anonymized) / total
+
+
+def precision(anonymized: Table) -> float:
+    """Sweeney's Prec metric specialized to suppression: the fraction of
+    cells *retained*.  ``precision == 1 - suppression_ratio``."""
+    return 1.0 - suppression_ratio(anonymized)
+
+
+def discernibility(anonymized: Table) -> int:
+    """Discernibility metric: sum over records of their class size.
+
+    Smaller is better; the minimum for an n-row k-anonymous table is
+    achieved by classes of size exactly k.
+    """
+    return sum(
+        len(indices) ** 2 for indices in equivalence_classes(anonymized).values()
+    )
+
+
+def average_class_size_ratio(anonymized: Table, k: int) -> float:
+    """``C_avg = n / (#classes * k)``; 1.0 means all classes are minimal."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    classes = equivalence_classes(anonymized)
+    if not classes:
+        return 0.0
+    return anonymized.n_rows / (len(classes) * k)
+
+
+def metric_report(anonymized: Table, k: int) -> dict[str, float | int]:
+    """All metrics in one dict — used by benchmarks and the CLI."""
+    return {
+        "stars": suppressed_cell_count(anonymized),
+        "suppression_ratio": suppression_ratio(anonymized),
+        "precision": precision(anonymized),
+        "discernibility": discernibility(anonymized),
+        "avg_class_size_ratio": average_class_size_ratio(anonymized, k),
+        "classes": len(equivalence_classes(anonymized)),
+    }

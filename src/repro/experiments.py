@@ -1,0 +1,233 @@
+"""Programmatic experiment runners.
+
+The pytest benchmark harness (``benchmarks/``) regenerates the paper's
+results under ``pytest-benchmark``; this module exposes the same
+experiments as plain functions returning data structures, so users can
+rerun them from notebooks or scripts (and the CLI's ``experiment``
+command).  Each runner is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms.base import Anonymizer
+from repro.core.metrics import metric_report
+from repro.core.table import Table
+
+
+def _random_table(seed: int, n: int, m: int, sigma: int) -> Table:
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, sigma, size=(n, m))
+    return Table([tuple(int(v) for v in row) for row in data])
+
+
+# ----------------------------------------------------------------------
+# Approximation-ratio experiments (E3 / E4)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RatioRow:
+    seed: int
+    opt: int
+    cost: int
+
+    @property
+    def ratio(self) -> float:
+        if self.opt == 0:
+            return 1.0 if self.cost == 0 else float("inf")
+        return self.cost / self.opt
+
+
+@dataclass(frozen=True)
+class RatioExperiment:
+    algorithm: str
+    k: int
+    m: int
+    bound: float
+    rows: tuple[RatioRow, ...] = field(default_factory=tuple)
+
+    @property
+    def max_ratio(self) -> float:
+        return max(row.ratio for row in self.rows)
+
+    @property
+    def mean_ratio(self) -> float:
+        return sum(row.ratio for row in self.rows) / len(self.rows)
+
+    @property
+    def within_bound(self) -> bool:
+        return self.max_ratio <= self.bound
+
+
+def ratio_experiment(
+    algorithm: Anonymizer,
+    k: int,
+    n: int = 9,
+    m: int = 4,
+    sigma: int = 3,
+    trials: int = 20,
+    base_seed: int = 0,
+) -> RatioExperiment:
+    """Measured approximation ratios vs exact optima on random tables.
+
+    Keep ``n <= ~12`` — every trial solves the instance exactly.
+    """
+    from repro.algorithms.exact import optimal_anonymization
+    from repro.theory import theorem_4_1_ratio, theorem_4_2_ratio
+
+    rows = []
+    for t in range(trials):
+        table = _random_table(base_seed + t, n, m, sigma)
+        opt, _ = optimal_anonymization(table, k)
+        cost = algorithm.anonymize(table, k).stars
+        rows.append(RatioRow(seed=base_seed + t, opt=opt, cost=cost))
+    if algorithm.name == "greedy_cover":
+        bound = theorem_4_1_ratio(k)
+    else:
+        bound = theorem_4_2_ratio(k, m)
+    return RatioExperiment(
+        algorithm=algorithm.name, k=k, m=m, bound=bound, rows=tuple(rows)
+    )
+
+
+# ----------------------------------------------------------------------
+# Hardness-threshold experiments (E1 / E2)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThresholdResult:
+    kind: str
+    n: int
+    m: int
+    threshold: int
+    optimum: int
+    has_matching: bool
+
+    @property
+    def hits_threshold(self) -> bool:
+        return self.optimum == self.threshold
+
+    @property
+    def consistent_with_theorem(self) -> bool:
+        """Theorem 3.1/3.2: threshold met exactly iff a matching exists."""
+        return self.hits_threshold == self.has_matching
+
+
+def threshold_experiment(
+    kind: str = "entries",
+    n_groups: int = 2,
+    extra_edges: int = 2,
+    with_matching: bool = True,
+    seed: int = 0,
+) -> ThresholdResult:
+    """Run one reduction instance end to end (exact solve included)."""
+    from repro.algorithms.exact import (
+        optimal_anonymization,
+        optimal_attribute_suppression,
+    )
+    from repro.hardness.matching import has_perfect_matching
+    from repro.workloads import (
+        attribute_reduction_instance,
+        entry_reduction_instance,
+    )
+
+    if kind == "entries":
+        red = entry_reduction_instance(
+            n_groups, k=3, extra_edges=extra_edges,
+            with_matching=with_matching, seed=seed,
+        )
+        optimum, _ = optimal_anonymization(red.table, 3)
+    elif kind == "attributes":
+        red = attribute_reduction_instance(
+            n_groups, k=3, extra_edges=extra_edges,
+            with_matching=with_matching, seed=seed,
+        )
+        optimum, _ = optimal_attribute_suppression(red.table, 3)
+    else:
+        raise ValueError(f"unknown reduction kind {kind!r}")
+    return ThresholdResult(
+        kind=kind,
+        n=red.table.n_rows,
+        m=red.table.degree,
+        threshold=red.threshold,
+        optimum=optimum,
+        has_matching=has_perfect_matching(red.graph),
+    )
+
+
+# ----------------------------------------------------------------------
+# k sweep (E10) and algorithm comparison (E8)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    k: int
+    stars: int
+    precision: float
+    classes: int
+
+
+def k_sweep(
+    table: Table,
+    ks: tuple[int, ...] = (2, 3, 4, 5, 6, 8),
+    algorithm: Anonymizer | None = None,
+) -> list[SweepPoint]:
+    """Cost/utility across k — the E10 series on any table."""
+    from repro.algorithms.center_cover import CenterCoverAnonymizer
+
+    algorithm = algorithm if algorithm is not None else CenterCoverAnonymizer()
+    points = []
+    for k in ks:
+        result = algorithm.anonymize(table, k)
+        report = metric_report(result.anonymized, k)
+        points.append(
+            SweepPoint(
+                k=k,
+                stars=int(report["stars"]),
+                precision=float(report["precision"]),
+                classes=int(report["classes"]),
+            )
+        )
+    return points
+
+
+def comparison(
+    table: Table,
+    k: int,
+    algorithms: dict[str, Callable[[], Anonymizer]] | None = None,
+) -> dict[str, int]:
+    """Suppressed-cell counts per algorithm — one row of the E8 table."""
+    if algorithms is None:
+        from repro.algorithms import (
+            CenterCoverAnonymizer,
+            DataflyAnonymizer,
+            KMemberAnonymizer,
+            MondrianAnonymizer,
+            MSTForestAnonymizer,
+            RandomPartitionAnonymizer,
+            SortedChunkAnonymizer,
+        )
+
+        algorithms = {
+            "center_cover": CenterCoverAnonymizer,
+            "mondrian": MondrianAnonymizer,
+            "kmember": KMemberAnonymizer,
+            "mst_forest": MSTForestAnonymizer,
+            "datafly": DataflyAnonymizer,
+            "sorted_chunk": SortedChunkAnonymizer,
+            "random": lambda: RandomPartitionAnonymizer(seed=0),
+        }
+    costs = {}
+    for name, factory in algorithms.items():
+        result = factory().anonymize(table, k)
+        if not result.is_valid(table):
+            raise AssertionError(f"{name} produced an invalid release")
+        costs[name] = result.stars
+    return costs

@@ -1,0 +1,36 @@
+"""Generalization extension.
+
+The paper's introduction anonymizes the hospital example with *admissible
+generalizations* ("the specification of 20-40, R*, etc. ... must be given
+prior to the input") but the formal body restricts to suppression.  This
+package supplies the generalization machinery as the documented
+extension: value generalization hierarchies, numeric interval
+hierarchies, full-domain generalization lattices, and Samarati's
+binary-search algorithm over them.
+"""
+
+from repro.generalization.cell_recoding import recode_partition, recoding_loss
+from repro.generalization.hierarchy import Hierarchy
+from repro.generalization.incognito import best_incognito_node, incognito
+from repro.generalization.interval import interval_hierarchy
+from repro.generalization.lattice import GeneralizationLattice
+from repro.generalization.recoding import (
+    generalization_precision,
+    generalize_table,
+    group_lca_levels,
+)
+from repro.generalization.samarati import samarati
+
+__all__ = [
+    "GeneralizationLattice",
+    "Hierarchy",
+    "best_incognito_node",
+    "generalization_precision",
+    "generalize_table",
+    "group_lca_levels",
+    "incognito",
+    "interval_hierarchy",
+    "recode_partition",
+    "recoding_loss",
+    "samarati",
+]

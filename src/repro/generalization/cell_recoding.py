@@ -1,0 +1,83 @@
+"""Cell-level (local) generalization along a partition — the bridge
+between the paper's suppression model and the intro's generalization.
+
+The paper's Step 3 stars every coordinate a group disagrees on; with a
+value generalization hierarchy per attribute we can do strictly better:
+replace the disagreeing coordinate with the group's **least common
+ancestor** instead of ``*``.  The released group is still textually
+identical (k-anonymity holds verbatim) but retains partial information
+("20-40" instead of ``*``).
+
+Information loss is measured with per-cell precision loss
+``level / height`` (Sweeney's Prec, cell-level), which reduces to the
+star count when every hierarchy is the 1-level suppression hierarchy —
+so this strictly generalizes the paper's objective.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.partition import Cover
+from repro.core.table import Table
+from repro.generalization.hierarchy import Hierarchy
+
+
+def recode_partition(
+    table: Table,
+    partition: Cover,
+    hierarchies: Sequence[Hierarchy],
+) -> Table:
+    """Generalize each group to its per-attribute LCA labels.
+
+    :raises ValueError: if *partition* overlaps or hierarchy arity is
+        wrong.
+
+    >>> from repro.core.partition import Partition
+    >>> t = Table([(34,), (47,)])
+    >>> from repro.generalization.interval import interval_hierarchy
+    >>> h = interval_hierarchy(0, 80, base_width=40)
+    >>> p = Partition([{0, 1}], n_rows=2, k=2)
+    >>> recode_partition(t, p, [h]).rows
+    (('0-79',), ('0-79',))
+    """
+    if len(hierarchies) != table.degree:
+        raise ValueError("need one hierarchy per attribute")
+    if not partition.is_partition():
+        raise ValueError("cannot recode an overlapping cover; Reduce first")
+    new_rows: list[tuple] = [None] * table.n_rows  # type: ignore[list-item]
+    for group in partition.groups:
+        members = sorted(group)
+        labels = []
+        for j, hierarchy in enumerate(hierarchies):
+            values = [table.rows[i][j] for i in members]
+            level = hierarchy.lca_level(values)
+            labels.append(hierarchy.generalize(values[0], level))
+        image = tuple(labels)
+        for i in members:
+            new_rows[i] = image
+    return table.with_rows(new_rows)
+
+
+def recoding_loss(
+    table: Table,
+    partition: Cover,
+    hierarchies: Sequence[Hierarchy],
+) -> float:
+    """Total precision loss ``sum over cells of level/height``.
+
+    With suppression hierarchies (height 1) this equals the paper's
+    star count exactly — tested in ``tests/test_cell_recoding.py``.
+    """
+    if len(hierarchies) != table.degree:
+        raise ValueError("need one hierarchy per attribute")
+    if not partition.is_partition():
+        raise ValueError("cannot recode an overlapping cover; Reduce first")
+    loss = 0.0
+    for group in partition.groups:
+        members = sorted(group)
+        for j, hierarchy in enumerate(hierarchies):
+            values = [table.rows[i][j] for i in members]
+            level = hierarchy.lca_level(values)
+            loss += len(members) * (level / hierarchy.height)
+    return loss

@@ -1,0 +1,178 @@
+"""Value generalization hierarchies (VGHs).
+
+A hierarchy is a rooted tree whose leaves are the attribute's base
+values; inner nodes are admissible generalizations ("R*", "20-40", ...)
+and the root is conventionally the fully suppressed value.  Levels count
+upward from the leaves: level 0 is the original value, level ``height``
+is the root.
+
+For full-domain recoding all leaves must sit at the same depth; the
+constructor enforces this.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+
+class Hierarchy:
+    """A uniform-depth taxonomy tree for one attribute.
+
+    Build from a nested mapping (inner nodes) whose bottom values are
+    iterables of leaves:
+
+    >>> race = Hierarchy.from_nested({"*": {"person": ["Afr-Am", "Cauc", "Hisp"]}})
+    >>> race.height
+    2
+    >>> race.generalize("Cauc", 1)
+    'person'
+    >>> race.lca_level(["Afr-Am", "Hisp"])
+    1
+    """
+
+    __slots__ = ("_parent", "_label_level", "_leaves", "_root", "_height")
+
+    def __init__(self, parent: Mapping[Hashable, Hashable], root: Hashable):
+        """Low-level constructor from a child -> parent map.
+
+        Prefer :meth:`from_nested` or :meth:`suppression`.
+        """
+        self._parent = dict(parent)
+        self._root = root
+        children = set(self._parent)
+        parents = set(self._parent.values())
+        if root in children:
+            raise ValueError("root cannot have a parent")
+        for node in parents - children - {root}:
+            raise ValueError(f"node {node!r} has children but no parent chain")
+        self._leaves = tuple(sorted(children - parents, key=repr))
+        if not self._leaves:
+            raise ValueError("hierarchy has no leaves")
+        depths = {leaf: self._depth(leaf) for leaf in self._leaves}
+        unique_depths = set(depths.values())
+        if len(unique_depths) != 1:
+            raise ValueError(f"leaves at mixed depths: {sorted(unique_depths)}")
+        self._height = unique_depths.pop()
+        # level of every label = height - depth
+        self._label_level: dict[Hashable, int] = {}
+        for leaf in self._leaves:
+            node, depth = leaf, 0
+            while True:
+                self._label_level[node] = depth
+                if node == root:
+                    break
+                node = self._parent[node]
+                depth += 1
+
+    def _depth(self, node: Hashable) -> int:
+        depth = 0
+        seen = set()
+        while node != self._root:
+            if node in seen:
+                raise ValueError("cycle in parent map")
+            seen.add(node)
+            if node not in self._parent:
+                raise ValueError(f"node {node!r} is disconnected from the root")
+            node = self._parent[node]
+            depth += 1
+        return depth
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_nested(cls, nested: Mapping) -> "Hierarchy":
+        """Build from a single-rooted nested mapping.
+
+        Inner nodes are mapping keys; an inner node's value is either
+        another mapping (more inner nodes) or an iterable of leaves.
+        """
+        if len(nested) != 1:
+            raise ValueError("nested form must have exactly one root")
+        parent: dict[Hashable, Hashable] = {}
+
+        def walk(node: Hashable, subtree) -> None:
+            if isinstance(subtree, Mapping):
+                for child, below in subtree.items():
+                    parent[child] = node
+                    walk(child, below)
+            else:
+                for leaf in subtree:
+                    parent[leaf] = node
+
+        (root, below), = nested.items()
+        walk(root, below)
+        return cls(parent, root)
+
+    @classmethod
+    def suppression(cls, values: Iterable[Hashable], root: Hashable = "*"
+                    ) -> "Hierarchy":
+        """The one-level hierarchy: every value generalizes straight to
+        the root.  Generalizing with it is exactly suppression."""
+        return cls({value: root for value in values}, root)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Hashable:
+        return self._root
+
+    @property
+    def height(self) -> int:
+        """Number of generalization steps from a leaf to the root."""
+        return self._height
+
+    @property
+    def leaves(self) -> tuple[Hashable, ...]:
+        return self._leaves
+
+    def level_of(self, label: Hashable) -> int:
+        """The level (0 = leaf) of any node label in the tree."""
+        try:
+            return self._label_level[label]
+        except KeyError:
+            raise KeyError(f"{label!r} is not in this hierarchy") from None
+
+    def generalize(self, value: Hashable, level: int) -> Hashable:
+        """The ancestor of *value* at the given level.
+
+        *value* may be any node; generalizing below its own level is an
+        error, generalizing to its own level is the identity.
+        """
+        current = self.level_of(value)
+        if not current <= level <= self._height:
+            raise ValueError(
+                f"cannot generalize level-{current} value {value!r} to "
+                f"level {level} (height {self._height})"
+            )
+        node = value
+        for _ in range(level - current):
+            node = self._parent[node]
+        return node
+
+    def lca_level(self, values: Iterable[Hashable]) -> int:
+        """The smallest level at which all *values* share an ancestor."""
+        values = list(values)
+        if not values:
+            raise ValueError("need at least one value")
+        level = max(self.level_of(v) for v in values)
+        while level <= self._height:
+            ancestors = {self.generalize(v, level) for v in values}
+            if len(ancestors) == 1:
+                return level
+            level += 1
+        raise AssertionError("the root is a common ancestor of everything")
+
+    def __contains__(self, label: object) -> bool:
+        try:
+            return label in self._label_level
+        except TypeError:
+            return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Hierarchy(leaves={len(self._leaves)}, height={self._height})"
+        )

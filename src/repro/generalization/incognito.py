@@ -1,0 +1,111 @@
+"""Incognito-style full-domain generalization search (LeFevre et al. 2005).
+
+Samarati's binary search returns *one* minimal-height node; Incognito
+enumerates **all minimal satisfying nodes** of the generalization
+lattice — the Pareto frontier a data publisher actually chooses from —
+using the two monotonicity properties:
+
+* *generalization*: if a node satisfies k-anonymity, every ancestor
+  (component-wise >=) does too, so satisfying non-minimal nodes need no
+  check;
+* *subset (a priori)*: if a node fails on a subset of the attributes it
+  fails on all of them, pruning whole branches early (we exploit the
+  single-lattice consequence: a node can only satisfy if all its
+  predecessors' failures don't already imply failure... concretely we
+  run a bottom-up BFS, never re-testing above a known-satisfying node).
+
+Bottom-up BFS from the bottom node; a node is tested only if none of
+its predecessors satisfied.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.core.table import Table
+from repro.generalization.hierarchy import Hierarchy
+from repro.generalization.lattice import GeneralizationLattice, Node
+from repro.generalization.recoding import generalization_precision
+
+
+def incognito(
+    table: Table,
+    hierarchies: Sequence[Hierarchy],
+    k: int,
+    max_suppressed_rows: int = 0,
+) -> list[Node]:
+    """All minimal satisfying nodes of the generalization lattice.
+
+    A node is *minimal satisfying* if it k-anonymizes the table (with
+    the given row-suppression allowance) and no strict component-wise
+    predecessor does.
+
+    :returns: the minimal nodes, sorted by (height, precision-desc,
+        lexicographic); empty never happens — the top node always
+        satisfies for feasible inputs.
+    :raises ValueError: if even the top node fails.
+    """
+    lattice = GeneralizationLattice(hierarchies)
+    if not lattice.satisfies(table, lattice.top, k, max_suppressed_rows):
+        raise ValueError(
+            f"even full generalization cannot {k}-anonymize "
+            f"{table.n_rows} rows with {max_suppressed_rows} suppressions"
+        )
+
+    satisfied: dict[Node, bool] = {}
+
+    def check(node: Node) -> bool:
+        cached = satisfied.get(node)
+        if cached is None:
+            cached = lattice.satisfies(table, node, k, max_suppressed_rows)
+            satisfied[node] = cached
+        return cached
+
+    minimal: list[Node] = []
+    seen: set[Node] = set()
+    queue: deque[Node] = deque([lattice.bottom])
+    seen.add(lattice.bottom)
+    # BFS by height: nodes are enqueued in non-decreasing height order,
+    # so every already-found minimal node has height <= the current
+    # node's, and the domination filter below is complete.
+    while queue:
+        node = queue.popleft()
+        if check(node):
+            if not any(
+                all(p <= q for p, q in zip(mini, node)) for mini in minimal
+            ):
+                minimal.append(node)
+            continue  # ancestors satisfy by monotonicity: prune upward
+        for successor in lattice.successors(node):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+
+    def sort_key(node: Node):
+        prec = generalization_precision(table, hierarchies, list(node))
+        return (sum(node), -prec, node)
+
+    minimal.sort(key=sort_key)
+    assert minimal, "the top node satisfies, so some minimal node exists"
+    return minimal
+
+
+def best_incognito_node(
+    table: Table,
+    hierarchies: Sequence[Hierarchy],
+    k: int,
+    max_suppressed_rows: int = 0,
+) -> Node:
+    """The minimal satisfying node with the best precision (ties by
+    height then lexicographic) — a drop-in alternative to
+    :func:`repro.generalization.samarati.samarati`."""
+    candidates = incognito(table, hierarchies, k, max_suppressed_rows)
+    return min(
+        candidates,
+        key=lambda node: (
+            -generalization_precision(table, hierarchies, list(node)),
+            sum(node),
+            node,
+        ),
+    )

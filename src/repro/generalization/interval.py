@@ -1,0 +1,64 @@
+"""Numeric interval hierarchies ("age 34" -> "30-39" -> "0-79" -> "*")."""
+
+from __future__ import annotations
+
+from repro.generalization.hierarchy import Hierarchy
+
+
+def interval_hierarchy(
+    low: int,
+    high: int,
+    base_width: int,
+    branching: int = 2,
+    root: str = "*",
+) -> Hierarchy:
+    """A uniform interval hierarchy over the integers ``[low, high)``.
+
+    Level 1 groups values into buckets of *base_width*; each further
+    level merges *branching* adjacent buckets, until a single bucket
+    remains, which generalizes to the root.  When the range does not
+    divide evenly, a merged bucket can span the same values as its only
+    child; such labels are disambiguated with a ``+`` suffix so every
+    level keeps distinct node identities (uniform depth).
+
+    >>> h = interval_hierarchy(0, 8, base_width=2, branching=2)
+    >>> h.generalize(5, 1)
+    '4-5'
+    >>> h.generalize(5, 2)
+    '4-7'
+    >>> h.height
+    4
+    """
+    if high <= low:
+        raise ValueError("need low < high")
+    if base_width < 1 or branching < 2:
+        raise ValueError("need base_width >= 1 and branching >= 2")
+    parent: dict = {}
+    used: set[str] = set()
+
+    def fresh_label(start: int, width: int) -> str:
+        end = min(start + width, high) - 1
+        label = f"{start}-{end}"
+        while label in used:
+            label += "+"
+        used.add(label)
+        return label
+
+    width = base_width
+    starts = list(range(low, high, width))
+    labels = [fresh_label(start, width) for start in starts]
+    for start, label in zip(starts, labels):
+        for value in range(start, min(start + width, high)):
+            parent[value] = label
+
+    while len(labels) > 1:
+        next_width = width * branching
+        next_starts = list(range(low, high, next_width))
+        next_labels = [fresh_label(start, next_width) for start in next_starts]
+        for start, label in zip(starts, labels):
+            slot = (start - low) // next_width
+            parent[label] = next_labels[slot]
+        starts, labels, width = next_starts, next_labels, next_width
+
+    parent[labels[0]] = root
+    return Hierarchy(parent, root)

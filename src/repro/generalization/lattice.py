@@ -1,0 +1,101 @@
+"""Full-domain generalization lattices.
+
+A lattice node is a tuple of per-attribute levels; node ``a`` precedes
+``b`` when ``a <= b`` component-wise.  k-anonymity is *monotone* on the
+lattice (raising a level merges classes), which is what makes Samarati's
+binary search sound.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from itertools import product
+
+from repro.core.table import Table
+from repro.generalization.hierarchy import Hierarchy
+from repro.generalization.recoding import generalize_table
+
+Node = tuple[int, ...]
+
+
+class GeneralizationLattice:
+    """The lattice of full-domain generalization level vectors.
+
+    >>> h = Hierarchy.suppression(["a", "b"])
+    >>> lattice = GeneralizationLattice([h, h])
+    >>> sorted(lattice.nodes_at_height(1))
+    [(0, 1), (1, 0)]
+    """
+
+    def __init__(self, hierarchies: Sequence[Hierarchy]):
+        if not hierarchies:
+            raise ValueError("need at least one hierarchy")
+        self._hierarchies = tuple(hierarchies)
+        self._heights = tuple(h.height for h in hierarchies)
+
+    @property
+    def hierarchies(self) -> tuple[Hierarchy, ...]:
+        return self._hierarchies
+
+    @property
+    def bottom(self) -> Node:
+        return (0,) * len(self._hierarchies)
+
+    @property
+    def top(self) -> Node:
+        return self._heights
+
+    @property
+    def max_height(self) -> int:
+        """Height of the top node: the sum of hierarchy heights."""
+        return sum(self._heights)
+
+    def height(self, node: Node) -> int:
+        """A node's height = its level sum (Samarati's search coordinate)."""
+        self._check(node)
+        return sum(node)
+
+    def _check(self, node: Node) -> None:
+        if len(node) != len(self._hierarchies):
+            raise ValueError("node arity mismatch")
+        for level, height in zip(node, self._heights):
+            if not 0 <= level <= height:
+                raise ValueError(f"level {level} outside [0, {height}]")
+
+    # ------------------------------------------------------------------
+
+    def nodes_at_height(self, target: int):
+        """All nodes with level sum *target* (generator)."""
+        if not 0 <= target <= self.max_height:
+            return
+        for node in product(*(range(h + 1) for h in self._heights)):
+            if sum(node) == target:
+                yield node
+
+    def successors(self, node: Node):
+        """Nodes one level above in a single attribute."""
+        self._check(node)
+        for j, height in enumerate(self._heights):
+            if node[j] < height:
+                yield node[:j] + (node[j] + 1,) + node[j + 1:]
+
+    # ------------------------------------------------------------------
+
+    def satisfies(
+        self,
+        table: Table,
+        node: Node,
+        k: int,
+        max_suppressed_rows: int = 0,
+    ) -> bool:
+        """Does recoding at *node* make the table k-anonymous, allowing
+        up to *max_suppressed_rows* outlier records to be dropped
+        (Samarati's MaxSup)?"""
+        self._check(node)
+        if k < 1:
+            raise ValueError("k must be positive")
+        recoded = generalize_table(table, self._hierarchies, list(node))
+        counts = Counter(recoded.rows)
+        violating = sum(c for c in counts.values() if c < k)
+        return violating <= max_suppressed_rows

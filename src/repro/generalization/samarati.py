@@ -1,0 +1,62 @@
+"""Samarati's binary-search algorithm over the generalization lattice.
+
+Samarati & Sweeney's original full-domain approach: k-anonymizability is
+monotone in the lattice order, so *some* node at height ``h`` satisfies
+k-anonymity implies some node at every height ``h' >= h`` does (raise any
+coordinate of a satisfying node).  Binary search on the height therefore
+finds the minimum satisfying height; among that height's satisfying
+nodes we return the one with the best precision.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.table import Table
+from repro.generalization.hierarchy import Hierarchy
+from repro.generalization.lattice import GeneralizationLattice, Node
+from repro.generalization.recoding import generalization_precision
+
+
+def samarati(
+    table: Table,
+    hierarchies: Sequence[Hierarchy],
+    k: int,
+    max_suppressed_rows: int = 0,
+) -> tuple[Node, int]:
+    """Minimum-height satisfying node of the generalization lattice.
+
+    :returns: ``(node, height)`` where *node* is a satisfying level
+        vector of minimal height (ties broken by best precision, then
+        lexicographically).
+    :raises ValueError: if even the top node fails (possible only when
+        ``n < k`` beyond the suppression allowance).
+    """
+    lattice = GeneralizationLattice(hierarchies)
+
+    def any_satisfying(height: int) -> Node | None:
+        best: tuple[float, Node] | None = None
+        for node in lattice.nodes_at_height(height):
+            if lattice.satisfies(table, node, k, max_suppressed_rows):
+                prec = generalization_precision(table, hierarchies, list(node))
+                key = (-prec, node)
+                if best is None or key < best:
+                    best = key
+        return None if best is None else best[1]
+
+    low, high = 0, lattice.max_height
+    if any_satisfying(high) is None:
+        raise ValueError(
+            f"even full generalization cannot {k}-anonymize "
+            f"{table.n_rows} rows with {max_suppressed_rows} suppressions"
+        )
+    # Invariant: some node at `high` satisfies; no node below `low` does.
+    while low < high:
+        mid = (low + high) // 2
+        if any_satisfying(mid) is not None:
+            high = mid
+        else:
+            low = mid + 1
+    node = any_satisfying(low)
+    assert node is not None
+    return node, low

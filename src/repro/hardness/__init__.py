@@ -1,0 +1,49 @@
+"""Hardness substrate: hypergraphs, perfect matching, and the Section 3
+reductions from k-dimensional perfect matching to k-anonymity problems.
+"""
+
+from repro.hardness.generators import (
+    matchless_hypergraph,
+    planted_matching_hypergraph,
+    random_hypergraph,
+)
+from repro.hardness.hypergraph import Hypergraph
+from repro.hardness.matching import (
+    find_perfect_matching,
+    greedy_matching,
+    has_perfect_matching,
+    is_perfect_matching,
+)
+from repro.hardness.reductions import (
+    AttributeSuppressionReduction,
+    EntrySuppressionReduction,
+)
+from repro.hardness.sat import (
+    Cnf,
+    is_satisfiable,
+    planted_satisfiable_cnf,
+    random_three_cnf,
+    solve_sat,
+    unsatisfiable_cnf,
+)
+from repro.hardness.sat_reduction import ThreeSatToMatchingReduction
+
+__all__ = [
+    "AttributeSuppressionReduction",
+    "Cnf",
+    "EntrySuppressionReduction",
+    "Hypergraph",
+    "ThreeSatToMatchingReduction",
+    "is_satisfiable",
+    "planted_satisfiable_cnf",
+    "random_three_cnf",
+    "solve_sat",
+    "unsatisfiable_cnf",
+    "find_perfect_matching",
+    "greedy_matching",
+    "has_perfect_matching",
+    "is_perfect_matching",
+    "matchless_hypergraph",
+    "planted_matching_hypergraph",
+    "random_hypergraph",
+]

@@ -1,0 +1,134 @@
+"""Hypergraph instance generators with known matching status.
+
+The reductions map *from* an NP-hard problem, so experiment ground truth
+comes from construction: planted instances contain a perfect matching by
+design; matchless instances carry a simple combinatorial obstruction
+(every edge shares a common vertex, so no two edges are disjoint and any
+matching has at most one edge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardness.hypergraph import Hypergraph
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def planted_matching_hypergraph(
+    n_groups: int,
+    k: int,
+    extra_edges: int = 0,
+    seed: int | np.random.Generator = 0,
+) -> tuple[Hypergraph, list[int]]:
+    """A simple k-uniform hypergraph with a planted perfect matching.
+
+    ``n_groups * k`` vertices are randomly permuted and cut into
+    ``n_groups`` disjoint planted edges; *extra_edges* additional random
+    distinct edges are mixed in, and the edge order is shuffled.
+
+    :returns: ``(hypergraph, planted_edge_indices)``.
+
+    >>> h, planted = planted_matching_hypergraph(2, 3, extra_edges=2, seed=1)
+    >>> h.n_vertices, h.n_edges, len(planted)
+    (6, 4, 2)
+    """
+    if n_groups < 1 or k < 2:
+        raise ValueError("need at least one group and k >= 2")
+    rng = _rng(seed)
+    n = n_groups * k
+    order = rng.permutation(n)
+    planted = [frozenset(int(v) for v in order[g * k:(g + 1) * k])
+               for g in range(n_groups)]
+    edges: set[frozenset[int]] = set(planted)
+    attempts = 0
+    while len(edges) < n_groups + extra_edges:
+        attempts += 1
+        if attempts > 1000 * (extra_edges + 1):
+            raise ValueError(
+                f"cannot place {extra_edges} distinct extra edges on "
+                f"{n} vertices"
+            )
+        candidate = frozenset(int(v) for v in rng.choice(n, size=k, replace=False))
+        edges.add(candidate)
+    shuffled = list(edges)
+    perm = rng.permutation(len(shuffled))
+    ordered = [shuffled[int(p)] for p in perm]
+    graph = Hypergraph(n, ordered)
+    planted_set = set(planted)
+    planted_indices = [j for j, e in enumerate(ordered) if e in planted_set]
+    return graph, planted_indices
+
+
+def random_hypergraph(
+    n_vertices: int,
+    n_edges: int,
+    k: int,
+    seed: int | np.random.Generator = 0,
+) -> Hypergraph:
+    """A simple k-uniform hypergraph with distinct uniformly random edges.
+
+    May or may not have a perfect matching — pair with
+    :func:`repro.hardness.matching.find_perfect_matching` for ground truth.
+    """
+    if k > n_vertices:
+        raise ValueError("edges cannot exceed the vertex count")
+    rng = _rng(seed)
+    edges: set[frozenset[int]] = set()
+    attempts = 0
+    while len(edges) < n_edges:
+        attempts += 1
+        if attempts > 1000 * (n_edges + 1):
+            raise ValueError(
+                f"cannot place {n_edges} distinct edges of size {k} on "
+                f"{n_vertices} vertices"
+            )
+        edges.add(
+            frozenset(int(v) for v in rng.choice(n_vertices, size=k, replace=False))
+        )
+    ordered = sorted(edges, key=sorted)
+    return Hypergraph(n_vertices, ordered)
+
+
+def matchless_hypergraph(
+    n_groups: int,
+    k: int,
+    n_edges: int,
+    seed: int | np.random.Generator = 0,
+) -> Hypergraph:
+    """A k-uniform hypergraph with **no** perfect matching, by design.
+
+    Every edge contains vertex 0, so edges pairwise intersect and any
+    matching has at most one edge; a perfect matching needs
+    ``n_groups >= 2`` of them.  Every vertex is covered by some edge, so
+    the obstruction is genuinely combinatorial, not a dangling vertex.
+
+    :raises ValueError: if ``n_groups < 2`` (one edge could be perfect).
+    """
+    if n_groups < 2:
+        raise ValueError("need n_groups >= 2 for the obstruction to bite")
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    rng = _rng(seed)
+    n = n_groups * k
+    others = list(range(1, n))
+    edges: set[frozenset[int]] = set()
+    # First cover all non-zero vertices deterministically...
+    for start in range(0, len(others), k - 1):
+        block = others[start:start + k - 1]
+        while len(block) < k - 1:
+            block.append(others[(start + len(block)) % len(others)])
+        edges.add(frozenset([0, *block]))
+    # ...then pad with random vertex-0 edges.
+    attempts = 0
+    while len(edges) < n_edges:
+        attempts += 1
+        if attempts > 1000 * (n_edges + 1):
+            break
+        rest = rng.choice(others, size=k - 1, replace=False)
+        edges.add(frozenset([0, *(int(v) for v in rest)]))
+    ordered = sorted(edges, key=sorted)
+    return Hypergraph(n, ordered)

@@ -1,0 +1,103 @@
+"""k-uniform hypergraphs for the Section 3 reductions.
+
+Vertices are ``0 .. n_vertices - 1``; edges are frozensets of vertices.
+The reductions require *simple* hypergraphs ("no repeated edges in its
+description"), which :meth:`Hypergraph.is_simple` checks and the
+constructor can enforce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class Hypergraph:
+    """A hypergraph H = (U, E) with indexed edges.
+
+    :param n_vertices: ``|U|``; vertices are the integers ``0..n-1``.
+    :param edges: iterable of vertex collections; order is preserved
+        (edge ``j`` maps to attribute ``j`` in the reductions).
+    :param require_simple: reject duplicate edges at construction.
+
+    >>> h = Hypergraph(6, [{0, 1, 2}, {3, 4, 5}, {0, 3, 4}])
+    >>> h.is_uniform(3), h.is_simple()
+    (True, True)
+    """
+
+    __slots__ = ("_n", "_edges", "_incidence")
+
+    def __init__(
+        self,
+        n_vertices: int,
+        edges: Iterable[Iterable[int]],
+        require_simple: bool = True,
+    ):
+        if n_vertices < 0:
+            raise ValueError("vertex count must be non-negative")
+        self._n = n_vertices
+        self._edges: tuple[frozenset[int], ...] = tuple(
+            frozenset(edge) for edge in edges
+        )
+        for j, edge in enumerate(self._edges):
+            if not edge:
+                raise ValueError(f"edge {j} is empty")
+            if not all(0 <= u < n_vertices for u in edge):
+                raise ValueError(f"edge {j} has out-of-range vertices")
+        if require_simple and not self.is_simple():
+            raise ValueError("hypergraph has repeated edges")
+        incidence: list[list[int]] = [[] for _ in range(n_vertices)]
+        for j, edge in enumerate(self._edges):
+            for u in edge:
+                incidence[u].append(j)
+        self._incidence = tuple(tuple(js) for js in incidence)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def edges(self) -> tuple[frozenset[int], ...]:
+        return self._edges
+
+    def edge(self, j: int) -> frozenset[int]:
+        return self._edges[j]
+
+    def incident_edges(self, vertex: int) -> tuple[int, ...]:
+        """Indices of the edges containing *vertex*."""
+        return self._incidence[vertex]
+
+    def degree(self, vertex: int) -> int:
+        return len(self._incidence[vertex])
+
+    # ------------------------------------------------------------------
+
+    def is_uniform(self, k: int) -> bool:
+        """True iff every edge has exactly *k* vertices."""
+        return all(len(edge) == k for edge in self._edges)
+
+    def is_simple(self) -> bool:
+        """True iff no edge is repeated."""
+        return len(set(self._edges)) == len(self._edges)
+
+    def isolated_vertices(self) -> list[int]:
+        """Vertices contained in no edge (they doom any perfect matching)."""
+        return [u for u in range(self._n) if not self._incidence[u]]
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(n_vertices={self._n}, n_edges={len(self._edges)})"

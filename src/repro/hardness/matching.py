@@ -1,0 +1,92 @@
+"""Perfect matchings in k-uniform hypergraphs.
+
+k-DIMENSIONAL PERFECT MATCHING is the NP-hard source problem of both
+Section 3 reductions, so experiments need ground truth: an exact solver
+for small instances (backtracking over the lowest uncovered vertex, with
+memoization on the covered-set bitmask) plus a fast greedy heuristic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.hardness.hypergraph import Hypergraph
+
+
+def is_perfect_matching(graph: Hypergraph, edge_indices: Iterable[int]) -> bool:
+    """True iff the indexed edges cover every vertex exactly once."""
+    covered: set[int] = set()
+    total = 0
+    for j in edge_indices:
+        edge = graph.edge(j)
+        total += len(edge)
+        covered |= edge
+    return total == graph.n_vertices and covered == set(range(graph.n_vertices))
+
+
+def find_perfect_matching(graph: Hypergraph) -> list[int] | None:
+    """An exact perfect matching, or None if none exists.
+
+    Backtracking on the lowest uncovered vertex; states (covered-vertex
+    bitmasks) that failed once are memoized so they are never re-explored.
+    Worst-case exponential (the problem is NP-hard for k >= 3) but fast on
+    the reduction-scale instances the benchmarks use (n <= ~30).
+
+    >>> h = Hypergraph(6, [{0, 1, 2}, {1, 2, 3}, {3, 4, 5}])
+    >>> find_perfect_matching(h)
+    [0, 2]
+    """
+    n = graph.n_vertices
+    if n == 0:
+        return []
+    if graph.isolated_vertices():
+        return None
+    edge_masks = [
+        sum(1 << u for u in edge) for edge in graph.edges
+    ]
+    full = (1 << n) - 1
+    dead_states: set[int] = set()
+    chosen: list[int] = []
+
+    def backtrack(covered: int) -> bool:
+        if covered == full:
+            return True
+        if covered in dead_states:
+            return False
+        lowest = 0
+        while covered >> lowest & 1:
+            lowest += 1
+        for j in graph.incident_edges(lowest):
+            mask = edge_masks[j]
+            if covered & mask:
+                continue
+            chosen.append(j)
+            if backtrack(covered | mask):
+                return True
+            chosen.pop()
+        dead_states.add(covered)
+        return False
+
+    if backtrack(0):
+        return chosen
+    return None
+
+
+def has_perfect_matching(graph: Hypergraph) -> bool:
+    """Decision version of :func:`find_perfect_matching`."""
+    return find_perfect_matching(graph) is not None
+
+
+def greedy_matching(graph: Hypergraph) -> list[int]:
+    """A maximal (not necessarily maximum) matching, greedily by index.
+
+    Used as the cheap heuristic lower-bound in benchmark diagnostics; a
+    greedy matching that happens to be perfect certifies the instance.
+    """
+    covered: set[int] = set()
+    chosen: list[int] = []
+    for j, edge in enumerate(graph.edges):
+        if not (edge & covered):
+            chosen.append(j)
+            covered |= edge
+    return chosen

@@ -1,0 +1,199 @@
+"""The Section 3 reductions, as executable, certificate-carrying objects.
+
+Both reductions map a simple k-uniform hypergraph ``H = (U, E)`` with
+``n = |U|`` vertices and ``m = |E|`` edges to a k-anonymity instance whose
+optimal value hits a sharp threshold exactly when ``H`` has a perfect
+matching:
+
+* **Theorem 3.1** (entry suppression): build ``v_i[j] = 0`` if
+  ``u_i ∈ e_j`` and a row-unique non-zero value otherwise (we use
+  ``i + 1``; the paper's alphabet is ``{0, 1, ..., n}``).  Rows can then
+  agree only on 0-cells, i.e. only via shared edges, and ``H`` has a
+  perfect matching **iff** the table can be k-anonymized with at most
+  ``n (m - 1)`` stars (each row keeps exactly the coordinate of its
+  matching edge).
+
+* **Theorem 3.2** (attribute suppression): ``v_i[j] = b1`` if
+  ``u_i ∈ e_j`` else ``b0`` over a binary alphabet; suppressing an
+  attribute is removing a hyperedge, and ``H`` has a perfect matching
+  **iff** exactly ``m - n/k`` attributes suffice.
+
+Each reduction carries *certificate extraction* in both directions, so
+tests and benchmarks can round-trip: matching → cheap anonymization →
+matching.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.alphabet import STAR
+from repro.core.suppressor import Suppressor
+from repro.core.table import Table
+from repro.hardness.hypergraph import Hypergraph
+from repro.hardness.matching import is_perfect_matching
+
+
+class EntrySuppressionReduction:
+    """Theorem 3.1: k-dimensional perfect matching -> k-ANONYMITY.
+
+    >>> h = Hypergraph(3, [{0, 1, 2}])
+    >>> red = EntrySuppressionReduction(h, k=3)
+    >>> red.table.rows
+    ((0,), (0,), (0,))
+    >>> red.threshold
+    0
+    """
+
+    def __init__(self, graph: Hypergraph, k: int):
+        if k < 3:
+            raise ValueError("Theorem 3.1 applies for k >= 3")
+        if not graph.is_uniform(k):
+            raise ValueError(f"hypergraph must be {k}-uniform")
+        if not graph.is_simple():
+            raise ValueError("hypergraph must be simple")
+        self.graph = graph
+        self.k = k
+        n, m = graph.n_vertices, graph.n_edges
+        rows = []
+        for i in range(n):
+            incident = set(graph.incident_edges(i))
+            rows.append(
+                tuple(0 if j in incident else i + 1 for j in range(m))
+            )
+        #: the derived k-anonymity instance
+        self.table = Table(rows, attributes=[f"e{j}" for j in range(m)])
+        #: l in the decision problem: n * (m - 1) suppressed cells
+        self.threshold = n * (m - 1)
+
+    # ------------------------------------------------------------------
+
+    def suppressor_from_matching(self, matching: Iterable[int]) -> Suppressor:
+        """Forward certificate: a matching yields a k-anonymizer with
+        exactly ``threshold`` stars (each row keeps only its matched
+        edge's coordinate).
+
+        :raises ValueError: if *matching* is not a perfect matching.
+        """
+        matching = list(matching)
+        if not is_perfect_matching(self.graph, matching):
+            raise ValueError("not a perfect matching of the source hypergraph")
+        edge_of_vertex: dict[int, int] = {}
+        for j in matching:
+            for u in self.graph.edge(j):
+                edge_of_vertex[u] = j
+        m = self.graph.n_edges
+        starred = {
+            i: [j for j in range(m) if j != edge_of_vertex[i]]
+            for i in range(self.graph.n_vertices)
+        }
+        return Suppressor(starred, n_rows=self.graph.n_vertices, degree=m)
+
+    def matching_from_anonymized(self, anonymized: Table) -> list[int]:
+        """Backward certificate: a k-anonymous suppression with at most
+        ``threshold`` stars encodes a perfect matching (the proof of
+        Theorem 3.1's converse direction, executed).
+
+        :raises ValueError: if the table does not meet the threshold
+            structure (some row with != 1 surviving cell, or a surviving
+            non-zero cell, or the extracted edges not a matching).
+        """
+        if anonymized.n_rows != self.graph.n_vertices:
+            raise ValueError("row count mismatch")
+        edges: set[int] = set()
+        for i, row in enumerate(anonymized.rows):
+            kept = [j for j, value in enumerate(row) if value is not STAR]
+            if len(kept) != 1:
+                raise ValueError(
+                    f"row {i} keeps {len(kept)} cells; the threshold "
+                    "structure requires exactly one"
+                )
+            j = kept[0]
+            if row[j] != 0:
+                raise ValueError(
+                    f"row {i} kept a non-zero cell; it matches no other row"
+                )
+            edges.add(j)
+        matching = sorted(edges)
+        if not is_perfect_matching(self.graph, matching):
+            raise ValueError("extracted edges do not form a perfect matching")
+        return matching
+
+    def anonymize_from_matching(self, matching: Iterable[int]) -> Table:
+        """The anonymized table induced by a perfect matching."""
+        return self.suppressor_from_matching(matching).apply(self.table)
+
+
+class AttributeSuppressionReduction:
+    """Theorem 3.2: k-dimensional perfect matching -> attribute version.
+
+    Binary alphabet ``{b0, b1}`` (0/1 by default).
+
+    >>> h = Hypergraph(3, [{0, 1, 2}])
+    >>> red = AttributeSuppressionReduction(h, k=3)
+    >>> red.threshold
+    0
+    """
+
+    def __init__(self, graph: Hypergraph, k: int, b0=0, b1=1):
+        if k <= 2:
+            raise ValueError("Theorem 3.2 applies for k > 2")
+        if b0 == b1:
+            raise ValueError("the two alphabet symbols must differ")
+        if not graph.is_uniform(k):
+            raise ValueError(f"hypergraph must be {k}-uniform")
+        if not graph.is_simple():
+            raise ValueError("hypergraph must be simple")
+        if graph.n_vertices % k:
+            raise ValueError(
+                "a perfect matching needs k | n; "
+                f"got n={graph.n_vertices}, k={k}"
+            )
+        self.graph = graph
+        self.k = k
+        self.b0, self.b1 = b0, b1
+        n, m = graph.n_vertices, graph.n_edges
+        rows = []
+        for i in range(n):
+            incident = set(graph.incident_edges(i))
+            rows.append(
+                tuple(b1 if j in incident else b0 for j in range(m))
+            )
+        self.table = Table(rows, attributes=[f"e{j}" for j in range(m)])
+        #: number of whole attributes: m - n/k
+        self.threshold = m - n // k
+
+    # ------------------------------------------------------------------
+
+    def suppressor_from_matching(self, matching: Iterable[int]) -> Suppressor:
+        """Forward certificate: suppress every attribute *not* in the
+        matching; exactly ``threshold`` columns are starred."""
+        matching = set(matching)
+        if not is_perfect_matching(self.graph, sorted(matching)):
+            raise ValueError("not a perfect matching of the source hypergraph")
+        suppressed = [j for j in range(self.graph.n_edges) if j not in matching]
+        return Suppressor.suppress_attributes(self.table, suppressed)
+
+    def matching_from_kept_attributes(self, kept: Iterable[int]) -> list[int]:
+        """Backward certificate: if ``n/k`` kept attributes k-anonymize
+        the projection, they are pairwise disjoint edges covering U —
+        a perfect matching."""
+        matching = sorted(set(kept))
+        if len(matching) != self.graph.n_vertices // self.k:
+            raise ValueError(
+                f"expected {self.graph.n_vertices // self.k} kept "
+                f"attributes, got {len(matching)}"
+            )
+        if not is_perfect_matching(self.graph, matching):
+            raise ValueError("kept attributes do not form a perfect matching")
+        return matching
+
+    def matching_from_anonymized(self, anonymized: Table) -> list[int]:
+        """Extract the matching from an attribute-suppressed table that
+        meets the threshold."""
+        suppressor = Suppressor.from_tables(self.table, anonymized)
+        if not suppressor.is_attribute_suppressor():
+            raise ValueError("not an attribute suppression")
+        suppressed = suppressor.suppressed_attributes()
+        kept = [j for j in range(self.graph.n_edges) if j not in suppressed]
+        return self.matching_from_kept_attributes(kept)

@@ -1,0 +1,276 @@
+"""3-CNF formulas and a DPLL satisfiability solver.
+
+The paper's reductions start from k-DIMENSIONAL PERFECT MATCHING, whose
+own NP-hardness classically comes from 3SAT (Garey & Johnson).  To show
+the full chain 3SAT -> 3DM -> k-ANONYMITY executing end to end, this
+module supplies the SAT substrate: a small CNF representation, a DPLL
+solver with unit propagation and pure-literal elimination (exact ground
+truth for the chain experiments), and instance generators with known
+satisfiability status.
+
+Literals are non-zero integers: ``+v`` for variable ``v``, ``-v`` for
+its negation (DIMACS convention).  Variables are ``1..n_vars``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class Cnf:
+    """A CNF formula in DIMACS-style integer literals.
+
+    >>> f = Cnf(2, [(1, 2), (-1, 2), (1, -2)])
+    >>> f.n_vars, f.n_clauses
+    (2, 3)
+    """
+
+    __slots__ = ("_n_vars", "_clauses")
+
+    def __init__(self, n_vars: int, clauses: Iterable[Sequence[int]]):
+        if n_vars < 0:
+            raise ValueError("variable count must be non-negative")
+        self._n_vars = n_vars
+        cleaned = []
+        for index, clause in enumerate(clauses):
+            clause = tuple(clause)
+            if not clause:
+                raise ValueError(f"clause {index} is empty")
+            for literal in clause:
+                if literal == 0 or abs(literal) > n_vars:
+                    raise ValueError(
+                        f"clause {index} has out-of-range literal {literal}"
+                    )
+            cleaned.append(clause)
+        self._clauses = tuple(cleaned)
+
+    @property
+    def n_vars(self) -> int:
+        return self._n_vars
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def clauses(self) -> tuple[tuple[int, ...], ...]:
+        return self._clauses
+
+    def is_three_cnf(self) -> bool:
+        """True iff every clause has at most 3 literals."""
+        return all(len(clause) <= 3 for clause in self._clauses)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate under a full assignment (index v-1 holds variable v)."""
+        if len(assignment) != self._n_vars:
+            raise ValueError("need one truth value per variable")
+
+        def literal_true(literal: int) -> bool:
+            value = assignment[abs(literal) - 1]
+            return value if literal > 0 else not value
+
+        return all(
+            any(literal_true(lit) for lit in clause) for clause in self._clauses
+        )
+
+    # ------------------------------------------------------------------
+    # DIMACS interchange
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "Cnf":
+        """Parse DIMACS CNF text (comments ``c ...``, header ``p cnf``).
+
+        >>> Cnf.from_dimacs("c demo\\np cnf 2 2\\n1 -2 0\\n2 0\\n").clauses
+        ((1, -2), (2,))
+        """
+        n_vars: int | None = None
+        clauses: list[tuple[int, ...]] = []
+        current: list[int] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"malformed DIMACS header: {line!r}")
+                n_vars = int(parts[2])
+                continue
+            for token in line.split():
+                literal = int(token)
+                if literal == 0:
+                    if current:
+                        clauses.append(tuple(current))
+                        current = []
+                else:
+                    current.append(literal)
+        if current:
+            clauses.append(tuple(current))
+        if n_vars is None:
+            raise ValueError("missing DIMACS 'p cnf' header")
+        return cls(n_vars, clauses)
+
+    def to_dimacs(self, comment: str | None = None) -> str:
+        """Serialize to DIMACS CNF text (round-trips with
+        :meth:`from_dimacs`)."""
+        lines = []
+        if comment:
+            lines.extend(f"c {line}" for line in comment.splitlines())
+        lines.append(f"p cnf {self._n_vars} {self.n_clauses}")
+        for clause in self._clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"Cnf(n_vars={self._n_vars}, n_clauses={self.n_clauses})"
+
+
+def _simplify(
+    clauses: list[tuple[int, ...]], assignment: dict[int, bool]
+) -> list[tuple[int, ...]] | None:
+    """Drop satisfied clauses and falsified literals; None on conflict."""
+    out: list[tuple[int, ...]] = []
+    for clause in clauses:
+        kept: list[int] = []
+        satisfied = False
+        for literal in clause:
+            var = abs(literal)
+            if var in assignment:
+                if (literal > 0) == assignment[var]:
+                    satisfied = True
+                    break
+            else:
+                kept.append(literal)
+        if satisfied:
+            continue
+        if not kept:
+            return None  # clause falsified
+        out.append(tuple(kept))
+    return out
+
+
+def _dpll(
+    clauses: list[tuple[int, ...]], assignment: dict[int, bool]
+) -> dict[int, bool] | None:
+    # unit propagation to fixpoint
+    while True:
+        simplified = _simplify(clauses, assignment)
+        if simplified is None:
+            return None
+        clauses = simplified
+        units = [clause[0] for clause in clauses if len(clause) == 1]
+        if not units:
+            break
+        for literal in units:
+            var, value = abs(literal), literal > 0
+            if assignment.get(var, value) != value:
+                return None
+            assignment[var] = value
+    if not clauses:
+        return assignment
+    # pure-literal elimination
+    polarity: dict[int, set[bool]] = {}
+    for clause in clauses:
+        for literal in clause:
+            polarity.setdefault(abs(literal), set()).add(literal > 0)
+    pures = {
+        var: signs.copy().pop()
+        for var, signs in polarity.items()
+        if len(signs) == 1
+    }
+    if pures:
+        assignment.update(pures)
+        return _dpll(clauses, assignment)
+    # branch on the most frequent variable
+    counts: dict[int, int] = {}
+    for clause in clauses:
+        for literal in clause:
+            counts[abs(literal)] = counts.get(abs(literal), 0) + 1
+    branch_var = max(sorted(counts), key=lambda v: counts[v])
+    for value in (True, False):
+        trial = dict(assignment)
+        trial[branch_var] = value
+        solved = _dpll(clauses, trial)
+        if solved is not None:
+            return solved
+    return None
+
+
+def solve_sat(formula: Cnf) -> list[bool] | None:
+    """DPLL with unit propagation and pure-literal elimination.
+
+    :returns: a satisfying assignment (list of bools, index v-1 for
+        variable v), or None if unsatisfiable.
+    """
+    solved = _dpll(list(formula.clauses), {})
+    if solved is None:
+        return None
+    assignment = [solved.get(v, False) for v in range(1, formula.n_vars + 1)]
+    assert formula.evaluate(assignment)
+    return assignment
+
+
+def is_satisfiable(formula: Cnf) -> bool:
+    """Decision version of :func:`solve_sat`."""
+    return solve_sat(formula) is not None
+
+
+def random_three_cnf(
+    n_vars: int,
+    n_clauses: int,
+    seed: int | np.random.Generator = 0,
+) -> Cnf:
+    """Uniform random 3-CNF (three distinct variables per clause)."""
+    if n_vars < 3:
+        raise ValueError("need at least 3 variables for 3-CNF clauses")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.choice(np.arange(1, n_vars + 1), size=3, replace=False)
+        signs = rng.integers(0, 2, size=3)
+        clauses.append(
+            tuple(int(v) if s else -int(v) for v, s in zip(variables, signs))
+        )
+    return Cnf(n_vars, clauses)
+
+
+def planted_satisfiable_cnf(
+    n_vars: int,
+    n_clauses: int,
+    seed: int | np.random.Generator = 0,
+) -> tuple[Cnf, list[bool]]:
+    """A random 3-CNF guaranteed satisfiable by a planted assignment.
+
+    Each clause is resampled until it satisfies the hidden assignment,
+    so the returned formula is satisfiable by construction.
+    """
+    if n_vars < 3:
+        raise ValueError("need at least 3 variables for 3-CNF clauses")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    hidden = [bool(b) for b in rng.integers(0, 2, size=n_vars)]
+    clauses = []
+    while len(clauses) < n_clauses:
+        variables = rng.choice(np.arange(1, n_vars + 1), size=3, replace=False)
+        signs = rng.integers(0, 2, size=3)
+        clause = tuple(
+            int(v) if s else -int(v) for v, s in zip(variables, signs)
+        )
+        if any(
+            (lit > 0) == hidden[abs(lit) - 1] for lit in clause
+        ):
+            clauses.append(clause)
+    return Cnf(n_vars, clauses), hidden
+
+
+def unsatisfiable_cnf() -> Cnf:
+    """The canonical tiny UNSAT 3-CNF: all eight sign patterns over
+    three variables (every assignment falsifies exactly one clause)."""
+    clauses = []
+    for s1 in (1, -1):
+        for s2 in (1, -1):
+            for s3 in (1, -1):
+                clauses.append((s1 * 1, s2 * 2, s3 * 3))
+    return Cnf(3, clauses)

@@ -1,0 +1,29 @@
+"""File IO: CSV round-trips for relations (``*`` marks suppression)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.table import Table
+
+
+def read_csv(path: str | Path, header: bool = True, star_token: str = "*") -> Table:
+    """Load a table from a CSV file.
+
+    Cells equal to *star_token* become suppressed; all other values are
+    strings.
+    """
+    with open(path, encoding="utf-8", newline="") as handle:
+        return Table.from_csv(handle, header=header, star_token=star_token)
+
+
+def write_csv(
+    table: Table,
+    path: str | Path,
+    header: bool = True,
+    star_token: str = "*",
+) -> None:
+    """Write a table to a CSV file, rendering suppressed cells as
+    *star_token*."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(table.to_csv(header=header, star_token=star_token))

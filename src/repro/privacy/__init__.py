@@ -1,0 +1,51 @@
+"""Privacy analysis extensions.
+
+k-anonymity bounds *identity* disclosure; the follow-up literature adds
+attribute-disclosure guards (l-diversity) and quantitative
+re-identification risk models.  This package supplies both, as the
+"beyond the paper" extension layer:
+
+* :mod:`repro.privacy.ldiversity` — distinct l-diversity on a sensitive
+  attribute, plus an anonymizer wrapper that enforces it.
+* :mod:`repro.privacy.risk` — prosecutor/journalist re-identification
+  risk of a released table, and a linkage-attack simulator against an
+  adversary's external table.
+"""
+
+from repro.privacy.ldiversity import (
+    LDiverseAnonymizer,
+    diversity_level,
+    entropy_diversity_level,
+    is_entropy_l_diverse,
+    is_l_diverse,
+)
+from repro.privacy.risk import (
+    RiskReport,
+    journalist_risk,
+    linkage_attack,
+    prosecutor_risk,
+    risk_report,
+)
+from repro.privacy.tcloseness import (
+    TCloseAnonymizer,
+    closeness_level,
+    is_t_close,
+    total_variation,
+)
+
+__all__ = [
+    "LDiverseAnonymizer",
+    "RiskReport",
+    "TCloseAnonymizer",
+    "closeness_level",
+    "diversity_level",
+    "entropy_diversity_level",
+    "is_entropy_l_diverse",
+    "is_l_diverse",
+    "is_t_close",
+    "journalist_risk",
+    "linkage_attack",
+    "prosecutor_risk",
+    "risk_report",
+    "total_variation",
+]

@@ -1,0 +1,205 @@
+"""Distinct l-diversity (Machanavajjhala et al. 2006) on top of the
+paper's suppression model.
+
+A k-anonymous release still leaks the sensitive value when an
+equivalence class is *homogeneous* (every member shares the diagnosis).
+Distinct l-diversity additionally requires every class to contain at
+least ``l`` distinct sensitive values.
+
+:class:`LDiverseAnonymizer` enforces it constructively: anonymize the
+quasi-identifiers with any partition-based algorithm, then repair
+classes with fewer than ``l`` distinct sensitive values by merging them
+with their nearest (by group-image distance) repairable neighbour and
+re-suppressing.  Merging only ever coarsens groups, so k-anonymity is
+preserved; the loop terminates because each merge reduces the group
+count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.algorithms.base import Anonymizer, AnonymizationResult
+from repro.core.distance import distance, group_image_of
+from repro.core.partition import Partition, anonymize_partition
+from repro.core.table import Table
+
+
+def diversity_level(
+    table: Table,
+    sensitive: Sequence[Hashable],
+) -> int:
+    """The largest ``l`` such that the release is distinct-l-diverse.
+
+    :param table: the released (anonymized) quasi-identifier table.
+    :param sensitive: the sensitive value of each row, released
+        alongside (not part of the anonymized attributes).
+    """
+    from repro.core.anonymity import equivalence_classes
+
+    if len(sensitive) != table.n_rows:
+        raise ValueError("one sensitive value per row required")
+    if table.n_rows == 0:
+        return 0
+    return min(
+        len({sensitive[i] for i in indices})
+        for indices in equivalence_classes(table).values()
+    )
+
+
+def is_l_diverse(
+    table: Table,
+    sensitive: Sequence[Hashable],
+    l: int,  # noqa: E741 - l is the literature's name
+) -> bool:
+    """Distinct l-diversity: every class shows >= l sensitive values."""
+    if l < 1:
+        raise ValueError("l must be a positive integer")
+    if table.n_rows == 0:
+        return True
+    return diversity_level(table, sensitive) >= l
+
+
+def entropy_diversity_level(
+    table: Table,
+    sensitive: Sequence[Hashable],
+) -> float:
+    """The largest ``l`` for which the release is *entropy* l-diverse.
+
+    Entropy l-diversity (Machanavajjhala et al.) requires every class's
+    sensitive-value entropy to be at least ``log(l)``; equivalently the
+    effective ``l`` is ``exp(min-class entropy)``.  Stricter than the
+    distinct count: a 98%/2% class has 2 distinct values but effective
+    ``l`` barely above 1.
+    """
+    import math
+    from collections import Counter
+
+    from repro.core.anonymity import equivalence_classes
+
+    if len(sensitive) != table.n_rows:
+        raise ValueError("one sensitive value per row required")
+    if table.n_rows == 0:
+        return 0.0
+    worst = math.inf
+    for indices in equivalence_classes(table).values():
+        counts = Counter(sensitive[i] for i in indices)
+        total = sum(counts.values())
+        entropy = -sum(
+            (c / total) * math.log(c / total) for c in counts.values()
+        )
+        worst = min(worst, entropy)
+    return math.exp(worst)
+
+
+def is_entropy_l_diverse(
+    table: Table,
+    sensitive: Sequence[Hashable],
+    l: float,  # noqa: E741 - l is the literature's name
+) -> bool:
+    """Entropy l-diversity predicate (min class entropy >= log l)."""
+    if l < 1:
+        raise ValueError("l must be at least 1")
+    if table.n_rows == 0:
+        return True
+    return entropy_diversity_level(table, sensitive) >= l - 1e-12
+
+
+class LDiverseAnonymizer(Anonymizer):
+    """Enforce distinct l-diversity by merging undiverse groups.
+
+    :param l: the diversity parameter (l <= k makes no sense below 2).
+    :param inner: the partition-based anonymizer doing the geometric
+        work (default: the paper's Theorem 4.2 algorithm).
+
+    :raises ValueError: at anonymize time, if the whole table has fewer
+        than ``l`` distinct sensitive values (no release can be
+        l-diverse).
+    """
+
+    def __init__(self, l: int, inner: Anonymizer | None = None):  # noqa: E741
+        from repro.algorithms.center_cover import CenterCoverAnonymizer
+
+        if l < 1:
+            raise ValueError("l must be a positive integer")
+        self._l = l
+        self._inner = inner if inner is not None else CenterCoverAnonymizer()
+        self.name = f"{self._inner.name}+ldiv{l}"
+
+    def anonymize_with_sensitive(
+        self,
+        table: Table,
+        k: int,
+        sensitive: Sequence[Hashable],
+    ) -> AnonymizationResult:
+        """k-anonymize *table* so that every class also carries >= l
+        distinct values of *sensitive*."""
+        self._check_feasible(table, k)
+        if len(sensitive) != table.n_rows:
+            raise ValueError("one sensitive value per row required")
+        if table.n_rows == 0:
+            return self._empty_result(table, k)
+        if len(set(sensitive)) < self._l:
+            raise ValueError(
+                f"only {len(set(sensitive))} distinct sensitive values; "
+                f"no {self._l}-diverse release exists"
+            )
+        base = self._inner.anonymize(table, k)
+        if base.partition is None:
+            raise ValueError(
+                f"{self._inner.name} is not partition-based; cannot repair"
+            )
+        groups = [set(g) for g in base.partition.groups]
+
+        def distinct(group: set[int]) -> int:
+            return len({sensitive[i] for i in group})
+
+        while len(groups) > 1:
+            bad = next(
+                (idx for idx, g in enumerate(groups) if distinct(g) < self._l),
+                None,
+            )
+            if bad is None:
+                break
+            image_bad = group_image_of(table, groups[bad])
+            best = min(
+                (idx for idx in range(len(groups)) if idx != bad),
+                key=lambda idx: (
+                    distance(image_bad, group_image_of(table, groups[idx])),
+                    idx,
+                ),
+            )
+            groups[bad] |= groups[best]
+            del groups[best]
+        if len(groups) == 1 and distinct(groups[0]) < self._l:
+            raise AssertionError("checked above: the table is l-diversifiable")
+
+        k_max = max([2 * k - 1] + [len(g) for g in groups])
+        partition = Partition(
+            [frozenset(g) for g in groups], table.n_rows, k, k_max=k_max
+        )
+        anonymized, suppressor = anonymize_partition(table, partition)
+        assert is_l_diverse(anonymized, sensitive, self._l)
+        return AnonymizationResult(
+            anonymized=anonymized,
+            suppressor=suppressor,
+            partition=partition,
+            algorithm=self.name,
+            k=k,
+            extras={
+                "l": self._l,
+                "base_stars": base.stars,
+                "groups_merged": len(base.partition.groups) - len(groups),
+            },
+        )
+
+    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+        """Without a sensitive column, treat the *last* attribute as
+        sensitive and anonymize the rest (a common CSV convention)."""
+        if table.degree < 2:
+            raise ValueError(
+                "need at least one quasi-identifier plus a sensitive column"
+            )
+        sensitive = table.column(table.degree - 1)
+        identifiers = table.project(list(range(table.degree - 1)))
+        return self.anonymize_with_sensitive(identifiers, k, sensitive)

@@ -1,0 +1,98 @@
+"""The release dossier: one document a publisher can file.
+
+Composes the repository's analysis tools — validation, anonymity
+metrics, prosecutor risk, optional l-diversity/t-closeness and query
+utility — into a single plain-text dossier for a (original, released)
+pair.  Used by ``kanon dossier`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.analysis import query_error_experiment
+from repro.core.metrics import metric_report
+from repro.core.table import Table
+from repro.privacy import (
+    closeness_level,
+    diversity_level,
+    risk_report,
+)
+from repro.validate import validate_release
+
+
+def release_dossier(
+    original: Table,
+    released: Table,
+    k: int,
+    sensitive: Sequence[Hashable] | None = None,
+    n_queries: int = 40,
+    seed: int = 0,
+) -> str:
+    """Build the dossier text.
+
+    :param sensitive: optional per-row sensitive values (not part of the
+        released attributes) — enables the attribute-disclosure section.
+    :param n_queries: workload size for the utility section (0 skips it).
+    :returns: a multi-section plain-text report; the first line states
+        the verdict.
+    """
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    validation = validate_release(original, released, k)
+    lines: list[str] = []
+    verdict = "APPROVED" if validation.ok else "REJECTED"
+    lines.append(f"RELEASE DOSSIER — verdict: {verdict} (k={k})")
+    lines.append("=" * 60)
+
+    lines.append("")
+    lines.append("[1] validation")
+    lines.append(validation.summary())
+
+    lines.append("")
+    lines.append("[2] anonymity & utility metrics")
+    for key, value in metric_report(released, k).items():
+        if isinstance(value, float):
+            lines.append(f"  {key}: {value:.4f}")
+        else:
+            lines.append(f"  {key}: {value}")
+
+    lines.append("")
+    lines.append("[3] re-identification risk (prosecutor model)")
+    risk = risk_report(released)
+    lines.append(f"  max risk: {risk.max_risk:.4f} (guarantee 1/k = {1 / k:.4f})")
+    lines.append(f"  mean risk: {risk.mean_risk:.4f}")
+    lines.append(f"  records at max risk: {risk.records_at_max}")
+
+    if sensitive is not None:
+        lines.append("")
+        lines.append("[4] attribute disclosure (sensitive column)")
+        if len(sensitive) != released.n_rows:
+            raise ValueError("one sensitive value per row required")
+        if released.n_rows:
+            lines.append(
+                f"  distinct l-diversity: l = "
+                f"{diversity_level(released, sensitive)}"
+            )
+            lines.append(
+                f"  t-closeness (total variation): t = "
+                f"{closeness_level(released, sensitive):.4f}"
+            )
+        else:
+            lines.append("  (empty release)")
+
+    if n_queries > 0 and validation.is_suppression and original.n_rows:
+        lines.append("")
+        lines.append(f"[{'5' if sensitive is not None else '4'}] "
+                     f"analytic utility ({n_queries} random count queries)")
+        utility = query_error_experiment(
+            original, released, n_queries=n_queries, seed=seed,
+            arity=min(2, max(1, original.degree)),
+        )
+        lines.append(f"  all intervals sound: {utility.all_sound}")
+        lines.append(f"  mean interval width: {utility.mean_width:.1f} rows "
+                     f"({utility.mean_relative_width:.1%} of n)")
+
+    lines.append("")
+    lines.append("=" * 60)
+    return "\n".join(lines)

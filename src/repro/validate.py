@@ -1,0 +1,118 @@
+"""Release validation: the publisher's final gate.
+
+Before releasing an anonymized table, verify *everything* in one call:
+the release is a pure suppression of the original (Definition 2.1), it
+is k-anonymous (Definition 2.2), its prosecutor risk is capped at 1/k,
+and collect the cost/utility numbers a publisher reports.
+
+:func:`validate_release` never raises on a bad release — it returns a
+:class:`ValidationReport` whose ``ok`` property and ``problems`` list
+say what is wrong, suitable for CI gates and the ``kanon validate``
+command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.anonymity import (
+    anonymity_level,
+    suppressed_cell_count,
+    violating_rows,
+)
+from repro.core.suppressor import Suppressor
+from repro.core.table import Table
+from repro.privacy.risk import risk_report
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating a release against its original."""
+
+    k: int
+    is_suppression: bool
+    anonymity: float
+    stars: int
+    suppression_ratio: float
+    max_risk: float
+    problems: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the release may be published at the claimed k."""
+        return not self.problems
+
+    def summary(self) -> str:
+        """One-paragraph human-readable verdict."""
+        verdict = "RELEASE OK" if self.ok else "DO NOT RELEASE"
+        lines = [
+            f"{verdict} (k={self.k})",
+            f"  suppression-only transform: {self.is_suppression}",
+            f"  anonymity level: {self.anonymity}",
+            f"  suppressed cells: {self.stars} "
+            f"({self.suppression_ratio:.1%})",
+            f"  max prosecutor risk: {self.max_risk:.4f}",
+        ]
+        lines.extend(f"  PROBLEM: {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+def validate_release(original: Table, released: Table, k: int) -> ValidationReport:
+    """Validate that *released* is a publishable k-anonymization of
+    *original*.
+
+    Checks performed:
+
+    1. shape match (same rows/degree/attributes);
+    2. Definition 2.1 — every released cell is the original value or *;
+    3. Definition 2.2 — every record occurs at least k times;
+    4. prosecutor risk is at most 1/k (implied by 3; reported anyway).
+    """
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    problems: list[str] = []
+
+    if (original.n_rows, original.degree) != (released.n_rows, released.degree):
+        problems.append(
+            f"shape mismatch: original {original.n_rows}x{original.degree}, "
+            f"released {released.n_rows}x{released.degree}"
+        )
+        return ValidationReport(
+            k=k, is_suppression=False, anonymity=0, stars=0,
+            suppression_ratio=0.0, max_risk=1.0, problems=tuple(problems),
+        )
+    if original.attributes != released.attributes:
+        problems.append("attribute names differ between original and release")
+
+    is_suppression = True
+    try:
+        Suppressor.from_tables(original, released)
+    except ValueError as error:
+        is_suppression = False
+        problems.append(f"not a pure suppression: {error}")
+
+    level = anonymity_level(released)
+    if level < k:
+        bad = violating_rows(released, k)
+        problems.append(
+            f"not {k}-anonymous: level {level}, {len(bad)} violating rows "
+            f"(first few: {bad[:5]})"
+        )
+
+    stars = suppressed_cell_count(released)
+    total = max(1, released.total_cells())
+    risk = risk_report(released)
+    if released.n_rows and not risk.meets_k(k):
+        problems.append(
+            f"max prosecutor risk {risk.max_risk:.4f} exceeds 1/k"
+        )
+
+    return ValidationReport(
+        k=k,
+        is_suppression=is_suppression,
+        anonymity=level,
+        stars=stars,
+        suppression_ratio=stars / total,
+        max_risk=risk.max_risk,
+        problems=tuple(problems),
+    )

@@ -1,0 +1,29 @@
+"""Workload generators for experiments and benchmarks."""
+
+from repro.workloads.adult_like import adult_like_table
+from repro.workloads.adversarial import (
+    attribute_reduction_instance,
+    entry_reduction_instance,
+)
+from repro.workloads.census import census_table, quasi_identifiers
+from repro.workloads.synthetic import (
+    duplicate_heavy_table,
+    planted_groups_table,
+    uniform_table,
+    zipf_table,
+)
+from repro.workloads.transactions import planted_basket_table, transaction_table
+
+__all__ = [
+    "adult_like_table",
+    "attribute_reduction_instance",
+    "census_table",
+    "duplicate_heavy_table",
+    "entry_reduction_instance",
+    "planted_basket_table",
+    "planted_groups_table",
+    "quasi_identifiers",
+    "transaction_table",
+    "uniform_table",
+    "zipf_table",
+]

@@ -1,0 +1,81 @@
+"""An Adult-census-like workload with *correlated* attributes.
+
+The classic UCI Adult dataset is the de-facto benchmark table in the
+k-anonymity literature; it cannot be shipped offline, so this generator
+produces a synthetic stand-in with the property that actually matters
+for anonymization experiments: **attribute correlation** (education
+drives income bracket, age drives marital status, hours tracks income).
+Correlated tables have much more exploitable locality than independent
+ones — algorithms separate on them the way they do on real data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.table import Table
+
+ATTRIBUTES = (
+    "age", "education", "marital", "occupation", "hours", "income",
+)
+
+_EDUCATION = ["HS", "SomeCollege", "Bachelors", "Masters", "Doctorate"]
+_OCCUPATIONS = ["Service", "Admin", "Craft", "Sales", "Professional",
+                "Management"]
+
+
+def adult_like_table(
+    n: int,
+    seed: int | np.random.Generator = 0,
+    age_bucket: int = 10,
+) -> Table:
+    """Generate *n* correlated census records.
+
+    Correlation structure (all soft, noise everywhere):
+
+    * education level rises with a latent "class" variable;
+    * income bracket rises with education and hours;
+    * marital status depends on age band;
+    * occupation correlates with education.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if age_bucket < 1:
+        raise ValueError("age_bucket must be positive")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        latent = rng.random()  # socioeconomic latent factor
+        age = int(rng.triangular(17, 35, 80))
+        edu_level = min(
+            len(_EDUCATION) - 1,
+            int((latent * 0.7 + rng.random() * 0.3) * len(_EDUCATION)),
+        )
+        education = _EDUCATION[edu_level]
+        if age < 26:
+            marital = "Single" if rng.random() < 0.8 else "Married"
+        elif age < 60:
+            marital = "Married" if rng.random() < 0.65 else (
+                "Single" if rng.random() < 0.5 else "Divorced"
+            )
+        else:
+            roll = rng.random()
+            marital = "Married" if roll < 0.55 else (
+                "Widowed" if roll < 0.8 else "Divorced"
+            )
+        occ_band = 0.5 * (edu_level / (len(_EDUCATION) - 1)) + 0.5 * rng.random()
+        occupation = _OCCUPATIONS[
+            min(len(_OCCUPATIONS) - 1, int(occ_band * len(_OCCUPATIONS)))
+        ]
+        hours = int(np.clip(rng.normal(40 + 4 * latent, 8), 10, 80))
+        income_score = 0.5 * latent + 0.3 * (edu_level / 4) + 0.2 * (hours / 80)
+        income = ">50K" if income_score + 0.15 * rng.random() > 0.62 else "<=50K"
+        rows.append((
+            age - age % age_bucket,
+            education,
+            marital,
+            occupation,
+            hours - hours % 10,
+            income,
+        ))
+    return Table(rows, attributes=ATTRIBUTES)

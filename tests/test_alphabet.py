@@ -1,0 +1,115 @@
+"""Tests for repro.core.alphabet: the STAR sentinel and Alphabet domains."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.core.alphabet import STAR, Alphabet, infer_alphabets, is_suppressed
+from repro.core.alphabet import _SuppressionSymbol
+
+
+class TestStar:
+    def test_singleton_construction(self):
+        assert _SuppressionSymbol() is STAR
+
+    def test_equality_only_with_itself(self):
+        assert STAR == STAR
+        assert STAR != "*"
+        assert STAR != 0
+        assert STAR != None  # noqa: E711 - deliberate: STAR must not equal None
+
+    def test_repr(self):
+        assert repr(STAR) == "*"
+
+    def test_hashable_and_stable(self):
+        assert hash(STAR) == hash(STAR)
+        assert {STAR: 1}[STAR] == 1
+
+    def test_copy_preserves_identity(self):
+        assert copy.copy(STAR) is STAR
+        assert copy.deepcopy(STAR) is STAR
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(STAR)) is STAR
+
+    def test_is_suppressed_predicate(self):
+        assert is_suppressed(STAR)
+        assert not is_suppressed("*")
+        assert not is_suppressed(None)
+
+    def test_star_distinct_from_string_star_in_sets(self):
+        values = {STAR, "*"}
+        assert len(values) == 2
+
+
+class TestAlphabet:
+    def test_preserves_first_appearance_order(self):
+        a = Alphabet(["c", "a", "b", "a"])
+        assert a.values == ("c", "a", "b")
+
+    def test_membership(self):
+        a = Alphabet([1, 2, 3])
+        assert 2 in a
+        assert 4 not in a
+
+    def test_unhashable_membership_is_false(self):
+        a = Alphabet([1, 2])
+        assert [1] not in a
+
+    def test_len_counts_distinct(self):
+        assert len(Alphabet("aabbc")) == 3
+
+    def test_index(self):
+        a = Alphabet(["x", "y"])
+        assert a.index("y") == 1
+        with pytest.raises(KeyError):
+            a.index("z")
+
+    def test_iteration(self):
+        assert list(Alphabet([3, 1, 2])) == [3, 1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Alphabet([])
+
+    def test_rejects_star(self):
+        with pytest.raises(ValueError, match="suppression symbol"):
+            Alphabet(["a", STAR])
+
+    def test_equality_and_hash(self):
+        assert Alphabet([1, 2]) == Alphabet([1, 2])
+        assert Alphabet([1, 2]) != Alphabet([2, 1])
+        assert hash(Alphabet("ab")) == hash(Alphabet("ab"))
+
+    def test_equality_with_other_types(self):
+        assert Alphabet([1]) != [1]
+
+    def test_repr_truncates(self):
+        short = repr(Alphabet([1, 2]))
+        assert "1" in short and "..." not in short
+        long = repr(Alphabet(range(10)))
+        assert "..." in long
+
+
+class TestInferAlphabets:
+    def test_per_attribute_domains(self):
+        alphabets = infer_alphabets([("a", 1), ("b", 1), ("a", 2)])
+        assert alphabets[0].values == ("a", "b")
+        assert alphabets[1].values == (1, 2)
+
+    def test_skips_suppressed_cells(self):
+        alphabets = infer_alphabets([("a", STAR), ("b", 7)])
+        assert alphabets[1].values == (7,)
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            infer_alphabets([])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="same degree"):
+            infer_alphabets([("a",), ("b", "c")])
+
+    def test_all_suppressed_column_rejected(self):
+        with pytest.raises(ValueError, match="no unsuppressed"):
+            infer_alphabets([(STAR,), (STAR,)])

@@ -1,0 +1,97 @@
+"""Tests for repro.core.anonymity (Definition 2.2)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alphabet import STAR
+from repro.core.anonymity import (
+    anonymity_level,
+    equivalence_classes,
+    is_k_anonymous,
+    suppressed_cell_count,
+    violating_rows,
+)
+from repro.core.table import Table
+
+
+class TestEquivalenceClasses:
+    def test_groups_by_record(self):
+        t = Table([(1,), (2,), (1,)])
+        classes = equivalence_classes(t)
+        assert classes == {(1,): [0, 2], (2,): [1]}
+
+    def test_star_matches_star(self):
+        t = Table([(STAR, 1), (STAR, 1)])
+        assert len(equivalence_classes(t)) == 1
+
+    def test_empty(self):
+        assert equivalence_classes(Table([])) == {}
+
+
+class TestAnonymityLevel:
+    def test_min_multiplicity(self):
+        t = Table([(1,), (1,), (2,), (2,), (2,)])
+        assert anonymity_level(t) == 2
+
+    def test_empty_is_infinite(self):
+        assert anonymity_level(Table([])) == math.inf
+
+    def test_all_identical(self):
+        assert anonymity_level(Table([(1,)] * 4)) == 4
+
+
+class TestIsKAnonymous:
+    def test_paper_example_anonymized(self):
+        # The 2-anonymized hospital table from Section 1.
+        t = Table(
+            [
+                (STAR, "Stone", STAR, "Afr-Am"),
+                ("John", "R*", "20-40", STAR),
+                (STAR, "Stone", STAR, "Afr-Am"),
+                ("John", "R*", "20-40", STAR),
+            ]
+        )
+        assert is_k_anonymous(t, 2)
+        assert not is_k_anonymous(t, 3)
+
+    def test_k_one_always_holds(self):
+        assert is_k_anonymous(Table([(1,), (2,)]), 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            is_k_anonymous(Table([(1,)]), 0)
+        with pytest.raises(ValueError):
+            violating_rows(Table([(1,)]), -1)
+
+    def test_empty_table_vacuous(self):
+        assert is_k_anonymous(Table([]), 5)
+
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=12), st.integers(1, 4))
+    def test_matches_multiset_definition(self, values, k):
+        t = Table([(v,) for v in values])
+        counts = t.row_multiset()
+        assert is_k_anonymous(t, k) == all(c >= k for c in counts.values())
+
+
+class TestViolatingRows:
+    def test_lists_undersized_classes(self):
+        t = Table([(1,), (1,), (2,), (3,), (3,), (3,)])
+        assert violating_rows(t, 3) == [0, 1, 2]
+
+    def test_empty_when_anonymous(self):
+        assert violating_rows(Table([(1,), (1,)]), 2) == []
+
+
+class TestSuppressedCellCount:
+    def test_counts_stars_only(self):
+        t = Table([(STAR, 1), (2, STAR), (STAR, STAR)])
+        assert suppressed_cell_count(t) == 4
+
+    def test_string_star_not_counted(self):
+        assert suppressed_cell_count(Table([("*",)])) == 0
+
+    def test_zero_for_clean_table(self):
+        assert suppressed_cell_count(Table([(1, 2)])) == 0

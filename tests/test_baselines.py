@@ -1,0 +1,137 @@
+"""Tests for the baseline anonymizers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import InfeasibleAnonymizationError
+from repro.algorithms.baselines import (
+    RandomPartitionAnonymizer,
+    SortedChunkAnonymizer,
+    SuppressEverythingAnonymizer,
+    chunk_indices,
+)
+from repro.core.alphabet import STAR
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+class TestChunkIndices:
+    def test_even_split(self):
+        groups = chunk_indices(range(6), 3)
+        assert [sorted(g) for g in groups] == [[0, 1, 2], [3, 4, 5]]
+
+    def test_remainder_absorbed(self):
+        groups = chunk_indices(range(7), 3)
+        assert sorted(len(g) for g in groups) == [3, 4]
+
+    def test_remainder_never_exceeds_2k_minus_1(self):
+        for n in range(2, 30):
+            for k in range(2, 6):
+                if n < k:
+                    continue
+                groups = chunk_indices(range(n), k)
+                assert all(k <= len(g) <= 2 * k - 1 for g in groups)
+                assert sorted(i for g in groups for i in g) == list(range(n))
+
+    def test_empty(self):
+        assert chunk_indices([], 3) == []
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            chunk_indices(range(2), 3)
+        with pytest.raises(ValueError):
+            chunk_indices(range(2), 0)
+
+
+class TestRandomPartition:
+    def test_valid_output(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 11, 4, 3)
+        result = RandomPartitionAnonymizer(seed=1).anonymize(t, 3)
+        assert result.is_valid(t)
+
+    def test_seed_determinism(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 11, 4, 3)
+        a = RandomPartitionAnonymizer(seed=42).anonymize(t, 3)
+        b = RandomPartitionAnonymizer(seed=42).anonymize(t, 3)
+        assert a.anonymized == b.anonymized
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleAnonymizationError):
+            RandomPartitionAnonymizer().anonymize(Table([(1,)]), 2)
+
+    def test_empty(self):
+        assert RandomPartitionAnonymizer().anonymize(Table([]), 2).stars == 0
+
+
+class TestSortedChunk:
+    def test_valid_output(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 11, 4, 3)
+        result = SortedChunkAnonymizer().anonymize(t, 3)
+        assert result.is_valid(t)
+
+    def test_groups_sorted_runs(self):
+        t = Table([(3,), (1,), (2,), (1,), (3,), (2,)])
+        result = SortedChunkAnonymizer().anonymize(t, 2)
+        # sorted runs pair the duplicates -> zero stars
+        assert result.stars == 0
+
+    def test_exploits_locality(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        t = random_table(rng, 20, 3, 2)
+        sorted_cost = SortedChunkAnonymizer().anonymize(t, 2).stars
+        random_cost = RandomPartitionAnonymizer(seed=0).anonymize(t, 2).stars
+        assert sorted_cost <= random_cost
+
+    def test_mixed_type_rows_sortable(self):
+        t = Table([("b", 2), ("a", 1), ("b", 2), ("a", 1)])
+        result = SortedChunkAnonymizer().anonymize(t, 2)
+        assert result.stars == 0
+
+
+class TestSuppressEverything:
+    def test_everything_starred(self):
+        t = Table([(1, 2), (3, 4)])
+        result = SuppressEverythingAnonymizer().anonymize(t, 2)
+        assert result.stars == 4
+        assert all(v is STAR for row in result.anonymized.rows for v in row)
+
+    def test_always_valid(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(1), 7, 3, 10)
+        result = SuppressEverythingAnonymizer().anonymize(t, 7)
+        assert result.is_valid(t)
+
+    def test_upper_bounds_everything(self):
+        import numpy as np
+
+        from repro.algorithms import CenterCoverAnonymizer
+
+        t = random_table(np.random.default_rng(2), 12, 4, 4)
+        ceiling = SuppressEverythingAnonymizer().anonymize(t, 3).stars
+        assert CenterCoverAnonymizer().anonymize(t, 3).stars <= ceiling
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(1, 4))
+    def test_all_baselines_produce_valid_output(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 15))
+        t = random_table(rng, n, 3, 3)
+        for algorithm in [
+            RandomPartitionAnonymizer(seed=seed),
+            SortedChunkAnonymizer(),
+            SuppressEverythingAnonymizer(),
+        ]:
+            assert algorithm.anonymize(t, k).is_valid(t)

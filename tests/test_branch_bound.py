@@ -1,0 +1,66 @@
+"""Tests for the branch-and-bound exact solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import InfeasibleAnonymizationError
+from repro.algorithms.branch_bound import BranchBoundAnonymizer
+from repro.algorithms.exact import optimal_anonymization
+
+from .conftest import random_table
+
+
+class TestBranchBound:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 3))
+    def test_matches_dp_optimum(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 10))
+        t = random_table(rng, n, 3, 3)
+        result = BranchBoundAnonymizer().anonymize(t, k)
+        opt, _ = optimal_anonymization(t, k)
+        assert result.stars == opt
+        assert result.is_valid(t)
+
+    def test_docstring_instance(self):
+        from repro.core.table import Table
+
+        # optimal: {(0,0),(0,0)} free + {(0,1),(1,1)} starring coordinate 0
+        t = Table([(0, 0), (0, 0), (0, 1), (1, 1)])
+        assert BranchBoundAnonymizer().anonymize(t, 2).stars == 2
+
+    def test_extras_track_search(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(1), 8, 3, 3)
+        result = BranchBoundAnonymizer().anonymize(t, 2)
+        assert result.extras["nodes"] >= 1
+        assert result.extras["opt"] == result.stars
+
+    def test_pruning_beats_incumbent_or_matches(self):
+        """The incumbent (Theorem 4.2 algorithm) is never better than the
+        exact result."""
+        import numpy as np
+
+        from repro.algorithms import CenterCoverAnonymizer
+
+        t = random_table(np.random.default_rng(2), 10, 4, 4)
+        exact = BranchBoundAnonymizer().anonymize(t, 2).stars
+        approx = CenterCoverAnonymizer().anonymize(t, 2).stars
+        assert exact <= approx
+
+    def test_empty_and_infeasible(self):
+        from repro.core.table import Table
+
+        assert BranchBoundAnonymizer().anonymize(Table([]), 3).stars == 0
+        with pytest.raises(InfeasibleAnonymizationError):
+            BranchBoundAnonymizer().anonymize(Table([(1,)]), 2)
+
+    def test_duplicate_rows_zero_cost(self):
+        from repro.core.table import Table
+
+        t = Table([(1, 1)] * 6)
+        assert BranchBoundAnonymizer().anonymize(t, 3).stars == 0

@@ -1,0 +1,155 @@
+"""Tests for cell-level generalization recoding and t-closeness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anonymity import is_k_anonymous, suppressed_cell_count
+from repro.core.partition import Cover, Partition, anonymize_partition
+from repro.core.table import Table
+from repro.generalization import (
+    Hierarchy,
+    interval_hierarchy,
+    recode_partition,
+    recoding_loss,
+)
+from repro.privacy import closeness_level, is_t_close, total_variation
+
+from .conftest import random_table
+
+
+class TestRecodePartition:
+    @pytest.fixture
+    def table(self):
+        return Table(
+            [(34, "Afr-Am"), (47, "Afr-Am"), (36, "Cauc"), (36, "Cauc")],
+            attributes=["age", "race"],
+        )
+
+    @pytest.fixture
+    def hierarchies(self):
+        return [
+            interval_hierarchy(0, 80, base_width=10, branching=2),
+            Hierarchy.from_nested({"*": {"person": ["Afr-Am", "Cauc"]}}),
+        ]
+
+    def test_groups_become_identical(self, table, hierarchies):
+        p = Partition([{0, 1}, {2, 3}], n_rows=4, k=2)
+        recoded = recode_partition(table, p, hierarchies)
+        assert recoded.rows[0] == recoded.rows[1]
+        assert recoded.rows[2] == recoded.rows[3]
+        assert is_k_anonymous(recoded, 2)
+
+    def test_agreeing_cells_stay_exact(self, table, hierarchies):
+        p = Partition([{0, 1}, {2, 3}], n_rows=4, k=2)
+        recoded = recode_partition(table, p, hierarchies)
+        assert recoded.rows[0][1] == "Afr-Am"  # group agrees on race
+        assert recoded.rows[2] == (36, "Cauc")  # identical rows untouched
+
+    def test_disagreeing_cells_become_lca_not_star(self, table, hierarchies):
+        p = Partition([{0, 1}, {2, 3}], n_rows=4, k=2)
+        recoded = recode_partition(table, p, hierarchies)
+        assert recoded.rows[0][0] == "0-79"  # 34 and 47 split until 0-79
+
+    def test_overlapping_cover_rejected(self, table, hierarchies):
+        c = Cover([{0, 1}, {1, 2, 3}], n_rows=4, k=2)
+        with pytest.raises(ValueError, match="Reduce"):
+            recode_partition(table, c, hierarchies)
+
+    def test_arity_validation(self, table, hierarchies):
+        p = Partition([{0, 1}, {2, 3}], n_rows=4, k=2)
+        with pytest.raises(ValueError):
+            recode_partition(table, p, hierarchies[:1])
+        with pytest.raises(ValueError):
+            recoding_loss(table, p, hierarchies[:1])
+
+    def test_loss_with_suppression_hierarchies_equals_star_count(self):
+        """The bridge property: suppression hierarchies reduce recoding
+        loss to the paper's objective exactly."""
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 10, 3, 3)
+        hierarchies = [
+            Hierarchy.suppression(sorted({row[j] for row in t.rows}))
+            for j in range(3)
+        ]
+        p = Partition([frozenset(range(0, 5)), frozenset(range(5, 10))],
+                      n_rows=10, k=5)
+        anonymized, _ = anonymize_partition(t, p)
+        assert recoding_loss(t, p, hierarchies) == pytest.approx(
+            suppressed_cell_count(anonymized)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_recoding_never_loses_more_than_suppression(self, seed):
+        """Cell-level LCA recoding's precision loss <= star count."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 12))
+        rows = [(int(v),) for v in rng.integers(0, 16, size=n)]
+        t = Table(rows)
+        hierarchy = interval_hierarchy(0, 16, base_width=2, branching=2)
+        from repro.algorithms import CenterCoverAnonymizer
+
+        result = CenterCoverAnonymizer().anonymize(t, 2)
+        assert result.partition is not None
+        loss = recoding_loss(t, result.partition, [hierarchy])
+        assert loss <= result.stars + 1e-9
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        assert total_variation({"a": 0.5, "b": 0.5}, {"a": 0.5, "b": 0.5}) == 0
+
+    def test_disjoint_supports(self):
+        assert total_variation({"a": 1.0}, {"b": 1.0}) == 1.0
+
+    def test_partial_overlap(self):
+        assert total_variation(
+            {"a": 0.75, "b": 0.25}, {"a": 0.25, "b": 0.75}
+        ) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        p = {"a": 0.2, "b": 0.8}
+        q = {"a": 0.9, "c": 0.1}
+        assert total_variation(p, q) == total_variation(q, p)
+
+
+class TestTCloseness:
+    def test_perfectly_mixed_classes(self):
+        released = Table([(1,), (1,), (2,), (2,)])
+        sensitive = ["flu", "hep", "flu", "hep"]
+        assert closeness_level(released, sensitive) == 0.0
+        assert is_t_close(released, sensitive, 0.0)
+
+    def test_skewed_class_detected(self):
+        # global: 50/50; class (1,): all flu -> TV = 0.5
+        released = Table([(1,), (1,), (2,), (2,)])
+        sensitive = ["flu", "flu", "hep", "hep"]
+        assert closeness_level(released, sensitive) == pytest.approx(0.5)
+        assert not is_t_close(released, sensitive, 0.4)
+        assert is_t_close(released, sensitive, 0.5)
+
+    def test_l_diverse_but_not_close(self):
+        """The 98%-HIV class: diverse yet far from the global mix."""
+        released = Table([(1,)] * 50 + [(2,)] * 50)
+        sensitive = (["HIV"] * 49 + ["Flu"]) + (["Flu"] * 49 + ["HIV"])
+        from repro.privacy import is_l_diverse
+
+        assert is_l_diverse(released, sensitive, 2)
+        assert closeness_level(released, sensitive) == pytest.approx(0.48)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            closeness_level(Table([(1,)]), ["a", "b"])
+        with pytest.raises(ValueError):
+            is_t_close(Table([(1,)]), ["a"], 1.5)
+
+    def test_empty(self):
+        assert closeness_level(Table([]), []) == 0.0
+
+    def test_single_class_is_0_close(self):
+        released = Table([(1,)] * 5)
+        assert closeness_level(released, list("aabbc")) == 0.0

@@ -1,0 +1,160 @@
+"""Tests for the Theorem 4.2 center/ball algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import InfeasibleAnonymizationError
+from repro.algorithms.center_cover import CenterCoverAnonymizer, build_ball_cover
+from repro.algorithms.exact import optimal_anonymization
+from repro.core.anonymity import is_k_anonymous
+from repro.core.distance import diameter_of, distance
+from repro.core.table import Table
+from repro.theory import theorem_4_2_ratio
+
+from .conftest import random_table
+
+
+class TestBuildBallCover:
+    def test_cover_valid(self):
+        t = Table([(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 2)])
+        cover = build_ball_cover(t, 2)
+        cover.validate()
+
+    def test_chosen_sets_are_balls(self):
+        """Every chosen set S must equal {v : d(c, v) <= r} for some
+        center c in S and realized radius r — Lemma 4.2's objects."""
+        import numpy as np
+
+        t = random_table(np.random.default_rng(5), 12, 4, 3)
+        cover = build_ball_cover(t, 3)
+        for group in cover.groups:
+            is_ball = False
+            for c in group:
+                radius = max(distance(t[c], t[v]) for v in group)
+                ball = {
+                    v for v in range(t.n_rows)
+                    if distance(t[c], t[v]) <= radius
+                }
+                if ball == set(group):
+                    is_ball = True
+                    break
+            assert is_ball, f"group {sorted(group)} is not a ball"
+
+    def test_lemma_4_2_ball_diameter_at_most_2r(self):
+        """d(S_{c,r}) <= 2r for every chosen ball."""
+        import numpy as np
+
+        t = random_table(np.random.default_rng(11), 15, 5, 3)
+        cover = build_ball_cover(t, 3)
+        for group in cover.groups:
+            # the tightest center realizes the smallest radius
+            best_radius = min(
+                max(distance(t[c], t[v]) for v in group) for c in group
+            )
+            assert diameter_of(t, group) <= 2 * best_radius
+
+    def test_duplicates_grouped_free(self):
+        t = Table([(1, 1)] * 3 + [(2, 2)] * 3)
+        cover = build_ball_cover(t, 3)
+        assert cover.diameter_sum(t) == 0
+
+    def test_exact_mode(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(2), 10, 4, 3)
+        cover = build_ball_cover(t, 2, diameter_mode="exact")
+        cover.validate()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_ball_cover(Table([(1,)]), 1, diameter_mode="wrong")
+        with pytest.raises(ValueError):
+            CenterCoverAnonymizer(diameter_mode="wrong")
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValueError):
+            build_ball_cover(Table([(1,)]), 2)
+
+    def test_empty(self):
+        assert len(build_ball_cover(Table([]), 2)) == 0
+
+
+class TestCenterAnonymizer:
+    def test_output_valid(self):
+        t = Table([(0, 0), (0, 1), (1, 0), (1, 1)] * 3)
+        result = CenterCoverAnonymizer().anonymize(t, 3)
+        assert result.is_valid(t)
+        assert result.algorithm == "center_cover"
+
+    def test_partition_groups_in_range(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 30, 5, 3)
+        result = CenterCoverAnonymizer().anonymize(t, 4)
+        assert result.partition is not None
+        assert all(4 <= len(g) <= 7 for g in result.partition.groups)
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleAnonymizationError):
+            CenterCoverAnonymizer().anonymize(Table([(1,)]), 5)
+
+    def test_empty_table(self):
+        result = CenterCoverAnonymizer().anonymize(Table([]), 3)
+        assert result.anonymized.n_rows == 0
+
+    def test_identical_rows_cost_zero(self):
+        t = Table([(3, 1)] * 8)
+        assert CenterCoverAnonymizer().anonymize(t, 4).stars == 0
+
+    def test_scales_to_hundreds_of_rows(self):
+        from repro.workloads import uniform_table
+
+        t = uniform_table(300, 8, alphabet_size=4, seed=0)
+        result = CenterCoverAnonymizer().anonymize(t, 5)
+        assert result.is_valid(t)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_always_k_anonymous(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 40))
+        t = random_table(rng, n, 5, 3)
+        result = CenterCoverAnonymizer().anonymize(t, k)
+        assert is_k_anonymous(result.anonymized, k)
+        assert result.is_valid(t)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 3))
+    def test_within_theorem_4_2_bound(self, seed, k):
+        """Measured ratio never exceeds 6k(1 + ln m) — Theorem 4.2."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 9))
+        m = 3
+        t = random_table(rng, n, m, 3)
+        result = CenterCoverAnonymizer().anonymize(t, k)
+        opt, _ = optimal_anonymization(t, k)
+        if opt == 0:
+            assert result.stars == 0
+        else:
+            assert result.stars <= theorem_4_2_ratio(k, m) * opt
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_exact_mode_also_valid(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        t = random_table(rng, 12, 4, 3)
+        result = CenterCoverAnonymizer(diameter_mode="exact").anonymize(t, 3)
+        assert result.is_valid(t)
+
+    def test_extras(self):
+        t = Table([(0, 0), (1, 1), (0, 1), (1, 0)])
+        result = CenterCoverAnonymizer().anonymize(t, 2)
+        assert result.extras["diameter_mode"] == "radius_bound"
+        assert result.extras["cover_sets"] >= 1

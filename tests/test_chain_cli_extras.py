@@ -1,0 +1,111 @@
+"""Tests for the greedy-chain baseline and the CLI's --ldiv flag."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    GreedyChainAnonymizer,
+    RandomPartitionAnonymizer,
+    nearest_neighbour_order,
+)
+from repro.cli import main
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+class TestNearestNeighbourOrder:
+    def test_visits_everything_once(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 15, 3, 3)
+        order = nearest_neighbour_order(t)
+        assert sorted(order) == list(range(15))
+
+    def test_follows_locality(self):
+        t = Table([(0, 0), (9, 9), (0, 1), (9, 8)])
+        order = nearest_neighbour_order(t)
+        assert order == [0, 2, 1, 3] or order == [0, 2, 3, 1]
+
+    def test_empty(self):
+        assert nearest_neighbour_order(Table([])) == []
+
+
+class TestGreedyChain:
+    def test_valid_output(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(1), 17, 4, 3)
+        result = GreedyChainAnonymizer().anonymize(t, 3)
+        assert result.is_valid(t)
+
+    def test_beats_random_on_clustered_data(self):
+        from repro.workloads import planted_groups_table
+
+        t = planted_groups_table(8, 3, 5, noise=0.05, seed=0)
+        chain = GreedyChainAnonymizer().anonymize(t, 3).stars
+        rand = RandomPartitionAnonymizer(seed=0).anonymize(t, 3).stars
+        assert chain < rand
+
+    def test_empty_and_infeasible(self):
+        from repro.algorithms.base import InfeasibleAnonymizationError
+
+        assert GreedyChainAnonymizer().anonymize(Table([]), 2).stars == 0
+        with pytest.raises(InfeasibleAnonymizationError):
+            GreedyChainAnonymizer().anonymize(Table([(1,)]), 2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_always_valid(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 20))
+        t = random_table(rng, n, 3, 3)
+        assert GreedyChainAnonymizer().anonymize(t, k).is_valid(t)
+
+
+class TestCliLdiv:
+    @pytest.fixture
+    def csv_with_sensitive(self, tmp_path):
+        path = tmp_path / "patients.csv"
+        rows = [
+            "age,zip,diagnosis",
+            "30,100,flu", "30,101,cold",
+            "40,200,flu", "40,201,hep",
+            "30,100,hep", "40,200,cold",
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        return path
+
+    def test_ldiv_release_is_diverse(self, csv_with_sensitive, tmp_path):
+        out = tmp_path / "out.csv"
+        code = main(
+            ["anonymize", str(csv_with_sensitive), "-k", "2",
+             "--ldiv", "2", "-o", str(out)]
+        )
+        assert code == 0
+        from repro.io import read_csv
+        from repro.privacy import is_l_diverse
+
+        released = read_csv(out)
+        assert released.attributes == ("age", "zip", "diagnosis")
+        sensitive = released.column("diagnosis")
+        identifiers = released.project(["age", "zip"])
+        from repro.core.anonymity import is_k_anonymous
+
+        assert is_k_anonymous(identifiers, 2)
+        assert is_l_diverse(identifiers, sensitive, 2)
+        # the sensitive column is released untouched
+        assert sorted(sensitive) == sorted(
+            ["flu", "cold", "flu", "hep", "hep", "cold"]
+        )
+
+    def test_chain_algorithm_via_cli(self, csv_with_sensitive, tmp_path):
+        out = tmp_path / "chain.csv"
+        code = main(
+            ["anonymize", str(csv_with_sensitive), "-k", "2",
+             "--algorithm", "chain", "-o", str(out)]
+        )
+        assert code == 0

@@ -1,0 +1,149 @@
+"""Composition tests: the pieces are designed to snap together.
+
+Any partition-based algorithm composes with cell-level recoding, the
+diversity/closeness wrappers, local search, and the validator — these
+tests exercise the combinations users will actually build.
+"""
+
+import pytest
+
+from repro import (
+    CenterCoverAnonymizer,
+    LocalSearchAnonymizer,
+    MondrianAnonymizer,
+    MSTForestAnonymizer,
+    SimulatedAnnealingAnonymizer,
+    is_k_anonymous,
+)
+from repro.core.table import Table
+from repro.generalization import (
+    Hierarchy,
+    interval_hierarchy,
+    recode_partition,
+    recoding_loss,
+)
+from repro.privacy import LDiverseAnonymizer, TCloseAnonymizer
+from repro.validate import validate_release
+
+from .conftest import random_table
+
+
+@pytest.fixture
+def numeric_table():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    return Table(
+        [(int(a), int(b)) for a, b in
+         zip(rng.integers(0, 32, size=18), rng.integers(0, 32, size=18))],
+        attributes=["x", "y"],
+    )
+
+
+@pytest.fixture
+def hierarchies():
+    h = interval_hierarchy(0, 32, base_width=4, branching=2)
+    return [h, h]
+
+
+class TestRecodingOverAnyPartitionAlgorithm:
+    @pytest.mark.parametrize("algorithm_factory", [
+        CenterCoverAnonymizer,
+        MondrianAnonymizer,
+        MSTForestAnonymizer,
+    ])
+    def test_recode_partition_composition(
+        self, numeric_table, hierarchies, algorithm_factory
+    ):
+        result = algorithm_factory().anonymize(numeric_table, 3)
+        assert result.partition is not None
+        released = recode_partition(numeric_table, result.partition,
+                                    hierarchies)
+        assert is_k_anonymous(released, 3)
+        loss = recoding_loss(numeric_table, result.partition, hierarchies)
+        assert loss <= result.stars + 1e-9  # LCA beats stars
+
+    def test_local_search_improves_recoding_too(self, numeric_table,
+                                                hierarchies):
+        base = CenterCoverAnonymizer().anonymize(numeric_table, 3)
+        polished = LocalSearchAnonymizer(CenterCoverAnonymizer()).anonymize(
+            numeric_table, 3
+        )
+        # star cost improved (or equal) implies we can recode both
+        assert polished.stars <= base.stars
+        for result in (base, polished):
+            released = recode_partition(
+                numeric_table, result.partition, hierarchies
+            )
+            assert is_k_anonymous(released, 3)
+
+
+class TestWrappersStack:
+    def test_ldiverse_over_annealing(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        identifiers = random_table(rng, 18, 3, 3)
+        sensitive = [int(v) for v in rng.integers(0, 3, size=18)]
+        wrapped = LDiverseAnonymizer(
+            2, inner=SimulatedAnnealingAnonymizer(steps=200, seed=0)
+        )
+        result = wrapped.anonymize_with_sensitive(identifiers, 3, sensitive)
+        assert result.is_valid(identifiers)
+        from repro.privacy import is_l_diverse
+
+        assert is_l_diverse(result.anonymized, sensitive, 2)
+
+    def test_tclose_over_local_search(self):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        identifiers = random_table(rng, 20, 3, 3)
+        sensitive = [int(v) for v in rng.integers(0, 2, size=20)]
+        wrapped = TCloseAnonymizer(
+            0.25, inner=LocalSearchAnonymizer(CenterCoverAnonymizer())
+        )
+        result = wrapped.anonymize_with_sensitive(identifiers, 3, sensitive)
+        from repro.privacy import is_t_close
+
+        assert is_t_close(result.anonymized, sensitive, 0.25)
+
+    def test_validator_accepts_all_compositions(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        table = random_table(rng, 16, 3, 3)
+        for algorithm in [
+            LocalSearchAnonymizer(MondrianAnonymizer()),
+            SimulatedAnnealingAnonymizer(steps=150, seed=1),
+        ]:
+            result = algorithm.anonymize(table, 3)
+            report = validate_release(table, result.anonymized, 3)
+            assert report.ok, report.summary()
+
+
+class TestSuppressionHierarchyBridge:
+    def test_star_release_equals_suppression_hierarchy_recode(self):
+        """Recoding with height-1 hierarchies is literally the paper's
+        Step 3 with '*' replaced by each hierarchy's root label."""
+        import numpy as np
+
+        from repro.core.alphabet import STAR
+        from repro.core.partition import anonymize_partition
+
+        rng = np.random.default_rng(4)
+        table = random_table(rng, 12, 2, 3)
+        hierarchies = [
+            Hierarchy.suppression(sorted({row[j] for row in table.rows}),
+                                  root=("ROOT", j))
+            for j in range(2)
+        ]
+        result = CenterCoverAnonymizer().anonymize(table, 3)
+        starred, _ = anonymize_partition(table, result.partition)
+        recoded = recode_partition(table, result.partition, hierarchies)
+        for star_row, recoded_row in zip(starred.rows, recoded.rows):
+            for j, (a, b) in enumerate(zip(star_row, recoded_row)):
+                if a is STAR:
+                    assert b == ("ROOT", j)
+                else:
+                    assert a == b

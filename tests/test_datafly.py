@@ -1,0 +1,111 @@
+"""Tests for the Datafly-style attribute suppressor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.datafly import DataflyAnonymizer, greedy_attribute_suppression
+from repro.algorithms.exact import optimal_attribute_suppression
+from repro.core.anonymity import is_k_anonymous
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+class TestGreedyAttributeSuppression:
+    def test_already_anonymous(self):
+        t = Table([(1, 2)] * 4)
+        assert greedy_attribute_suppression(t, 4) == frozenset()
+
+    def test_kills_most_diverse_column_first(self):
+        t = Table([(1, i) for i in range(4)])
+        suppressed = greedy_attribute_suppression(t, 4)
+        assert suppressed == frozenset({1})
+
+    def test_result_k_anonymizes_projection(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 12, 4, 2)
+        suppressed = greedy_attribute_suppression(t, 3)
+        kept = [j for j in range(4) if j not in suppressed]
+        if kept:
+            assert is_k_anonymous(t.project(kept), 3)
+
+    def test_never_beats_exact(self):
+        import numpy as np
+
+        for seed in range(6):
+            t = random_table(np.random.default_rng(seed), 9, 4, 2)
+            greedy = len(greedy_attribute_suppression(t, 3))
+            exact, _ = optimal_attribute_suppression(t, 3)
+            assert greedy >= exact
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            greedy_attribute_suppression(Table([(1,)]), 0)
+        with pytest.raises(ValueError):
+            greedy_attribute_suppression(Table([(1,)]), 2)
+
+
+class TestDataflyAnonymizer:
+    def test_valid_output(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 15, 4, 3)
+        result = DataflyAnonymizer().anonymize(t, 3)
+        assert result.is_valid(t)
+
+    def test_outlier_rows_fully_starred(self):
+        # 5 identical rows + 1 outlier: cheapest Datafly move is to star
+        # the outlier row and absorb enough rows to fill its class.
+        t = Table([(1, 1, 1)] * 5 + [(2, 2, 2)])
+        result = DataflyAnonymizer().anonymize(t, 2)
+        assert result.is_valid(t)
+        # outlier row starred (3) + one absorbed row to fill its class (3)
+        assert result.stars == 6
+
+    def test_extras(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(1), 12, 3, 4)
+        result = DataflyAnonymizer().anonymize(t, 3)
+        assert "suppressed_columns" in result.extras
+        assert "suppressed_rows" in result.extras
+
+    def test_no_partition(self):
+        t = Table([(1, 1)] * 4)
+        result = DataflyAnonymizer().anonymize(t, 2)
+        assert result.partition is None
+
+    def test_empty_and_infeasible(self):
+        from repro.algorithms.base import InfeasibleAnonymizationError
+
+        assert DataflyAnonymizer().anonymize(Table([]), 2).stars == 0
+        with pytest.raises(InfeasibleAnonymizationError):
+            DataflyAnonymizer().anonymize(Table([(1,)]), 2)
+
+    def test_max_outliers_zero_forces_columns(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(2), 10, 3, 2)
+        result = DataflyAnonymizer(max_outliers=0).anonymize(t, 2)
+        assert result.is_valid(t)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_always_valid(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 25))
+        m = int(rng.integers(1, 5))
+        t = random_table(rng, n, m, 3)
+        result = DataflyAnonymizer().anonymize(t, k)
+        assert result.is_valid(t)
+
+    def test_all_distinct_worst_case_terminates(self):
+        """Everything distinct at high k: Datafly must converge (possibly
+        to the all-starred table)."""
+        t = Table([(i, i + 1) for i in range(6)])
+        result = DataflyAnonymizer().anonymize(t, 6)
+        assert result.is_valid(t)

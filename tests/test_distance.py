@@ -1,0 +1,172 @@
+"""Tests for repro.core.distance: the metric, diameters, and ANON."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import STAR
+from repro.core.distance import (
+    anon_cost,
+    anon_cost_of,
+    diameter,
+    diameter_of,
+    differing_coordinates,
+    disagreeing_coordinates,
+    distance,
+    group_image,
+    group_image_of,
+    group_rows,
+    is_consistent_suppression,
+    pairwise_distance_matrix,
+    radius_from,
+)
+from repro.core.table import Table
+
+vectors = st.lists(st.integers(0, 3), min_size=4, max_size=4).map(tuple)
+small_groups = st.lists(vectors, min_size=1, max_size=6)
+
+
+class TestDistance:
+    def test_paper_example(self):
+        # Section 4's example: 1010 and 0110 differ in two coordinates.
+        assert distance((1, 0, 1, 0), (0, 1, 1, 0)) == 2
+
+    def test_identical(self):
+        assert distance((1, 2), (1, 2)) == 0
+
+    def test_mismatched_degrees_rejected(self):
+        with pytest.raises(ValueError):
+            distance((1,), (1, 2))
+        with pytest.raises(ValueError):
+            differing_coordinates((1,), (1, 2))
+
+    def test_star_is_a_value(self):
+        # STAR equals only itself: suppressed coordinates match each other.
+        assert distance((STAR, 1), (STAR, 1)) == 0
+        assert distance((STAR, 1), (1, 1)) == 1
+
+    @given(vectors, vectors)
+    def test_symmetry(self, u, v):
+        assert distance(u, v) == distance(v, u)
+
+    @given(vectors, vectors)
+    def test_identity_of_indiscernibles(self, u, v):
+        assert (distance(u, v) == 0) == (u == v)
+
+    @given(vectors, vectors, vectors)
+    def test_triangle_inequality(self, u, v, w):
+        assert distance(u, w) <= distance(u, v) + distance(v, w)
+
+    @given(vectors, vectors)
+    def test_range(self, u, v):
+        assert 0 <= distance(u, v) <= len(u)
+
+    def test_differing_coordinates(self):
+        assert differing_coordinates((1, 2, 3), (1, 0, 0)) == [1, 2]
+
+
+class TestDiameter:
+    def test_empty_and_singleton(self):
+        assert diameter([]) == 0
+        assert diameter([(1, 2)]) == 0
+
+    def test_paper_example_group(self):
+        # V = {1010, 1110, 0110}; the 3-group has diameter 2.
+        group = [(1, 0, 1, 0), (1, 1, 1, 0), (0, 1, 1, 0)]
+        assert diameter(group) == 2
+
+    @given(small_groups)
+    def test_diameter_is_max_pairwise(self, rows):
+        expected = max(
+            (distance(u, v) for i, u in enumerate(rows) for v in rows[i + 1:]),
+            default=0,
+        )
+        assert diameter(rows) == expected
+
+    @given(small_groups, vectors)
+    def test_monotone_under_insertion(self, rows, extra):
+        assert diameter(rows) <= diameter(rows + [extra])
+
+    def test_radius_from(self):
+        assert radius_from((0, 0), [(0, 1), (1, 1)]) == 2
+        assert radius_from((0, 0), []) == 0
+
+
+class TestDisagreementsAndImage:
+    def test_disagreeing_coordinates(self):
+        rows = [(1, 0, 1, 0), (1, 1, 1, 0), (0, 1, 1, 0)]
+        assert disagreeing_coordinates(rows) == [0, 1]
+
+    def test_empty_group(self):
+        assert disagreeing_coordinates([]) == []
+
+    def test_group_image_paper_example(self):
+        # t(b1 b2 b3 b4) = **b3 b4 on {1010, 1110, 0110} -> **10
+        rows = [(1, 0, 1, 0), (1, 1, 1, 0), (0, 1, 1, 0)]
+        assert group_image(rows) == (STAR, STAR, 1, 0)
+
+    def test_group_image_single(self):
+        assert group_image([(5, 6)]) == (5, 6)
+
+    def test_group_image_empty_rejected(self):
+        with pytest.raises(ValueError):
+            group_image([])
+
+    @given(small_groups)
+    def test_image_consistent_with_every_member(self, rows):
+        image = group_image(rows)
+        for row in rows:
+            assert is_consistent_suppression(row, image)
+
+    @given(small_groups)
+    def test_anon_cost_is_size_times_disagreements(self, rows):
+        assert anon_cost(rows) == len(rows) * len(disagreeing_coordinates(rows))
+
+    @given(small_groups)
+    def test_diameter_sandwich_on_disagreements(self, rows):
+        """d(S) <= |D(S)| <= (|S|-1) d(S): the inequalities behind
+        Lemma 4.1's two directions."""
+        d = diameter(rows)
+        disagreements = len(disagreeing_coordinates(rows))
+        assert d <= disagreements
+        if len(rows) > 1:
+            assert disagreements <= (len(rows) - 1) * d
+
+    @given(small_groups)
+    def test_anon_cost_at_least_size_times_diameter(self, rows):
+        assert anon_cost(rows) >= len(rows) * diameter(rows)
+
+
+class TestIndexSetVariants:
+    def test_group_rows(self):
+        t = Table([(1,), (2,), (3,)])
+        assert group_rows(t, [2, 0]) == [(3,), (1,)]
+
+    def test_diameter_anon_image_of(self):
+        t = Table([(0, 0), (0, 1), (1, 1)])
+        assert diameter_of(t, {0, 2}) == 2
+        assert anon_cost_of(t, {0, 1}) == 2
+        assert group_image_of(t, {1, 2}) == (STAR, 1)
+
+    def test_pairwise_matrix(self):
+        t = Table([(0, 0), (0, 1), (1, 1)])
+        matrix = pairwise_distance_matrix(t)
+        assert matrix == [[0, 1, 2], [1, 0, 1], [2, 1, 0]]
+
+    @settings(max_examples=25)
+    @given(st.lists(vectors, min_size=1, max_size=6))
+    def test_matrix_symmetric_zero_diagonal(self, rows):
+        matrix = pairwise_distance_matrix(Table(rows))
+        n = len(rows)
+        for i in range(n):
+            assert matrix[i][i] == 0
+            for j in range(n):
+                assert matrix[i][j] == matrix[j][i]
+
+
+class TestConsistency:
+    def test_consistent_cases(self):
+        assert is_consistent_suppression((1, 2), (1, STAR))
+        assert is_consistent_suppression((1, 2), (1, 2))
+        assert not is_consistent_suppression((1, 2), (1, 3))
+        assert not is_consistent_suppression((1, 2), (1,))

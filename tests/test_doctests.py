@@ -1,0 +1,31 @@
+"""Run every docstring example in the library as a test.
+
+Doc examples rot silently unless executed; this harness collects the
+doctests of every public module so ``pytest`` keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, __ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+def test_module_list_is_nontrivial():
+    assert len(MODULES) > 25
+    assert "repro.core.table" in MODULES
+    assert "repro.algorithms.greedy_cover" in MODULES
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

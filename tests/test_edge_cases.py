@@ -1,0 +1,148 @@
+"""Edge-case robustness across the stack.
+
+Unusual but legal inputs: exotic value types, extreme k, degenerate
+shapes, already-anonymized inputs.  These are the inputs a downstream
+user will eventually throw at the library.
+"""
+
+import pytest
+
+from repro import (
+    CenterCoverAnonymizer,
+    ExactAnonymizer,
+    KMemberAnonymizer,
+    MondrianAnonymizer,
+    MSTForestAnonymizer,
+    STAR,
+    SortedChunkAnonymizer,
+    Table,
+    is_k_anonymous,
+    optimal_anonymization,
+)
+
+ALGORITHMS = [
+    CenterCoverAnonymizer(),
+    MondrianAnonymizer(),
+    KMemberAnonymizer(),
+    MSTForestAnonymizer(),
+    SortedChunkAnonymizer(),
+]
+
+
+class TestExoticValues:
+    def test_unicode_values(self):
+        t = Table([("café", "東京"), ("café", "大阪"), ("thé", "東京"),
+                   ("thé", "大阪")])
+        for algorithm in ALGORITHMS:
+            assert algorithm.anonymize(t, 2).is_valid(t)
+
+    def test_none_as_a_data_value(self):
+        """None is a legitimate attribute value, distinct from STAR."""
+        t = Table([(None, 1), (None, 2), (3, 1), (3, 2)])
+        result = CenterCoverAnonymizer().anonymize(t, 2)
+        assert result.is_valid(t)
+        # None survives where groups agree on it
+        assert any(
+            cell is None for row in result.anonymized.rows for cell in row
+        ) or result.stars >= 4
+
+    def test_boolean_and_mixed_types(self):
+        t = Table([(True, "x"), (False, "x"), (True, "y"), (False, "y")])
+        for algorithm in ALGORITHMS:
+            assert algorithm.anonymize(t, 2).is_valid(t)
+
+    def test_string_star_vs_suppression_symbol(self):
+        """A literal "*" string value must not be confused with STAR."""
+        t = Table([("*", 1), ("*", 2)])
+        result = ExactAnonymizer().anonymize(t, 2)
+        assert result.anonymized.rows[0][0] == "*"
+        assert result.anonymized.rows[0][0] is not STAR
+        assert result.stars == 2  # only the second column is starred
+
+    def test_tuple_valued_cells(self):
+        t = Table([((1, 2), "a"), ((1, 2), "b"), ((3, 4), "a"), ((3, 4), "b")])
+        result = CenterCoverAnonymizer().anonymize(t, 2)
+        assert result.is_valid(t)
+
+
+class TestExtremeShapes:
+    def test_k_equals_n(self):
+        t = Table([(i, i % 2) for i in range(5)])
+        for algorithm in ALGORITHMS:
+            result = algorithm.anonymize(t, 5)
+            assert result.is_valid(t)
+            assert is_k_anonymous(result.anonymized, 5)
+
+    def test_single_column(self):
+        t = Table([(v,) for v in [1, 1, 2, 2, 3]])
+        opt, _ = optimal_anonymization(t, 2)
+        assert opt == 3  # the lone 3 must join a group, starring it
+        for algorithm in ALGORITHMS:
+            assert algorithm.anonymize(t, 2).is_valid(t)
+
+    def test_single_row_k1(self):
+        t = Table([(1, 2, 3)])
+        result = CenterCoverAnonymizer().anonymize(t, 1)
+        assert result.stars == 0
+
+    def test_very_wide_table(self):
+        t = Table([tuple(range(64))] * 2 + [tuple(range(1, 65))] * 2)
+        result = CenterCoverAnonymizer().anonymize(t, 2)
+        assert result.is_valid(t)
+        assert result.stars == 0
+
+    def test_all_rows_identical(self):
+        t = Table([("same",) * 3] * 9)
+        for algorithm in ALGORITHMS:
+            assert algorithm.anonymize(t, 4).stars == 0
+
+    def test_all_rows_maximally_different(self):
+        t = Table([(i, i, i) for i in range(6)])
+        opt, _ = optimal_anonymization(t, 3)
+        assert opt == 18  # everything must be starred
+        for algorithm in ALGORITHMS:
+            assert algorithm.anonymize(t, 3).stars == 18
+
+    def test_zero_column_table(self):
+        t = Table([(), (), ()])
+        assert is_k_anonymous(t, 3)
+        result = CenterCoverAnonymizer().anonymize(t, 3)
+        assert result.stars == 0
+
+
+class TestAlreadyAnonymizedInputs:
+    def test_starred_input_cells_are_values(self):
+        """Anonymizing a table that already contains STAR cells treats
+        them as ordinary (matching) values."""
+        t = Table([(STAR, 1), (STAR, 1), (STAR, 2), (STAR, 2)])
+        result = CenterCoverAnonymizer().anonymize(t, 2)
+        # already 2-anonymous: the suppressor adds nothing new (the four
+        # pre-existing stars still count in the released table's total)
+        assert result.suppressor.total_stars() == 0
+        assert result.anonymized == t
+        assert is_k_anonymous(result.anonymized, 2)
+
+    def test_partially_starred_input(self):
+        t = Table([(STAR, 1), (2, 1), (STAR, 3), (2, 3)])
+        result = ExactAnonymizer().anonymize(t, 2)
+        assert result.is_valid(t)
+
+    def test_reanonymizing_at_higher_k(self):
+        t = Table([(i % 3, i % 2) for i in range(12)])
+        first = CenterCoverAnonymizer().anonymize(t, 2)
+        second = CenterCoverAnonymizer().anonymize(first.anonymized, 4)
+        assert is_k_anonymous(second.anonymized, 4)
+
+
+class TestDegenerateParameters:
+    def test_k_one_everywhere(self):
+        t = Table([(i,) for i in range(4)])
+        for algorithm in ALGORITHMS:
+            result = algorithm.anonymize(t, 1)
+            assert result.stars == 0
+
+    def test_large_k_on_duplicates(self):
+        t = Table([(7,)] * 20)
+        result = CenterCoverAnonymizer().anonymize(t, 10)
+        assert result.stars == 0
+        assert is_k_anonymous(result.anonymized, 10)

@@ -1,0 +1,195 @@
+"""Tests for the exact solvers (DP, brute force, attribute version)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.exact import (
+    ExactAnonymizer,
+    brute_force_optimal,
+    optimal_anonymization,
+    optimal_attribute_suppression,
+)
+from repro.core.anonymity import is_k_anonymous
+from repro.core.partition import anonymize_partition
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+class TestOptimalAnonymization:
+    def test_identical_rows_zero(self):
+        t = Table([(1, 2)] * 4)
+        opt, partition = optimal_anonymization(t, 2)
+        assert opt == 0
+        assert partition.is_partition()
+
+    def test_forced_suppression(self):
+        t = Table([(0, 0), (0, 1)])
+        opt, _ = optimal_anonymization(t, 2)
+        assert opt == 2  # star the second coordinate in both rows
+
+    def test_grouping_matters(self):
+        # Pairing near rows beats pairing far rows.
+        t = Table([(0, 0, 0), (0, 0, 1), (5, 5, 5), (5, 5, 6)])
+        opt, partition = optimal_anonymization(t, 2)
+        assert opt == 4
+        assert frozenset({0, 1}) in partition.groups
+
+    def test_partition_reproduces_cost(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(1), 9, 4, 3)
+        opt, partition = optimal_anonymization(t, 3)
+        _, suppressor = anonymize_partition(t, partition)
+        assert suppressor.total_stars() == opt
+
+    def test_group_sizes_in_range(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(2), 10, 3, 3)
+        _, partition = optimal_anonymization(t, 3)
+        assert all(3 <= len(g) <= 5 for g in partition.groups)
+
+    def test_empty_table(self):
+        opt, partition = optimal_anonymization(Table([]), 4)
+        assert opt == 0
+        assert len(partition) == 0
+
+    def test_infeasible(self):
+        with pytest.raises(ValueError):
+            optimal_anonymization(Table([(1,)]), 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            optimal_anonymization(Table([(1,)]), 0)
+
+    def test_group_max_override_cannot_improve(self):
+        """Allowing groups beyond 2k-1 never helps (Section 4.1 WLOG)."""
+        import numpy as np
+
+        for seed in range(5):
+            t = random_table(np.random.default_rng(seed), 8, 3, 3)
+            restricted, _ = optimal_anonymization(t, 2)
+            relaxed, _ = optimal_anonymization(t, 2, group_max=8)
+            assert restricted == relaxed
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 3))
+    def test_matches_brute_force(self, seed, k):
+        """DP vs full partition enumeration — independent implementations."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 8))
+        t = random_table(rng, n, 3, 3)
+        dp, _ = optimal_anonymization(t, k)
+        assert dp == brute_force_optimal(t, k)
+
+    def test_anonymized_output_k_anonymous(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(9), 8, 4, 2)
+        _, partition = optimal_anonymization(t, 2)
+        anonymized, _ = anonymize_partition(t, partition)
+        assert is_k_anonymous(anonymized, 2)
+
+
+class TestBruteForce:
+    def test_small_instance(self):
+        t = Table([(0,), (0,), (1,), (1,)])
+        assert brute_force_optimal(t, 2) == 0
+
+    def test_single_group_forced(self):
+        t = Table([(0, 0), (1, 1), (2, 2)])
+        assert brute_force_optimal(t, 3) == 6
+
+    def test_empty(self):
+        assert brute_force_optimal(Table([]), 2) == 0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            brute_force_optimal(Table([(1,)]), 2)
+        with pytest.raises(ValueError):
+            brute_force_optimal(Table([(1,)]), 0)
+
+
+class TestExactAnonymizer:
+    def test_result_matches_opt(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(4), 8, 3, 3)
+        result = ExactAnonymizer().anonymize(t, 2)
+        opt, _ = optimal_anonymization(t, 2)
+        assert result.stars == opt == result.extras["opt"]
+        assert result.is_valid(t)
+
+    def test_lower_bounds_every_other_algorithm(self):
+        import numpy as np
+
+        from repro.algorithms import (
+            CenterCoverAnonymizer,
+            GreedyCoverAnonymizer,
+            KMemberAnonymizer,
+            MondrianAnonymizer,
+            MSTForestAnonymizer,
+        )
+
+        t = random_table(np.random.default_rng(6), 10, 4, 3)
+        opt = ExactAnonymizer().anonymize(t, 2).stars
+        for algorithm in [
+            GreedyCoverAnonymizer(),
+            CenterCoverAnonymizer(),
+            MondrianAnonymizer(),
+            KMemberAnonymizer(),
+            MSTForestAnonymizer(),
+        ]:
+            assert algorithm.anonymize(t, 2).stars >= opt
+
+
+class TestAttributeSuppression:
+    def test_already_anonymous_needs_nothing(self):
+        t = Table([(1, 2)] * 3)
+        count, suppressed = optimal_attribute_suppression(t, 3)
+        assert count == 0
+        assert suppressed == frozenset()
+
+    def test_one_column_enough(self):
+        t = Table([(1, 0), (1, 1), (1, 2)])
+        count, suppressed = optimal_attribute_suppression(t, 3)
+        assert count == 1
+        assert suppressed == frozenset({1})
+
+    def test_kept_projection_is_k_anonymous(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(3), 9, 4, 2)
+        count, suppressed = optimal_attribute_suppression(t, 3)
+        kept = [j for j in range(t.degree) if j not in suppressed]
+        projected = t.project(kept) if kept else t.with_rows(
+            [() for _ in range(t.n_rows)]
+        )
+        if kept:
+            assert is_k_anonymous(projected, 3)
+
+    def test_minimality(self):
+        """No smaller suppression set achieves k-anonymity."""
+        from itertools import combinations
+
+        import numpy as np
+
+        t = random_table(np.random.default_rng(8), 8, 4, 2)
+        count, _ = optimal_attribute_suppression(t, 3)
+        for smaller in range(count):
+            for subset in combinations(range(t.degree), smaller):
+                kept = [j for j in range(t.degree) if j not in subset]
+                assert not is_k_anonymous(t.project(kept), 3)
+
+    def test_empty_table(self):
+        assert optimal_attribute_suppression(Table([]), 2) == (0, frozenset())
+
+    def test_infeasible(self):
+        with pytest.raises(ValueError):
+            optimal_attribute_suppression(Table([(1,)]), 2)
+        with pytest.raises(ValueError):
+            optimal_attribute_suppression(Table([(1,)]), 0)

@@ -1,0 +1,75 @@
+"""Tests for the programmatic experiment runners."""
+
+import pytest
+
+from repro.algorithms import CenterCoverAnonymizer, GreedyCoverAnonymizer
+from repro.experiments import (
+    RatioRow,
+    comparison,
+    k_sweep,
+    ratio_experiment,
+    threshold_experiment,
+)
+from repro.workloads import uniform_table
+
+
+class TestRatioExperiment:
+    def test_greedy_within_bound(self):
+        exp = ratio_experiment(GreedyCoverAnonymizer(), k=2, n=8, trials=6)
+        assert exp.within_bound
+        assert exp.algorithm == "greedy_cover"
+        assert len(exp.rows) == 6
+        assert 1.0 <= exp.mean_ratio <= exp.max_ratio
+
+    def test_center_within_bound(self):
+        exp = ratio_experiment(CenterCoverAnonymizer(), k=2, n=8, trials=6)
+        assert exp.within_bound
+        assert exp.bound > 1
+
+    def test_ratio_row_semantics(self):
+        assert RatioRow(0, 4, 6).ratio == 1.5
+        assert RatioRow(0, 0, 0).ratio == 1.0
+        assert RatioRow(0, 0, 3).ratio == float("inf")
+
+    def test_deterministic(self):
+        a = ratio_experiment(CenterCoverAnonymizer(), k=2, n=7, trials=4)
+        b = ratio_experiment(CenterCoverAnonymizer(), k=2, n=7, trials=4)
+        assert a.rows == b.rows
+
+
+class TestThresholdExperiment:
+    @pytest.mark.parametrize("kind", ["entries", "attributes"])
+    @pytest.mark.parametrize("with_matching", [True, False])
+    def test_theorem_consistency(self, kind, with_matching):
+        result = threshold_experiment(
+            kind=kind, with_matching=with_matching, seed=3
+        )
+        assert result.has_matching == with_matching
+        assert result.consistent_with_theorem
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            threshold_experiment(kind="nonsense")
+
+
+class TestSweepAndComparison:
+    def test_k_sweep_monotone_cost(self):
+        table = uniform_table(40, 4, alphabet_size=3, seed=0)
+        points = k_sweep(table, ks=(2, 4, 8))
+        assert [p.k for p in points] == [2, 4, 8]
+        assert points[0].stars <= points[-1].stars * 1.25
+        assert all(0 <= p.precision <= 1 for p in points)
+
+    def test_comparison_default_algorithms(self):
+        table = uniform_table(24, 4, alphabet_size=3, seed=1)
+        costs = comparison(table, 3)
+        assert set(costs) >= {"center_cover", "mondrian", "random"}
+        assert all(cost >= 0 for cost in costs.values())
+        assert costs["center_cover"] <= costs["random"]
+
+    def test_comparison_custom_algorithms(self):
+        table = uniform_table(12, 3, alphabet_size=3, seed=2)
+        costs = comparison(
+            table, 2, {"only_center": CenterCoverAnonymizer}
+        )
+        assert list(costs) == ["only_center"]

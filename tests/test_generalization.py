@@ -1,0 +1,220 @@
+"""Tests for interval hierarchies, lattices, recoding, and Samarati."""
+
+import pytest
+
+from repro.core.table import Table
+from repro.generalization.hierarchy import Hierarchy
+from repro.generalization.interval import interval_hierarchy
+from repro.generalization.lattice import GeneralizationLattice
+from repro.generalization.recoding import (
+    generalization_precision,
+    generalize_table,
+    group_lca_levels,
+)
+from repro.generalization.samarati import samarati
+
+
+class TestIntervalHierarchy:
+    def test_power_of_two_range(self):
+        h = interval_hierarchy(0, 8, base_width=2, branching=2)
+        assert h.generalize(5, 1) == "4-5"
+        assert h.generalize(5, 2) == "4-7"
+        assert h.generalize(5, 3) == "0-7"
+        assert h.generalize(5, 4) == "*"
+        assert h.height == 4
+
+    def test_uneven_range(self):
+        h = interval_hierarchy(0, 6, base_width=2, branching=2)
+        # 3 base buckets -> 2 -> 1 -> root; all values reachable
+        for value in range(6):
+            assert h.generalize(value, h.height) == "*"
+
+    def test_all_values_are_leaves(self):
+        h = interval_hierarchy(10, 25, base_width=5)
+        assert set(h.leaves) == set(range(10, 25))
+
+    def test_wider_branching(self):
+        h = interval_hierarchy(0, 27, base_width=3, branching=3)
+        assert h.generalize(0, 1) == "0-2"
+        assert h.generalize(0, 2) == "0-8"
+        assert h.generalize(26, 2) == "18-26"
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            interval_hierarchy(5, 5, base_width=1)
+        with pytest.raises(ValueError):
+            interval_hierarchy(0, 10, base_width=0)
+        with pytest.raises(ValueError):
+            interval_hierarchy(0, 10, base_width=2, branching=1)
+
+    def test_duplicate_labels_disambiguated(self):
+        # 0-1 appears as a base bucket and as the lone merged bucket
+        h = interval_hierarchy(0, 2, base_width=2, branching=2)
+        assert h.height == 2
+        assert h.generalize(0, 1) == "0-1"
+        assert h.generalize(0, 2) == "*"
+
+
+class TestRecoding:
+    @pytest.fixture
+    def table(self):
+        return Table(
+            [(34, "Afr-Am"), (36, "Cauc"), (47, "Afr-Am"), (22, "Hisp")],
+            attributes=["age", "race"],
+        )
+
+    @pytest.fixture
+    def hierarchies(self):
+        return [
+            interval_hierarchy(0, 80, base_width=10, branching=2),
+            Hierarchy.from_nested({"*": {"person": ["Afr-Am", "Cauc", "Hisp"]}}),
+        ]
+
+    def test_generalize_table(self, table, hierarchies):
+        out = generalize_table(table, hierarchies, [1, 0])
+        assert out.rows[0] == ("30-39", "Afr-Am")
+        assert out.rows[3] == ("20-29", "Hisp")
+
+    def test_zero_levels_identity(self, table, hierarchies):
+        assert generalize_table(table, hierarchies, [0, 0]) == table
+
+    def test_arity_mismatch(self, table, hierarchies):
+        with pytest.raises(ValueError):
+            generalize_table(table, hierarchies[:1], [0])
+        with pytest.raises(ValueError):
+            generalization_precision(table, hierarchies, [0])
+
+    def test_precision_bounds(self, table, hierarchies):
+        assert generalization_precision(table, hierarchies, [0, 0]) == 1.0
+        top = [h.height for h in hierarchies]
+        assert generalization_precision(table, hierarchies, top) == 0.0
+        mid = generalization_precision(table, hierarchies, [1, 1])
+        assert 0.0 < mid < 1.0
+
+    def test_group_lca_levels(self, table, hierarchies):
+        levels = group_lca_levels(table, hierarchies, [0, 2])
+        # 34 and 47 split at 0-39/40-79 (level 3); level 4 = 0-79 unifies
+        assert levels == [4, 0]
+
+    def test_group_lca_empty_rejected(self, table, hierarchies):
+        with pytest.raises(ValueError):
+            group_lca_levels(table, hierarchies, [])
+
+    def test_suppression_hierarchy_matches_disagreements(self):
+        from repro.core.distance import disagreeing_coordinates
+
+        t = Table([(1, 2), (1, 3)])
+        hs = [Hierarchy.suppression([1]), Hierarchy.suppression([2, 3])]
+        levels = group_lca_levels(t, hs, [0, 1])
+        disagreements = disagreeing_coordinates(list(t.rows))
+        assert [j for j, lvl in enumerate(levels) if lvl] == disagreements
+
+
+class TestLattice:
+    @pytest.fixture
+    def lattice(self):
+        return GeneralizationLattice(
+            [Hierarchy.suppression(["a", "b"]),
+             Hierarchy.from_nested({"*": {"x": ["1", "2"], "y": ["3"]}})]
+        )
+
+    def test_bounds(self, lattice):
+        assert lattice.bottom == (0, 0)
+        assert lattice.top == (1, 2)
+        assert lattice.max_height == 3
+
+    def test_height(self, lattice):
+        assert lattice.height((1, 2)) == 3
+        with pytest.raises(ValueError):
+            lattice.height((2, 0))
+
+    def test_nodes_at_height(self, lattice):
+        assert sorted(lattice.nodes_at_height(1)) == [(0, 1), (1, 0)]
+        assert list(lattice.nodes_at_height(99)) == []
+
+    def test_successors(self, lattice):
+        assert sorted(lattice.successors((0, 1))) == [(0, 2), (1, 1)]
+        assert list(lattice.successors((1, 2))) == []
+
+    def test_satisfies_monotone(self):
+        t = Table([("a", "1"), ("b", "2"), ("a", "1"), ("b", "3")])
+        lattice = GeneralizationLattice(
+            [Hierarchy.suppression(["a", "b"]),
+             Hierarchy.from_nested({"*": {"x": ["1", "2"], "y": ["3"]}})]
+        )
+        satisfied = {
+            node: lattice.satisfies(t, node, 2)
+            for h in range(lattice.max_height + 1)
+            for node in lattice.nodes_at_height(h)
+        }
+        for node, ok in satisfied.items():
+            if ok:
+                for succ in lattice.successors(node):
+                    assert satisfied[succ], f"{node} ok but {succ} not"
+
+    def test_needs_hierarchies(self):
+        with pytest.raises(ValueError):
+            GeneralizationLattice([])
+
+
+class TestSamarati:
+    @pytest.fixture
+    def table(self):
+        return Table(
+            [(34, "Afr-Am"), (36, "Cauc"), (47, "Afr-Am"), (38, "Cauc")],
+            attributes=["age", "race"],
+        )
+
+    @pytest.fixture
+    def hierarchies(self):
+        return [
+            interval_hierarchy(0, 80, base_width=10, branching=2),
+            Hierarchy.from_nested({"*": {"person": ["Afr-Am", "Cauc"]}}),
+        ]
+
+    def test_finds_minimal_height(self, table, hierarchies):
+        node, height = samarati(table, hierarchies, 2)
+        lattice = GeneralizationLattice(hierarchies)
+        assert lattice.satisfies(table, node, 2)
+        assert sum(node) == height
+        # nothing at any smaller height works
+        for smaller in range(height):
+            for candidate in lattice.nodes_at_height(smaller):
+                assert not lattice.satisfies(table, candidate, 2)
+
+    def test_zero_height_when_already_anonymous(self, hierarchies):
+        t = Table([(34, "Cauc"), (34, "Cauc")], attributes=["age", "race"])
+        node, height = samarati(t, hierarchies, 2)
+        assert node == (0, 0) and height == 0
+
+    def test_max_suppression_lowers_height(self, hierarchies):
+        t = Table(
+            [(34, "Cauc"), (34, "Cauc"), (71, "Afr-Am")],
+            attributes=["age", "race"],
+        )
+        _, strict = samarati(t, hierarchies, 2, max_suppressed_rows=0)
+        _, relaxed = samarati(t, hierarchies, 2, max_suppressed_rows=1)
+        assert relaxed <= strict
+        assert relaxed == 0
+
+    def test_infeasible(self, hierarchies):
+        t = Table([(34, "Cauc")], attributes=["age", "race"])
+        with pytest.raises(ValueError, match="full generalization"):
+            samarati(t, hierarchies, 2)
+
+    def test_hospital_example_generalization(self):
+        """The paper's intro example, via generalization: ages 34/47 ->
+        a shared bucket, races equal; John R. rows share 20-40."""
+        t = Table(
+            [(34, "Stone"), (47, "Stone"), (36, "R"), (22, "R")],
+            attributes=["age", "last"],
+        )
+        hierarchies = [
+            interval_hierarchy(0, 80, base_width=10, branching=2),
+            Hierarchy.suppression(["Stone", "R"]),
+        ]
+        node, _ = samarati(t, hierarchies, 2)
+        recoded = generalize_table(t, hierarchies, list(node))
+        from repro.core.anonymity import is_k_anonymous
+
+        assert is_k_anonymous(recoded, 2)

@@ -1,0 +1,97 @@
+"""Tests for the hypergraph instance generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness.generators import (
+    matchless_hypergraph,
+    planted_matching_hypergraph,
+    random_hypergraph,
+)
+from repro.hardness.matching import find_perfect_matching, is_perfect_matching
+
+
+class TestPlanted:
+    def test_shape(self):
+        h, planted = planted_matching_hypergraph(3, 4, extra_edges=5, seed=0)
+        assert h.n_vertices == 12
+        assert h.n_edges == 8
+        assert len(planted) == 3
+
+    def test_planted_indices_form_matching(self):
+        h, planted = planted_matching_hypergraph(4, 3, extra_edges=4, seed=1)
+        assert is_perfect_matching(h, planted)
+
+    def test_simple_and_uniform(self):
+        h, _ = planted_matching_hypergraph(3, 3, extra_edges=6, seed=2)
+        assert h.is_simple()
+        assert h.is_uniform(3)
+
+    def test_deterministic(self):
+        a, _ = planted_matching_hypergraph(3, 3, extra_edges=3, seed=9)
+        b, _ = planted_matching_hypergraph(3, 3, extra_edges=3, seed=9)
+        assert a == b
+
+    def test_accepts_generator(self):
+        rng = np.random.default_rng(5)
+        h, _ = planted_matching_hypergraph(2, 3, seed=rng)
+        assert h.n_vertices == 6
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            planted_matching_hypergraph(0, 3)
+        with pytest.raises(ValueError):
+            planted_matching_hypergraph(2, 1)
+
+    def test_impossible_extra_edges(self):
+        # only C(3,3)=1 possible edge on 3 vertices
+        with pytest.raises(ValueError, match="distinct extra edges"):
+            planted_matching_hypergraph(1, 3, extra_edges=5, seed=0)
+
+
+class TestRandom:
+    def test_shape_and_simplicity(self):
+        h = random_hypergraph(10, 12, 3, seed=0)
+        assert h.n_vertices == 10
+        assert h.n_edges == 12
+        assert h.is_simple()
+        assert h.is_uniform(3)
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(2, 1, 3)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError, match="distinct edges"):
+            random_hypergraph(4, 10, 3, seed=0)  # C(4,3) = 4 < 10
+
+    def test_deterministic(self):
+        assert random_hypergraph(8, 6, 3, seed=4) == random_hypergraph(8, 6, 3, seed=4)
+
+
+class TestMatchless:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4), st.integers(2, 4))
+    def test_never_has_perfect_matching(self, seed, n_groups, k):
+        h = matchless_hypergraph(n_groups, k, n_edges=2 * n_groups, seed=seed)
+        assert find_perfect_matching(h) is None
+
+    def test_every_vertex_covered(self):
+        h = matchless_hypergraph(3, 3, n_edges=6, seed=0)
+        assert h.isolated_vertices() == []
+
+    def test_all_edges_share_vertex_zero(self):
+        h = matchless_hypergraph(3, 3, n_edges=7, seed=1)
+        assert all(0 in edge for edge in h.edges)
+
+    def test_uniform(self):
+        h = matchless_hypergraph(2, 4, n_edges=5, seed=2)
+        assert h.is_uniform(4)
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="n_groups >= 2"):
+            matchless_hypergraph(1, 3, n_edges=3)
+        with pytest.raises(ValueError, match="k must be"):
+            matchless_hypergraph(2, 1, n_edges=3)

@@ -1,0 +1,111 @@
+"""Tests for value generalization hierarchies."""
+
+import pytest
+
+from repro.generalization.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def race() -> Hierarchy:
+    return Hierarchy.from_nested({"*": {"person": ["Afr-Am", "Cauc", "Hisp"]}})
+
+
+@pytest.fixture
+def geo() -> Hierarchy:
+    return Hierarchy.from_nested(
+        {
+            "World": {
+                "Europe": {"France": ["Paris", "Lyon"], "Italy": ["Rome", "Milan"]},
+                "America": {"USA": ["NYC", "LA"], "Brazil": ["Rio", "SP"]},
+            }
+        }
+    )
+
+
+class TestConstruction:
+    def test_height(self, race, geo):
+        assert race.height == 2
+        assert geo.height == 3
+
+    def test_leaves(self, geo):
+        assert set(geo.leaves) == {"Paris", "Lyon", "Rome", "Milan",
+                                   "NYC", "LA", "Rio", "SP"}
+
+    def test_suppression_factory(self):
+        h = Hierarchy.suppression(["a", "b", "c"])
+        assert h.height == 1
+        assert h.generalize("b", 1) == "*"
+
+    def test_mixed_depths_rejected(self):
+        with pytest.raises(ValueError, match="mixed depths"):
+            Hierarchy.from_nested({"*": {"deep": {"deeper": ["x"]}, "shallow": ["y"]}})
+
+    def test_nested_needs_single_root(self):
+        with pytest.raises(ValueError, match="one root"):
+            Hierarchy.from_nested({"a": ["x"], "b": ["y"]})
+
+    def test_root_with_parent_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            Hierarchy({"root": "x", "leaf": "root"}, "root")
+
+    def test_disconnected_node_rejected(self):
+        with pytest.raises(ValueError):
+            Hierarchy({"a": "orphan_parent", "b": "*"}, "*")
+
+    def test_no_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            Hierarchy({}, "*")
+
+
+class TestQueries:
+    def test_level_of(self, geo):
+        assert geo.level_of("Paris") == 0
+        assert geo.level_of("France") == 1
+        assert geo.level_of("Europe") == 2
+        assert geo.level_of("World") == 3
+
+    def test_level_of_unknown(self, geo):
+        with pytest.raises(KeyError):
+            geo.level_of("Atlantis")
+
+    def test_generalize_chain(self, geo):
+        assert geo.generalize("Paris", 0) == "Paris"
+        assert geo.generalize("Paris", 1) == "France"
+        assert geo.generalize("Paris", 2) == "Europe"
+        assert geo.generalize("Paris", 3) == "World"
+
+    def test_generalize_from_inner_node(self, geo):
+        assert geo.generalize("Italy", 2) == "Europe"
+
+    def test_generalize_below_own_level_rejected(self, geo):
+        with pytest.raises(ValueError):
+            geo.generalize("Europe", 0)
+
+    def test_generalize_beyond_height_rejected(self, geo):
+        with pytest.raises(ValueError):
+            geo.generalize("Paris", 4)
+
+    def test_lca_level(self, geo):
+        assert geo.lca_level(["Paris", "Lyon"]) == 1
+        assert geo.lca_level(["Paris", "Rome"]) == 2
+        assert geo.lca_level(["Paris", "NYC"]) == 3
+        assert geo.lca_level(["Paris"]) == 0
+
+    def test_lca_level_mixed_levels(self, geo):
+        assert geo.lca_level(["France", "Rome"]) == 2
+
+    def test_lca_empty_rejected(self, geo):
+        with pytest.raises(ValueError):
+            geo.lca_level([])
+
+    def test_contains(self, race):
+        assert "Cauc" in race
+        assert "person" in race
+        assert "Klingon" not in race
+        assert [1, 2] not in race
+
+    def test_repr(self, race):
+        assert "height=2" in repr(race)
+
+    def test_root_property(self, geo):
+        assert geo.root == "World"

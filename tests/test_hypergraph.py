@@ -1,0 +1,73 @@
+"""Tests for repro.hardness.hypergraph."""
+
+import pytest
+
+from repro.hardness.hypergraph import Hypergraph
+
+
+class TestConstruction:
+    def test_basic(self):
+        h = Hypergraph(4, [{0, 1, 2}, {1, 2, 3}])
+        assert h.n_vertices == 4
+        assert h.n_edges == 2
+        assert h.edge(1) == frozenset({1, 2, 3})
+
+    def test_edge_order_preserved(self):
+        h = Hypergraph(3, [{2, 1, 0}, {0, 1, 2}], require_simple=False)
+        assert h.edges[0] == h.edges[1]
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Hypergraph(3, [set()])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out-of-range"):
+            Hypergraph(3, [{0, 5}])
+
+    def test_negative_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(-1, [])
+
+    def test_duplicate_edges_rejected_by_default(self):
+        with pytest.raises(ValueError, match="repeated"):
+            Hypergraph(3, [{0, 1}, {1, 0}])
+
+    def test_duplicate_edges_allowed_when_not_simple(self):
+        h = Hypergraph(3, [{0, 1}, {1, 0}], require_simple=False)
+        assert not h.is_simple()
+
+
+class TestQueries:
+    @pytest.fixture
+    def graph(self):
+        return Hypergraph(6, [{0, 1, 2}, {3, 4, 5}, {0, 3, 4}])
+
+    def test_uniformity(self, graph):
+        assert graph.is_uniform(3)
+        assert not graph.is_uniform(2)
+
+    def test_incidence(self, graph):
+        assert graph.incident_edges(0) == (0, 2)
+        assert graph.incident_edges(5) == (1,)
+
+    def test_degree(self, graph):
+        assert graph.degree(3) == 2
+        assert graph.degree(1) == 1
+
+    def test_isolated_vertices(self):
+        h = Hypergraph(4, [{0, 1}])
+        assert h.isolated_vertices() == [2, 3]
+
+    def test_no_isolated(self, graph):
+        assert graph.isolated_vertices() == []
+
+    def test_equality_and_hash(self):
+        a = Hypergraph(3, [{0, 1}])
+        b = Hypergraph(3, [{1, 0}])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Hypergraph(4, [{0, 1}])
+        assert a != "graph"
+
+    def test_repr(self, graph):
+        assert "n_vertices=6" in repr(graph)

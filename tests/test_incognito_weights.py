@@ -1,0 +1,223 @@
+"""Tests for Incognito lattice search and weighted suppression."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.table import Table
+from repro.core.weights import (
+    check_weights,
+    optimal_weighted_anonymization,
+    weighted_anon_cost,
+    weighted_cluster_partition,
+    weighted_star_cost,
+)
+from repro.generalization import (
+    GeneralizationLattice,
+    Hierarchy,
+    best_incognito_node,
+    incognito,
+    samarati,
+)
+
+from .conftest import random_table
+
+
+@pytest.fixture
+def hierarchies():
+    return [
+        Hierarchy.suppression(["a", "b", "c"]),
+        Hierarchy.from_nested({"*": {"x": ["1", "2"], "y": ["3", "4"]}}),
+    ]
+
+
+@pytest.fixture
+def table():
+    return Table(
+        [("a", "1"), ("b", "2"), ("a", "3"), ("b", "4"), ("a", "1"),
+         ("b", "2")]
+    )
+
+
+class TestIncognito:
+    def test_minimal_nodes_satisfy(self, table, hierarchies):
+        lattice = GeneralizationLattice(hierarchies)
+        for node in incognito(table, hierarchies, 2):
+            assert lattice.satisfies(table, node, 2)
+
+    def test_minimality(self, table, hierarchies):
+        lattice = GeneralizationLattice(hierarchies)
+        minimal = incognito(table, hierarchies, 2)
+        for node in minimal:
+            for j in range(len(node)):
+                if node[j] > 0:
+                    below = node[:j] + (node[j] - 1,) + node[j + 1:]
+                    assert not lattice.satisfies(table, below, 2), (
+                        f"{node} not minimal: {below} also satisfies"
+                    )
+
+    def test_antichain(self, table, hierarchies):
+        minimal = incognito(table, hierarchies, 2)
+        for a in minimal:
+            for b in minimal:
+                if a != b:
+                    assert not all(x <= y for x, y in zip(a, b))
+
+    def test_completeness_against_exhaustive(self, table, hierarchies):
+        """Incognito's frontier == brute-force minimal satisfying set."""
+        lattice = GeneralizationLattice(hierarchies)
+        from itertools import product
+
+        all_nodes = list(
+            product(*(range(h.height + 1) for h in hierarchies))
+        )
+        satisfying = {
+            node for node in all_nodes if lattice.satisfies(table, node, 2)
+        }
+        exhaustive_minimal = {
+            node for node in satisfying
+            if not any(
+                other != node and all(x <= y for x, y in zip(other, node))
+                for other in satisfying
+            )
+        }
+        assert set(incognito(table, hierarchies, 2)) == exhaustive_minimal
+
+    def test_agrees_with_samarati_height(self, table, hierarchies):
+        _, height = samarati(table, hierarchies, 2)
+        minimal = incognito(table, hierarchies, 2)
+        assert min(sum(node) for node in minimal) == height
+
+    def test_best_node_satisfies(self, table, hierarchies):
+        lattice = GeneralizationLattice(hierarchies)
+        node = best_incognito_node(table, hierarchies, 2)
+        assert lattice.satisfies(table, node, 2)
+
+    def test_bottom_satisfying_short_circuit(self, hierarchies):
+        t = Table([("a", "1")] * 4)
+        assert incognito(t, hierarchies, 2) == [(0, 0)]
+
+    def test_infeasible(self, hierarchies):
+        t = Table([("a", "1")])
+        with pytest.raises(ValueError, match="full generalization"):
+            incognito(t, hierarchies, 2)
+
+    def test_max_suppression_allowance(self, hierarchies):
+        t = Table([("a", "1"), ("a", "1"), ("b", "4")])
+        strict = incognito(t, hierarchies, 2)
+        relaxed = incognito(t, hierarchies, 2, max_suppressed_rows=1)
+        assert min(sum(n) for n in relaxed) <= min(sum(n) for n in strict)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_random_tables_frontier_correct(self, seed):
+        import numpy as np
+
+        hierarchies = [
+            Hierarchy.suppression(["a", "b", "c"]),
+            Hierarchy.from_nested({"*": {"x": ["1", "2"], "y": ["3", "4"]}}),
+        ]
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 10))
+        rows = [
+            (["a", "b", "c"][int(rng.integers(0, 3))],
+             str(int(rng.integers(1, 5))))
+            for _ in range(n)
+        ]
+        t = Table(rows)
+        lattice = GeneralizationLattice(hierarchies)
+        minimal = incognito(t, hierarchies, 2)
+        for node in minimal:
+            assert lattice.satisfies(t, node, 2)
+
+
+class TestWeights:
+    def test_check_weights(self):
+        assert check_weights([1, 2.5], 2) == (1.0, 2.5)
+        with pytest.raises(ValueError, match="weights for degree"):
+            check_weights([1], 2)
+        with pytest.raises(ValueError, match="positive"):
+            check_weights([1, 0], 2)
+
+    def test_weighted_anon_cost(self):
+        rows = [(0, 0), (0, 1)]
+        assert weighted_anon_cost(rows, [1, 10]) == 20.0
+        assert weighted_anon_cost(rows, [1, 1]) == 2.0
+        assert weighted_anon_cost([], [1, 1]) == 0.0
+
+    def test_weighted_star_cost(self):
+        from repro.core.alphabet import STAR
+
+        t = Table([(STAR, 1), (2, STAR)])
+        assert weighted_star_cost(t, [3, 5]) == 8.0
+
+    def test_unit_weights_match_unweighted_exact(self):
+        import numpy as np
+
+        from repro.algorithms.exact import optimal_anonymization
+
+        for seed in range(5):
+            t = random_table(np.random.default_rng(seed), 8, 3, 3)
+            unweighted, _ = optimal_anonymization(t, 2)
+            weighted, _ = optimal_weighted_anonymization(t, 2, [1, 1, 1])
+            assert weighted == pytest.approx(unweighted)
+
+    def test_weights_change_the_optimal_grouping(self):
+        # pairing that stars the cheap column wins under skewed weights
+        t = Table([(0, 0), (0, 1), (1, 0), (1, 1)])
+        _, cheap_second = optimal_weighted_anonymization(t, 2, [100, 1])
+        # groups must agree on coordinate 0 (expensive): {0,1} and {2,3}
+        assert {frozenset({0, 1}), frozenset({2, 3})} == set(
+            cheap_second.groups
+        )
+        _, cheap_first = optimal_weighted_anonymization(t, 2, [1, 100])
+        assert {frozenset({0, 2}), frozenset({1, 3})} == set(
+            cheap_first.groups
+        )
+
+    def test_weighted_optimal_cost_reproduced_by_partition(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(3), 8, 3, 3)
+        weights = [1.0, 2.0, 4.0]
+        opt, partition = optimal_weighted_anonymization(t, 2, weights)
+        from repro.core.partition import anonymize_partition
+
+        anonymized, _ = anonymize_partition(t, partition)
+        assert weighted_star_cost(anonymized, weights) == pytest.approx(opt)
+
+    def test_weighted_cluster_valid_and_no_better_than_exact(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(4), 9, 3, 3)
+        weights = [5.0, 1.0, 1.0]
+        partition = weighted_cluster_partition(t, 3, weights)
+        partition.validate()
+        opt, _ = optimal_weighted_anonymization(t, 3, weights)
+        from repro.core.partition import anonymize_partition
+
+        anonymized, _ = anonymize_partition(t, partition)
+        assert weighted_star_cost(anonymized, weights) >= opt - 1e-9
+
+    def test_weighted_edge_cases(self):
+        assert optimal_weighted_anonymization(Table([]), 2, [])[0] == 0.0
+        with pytest.raises(ValueError):
+            optimal_weighted_anonymization(Table([(1,)]), 2, [1.0])
+        with pytest.raises(ValueError):
+            optimal_weighted_anonymization(Table([(1,)]), 0, [1.0])
+        with pytest.raises(ValueError):
+            weighted_cluster_partition(Table([(1,)]), 2, [1.0])
+        assert len(weighted_cluster_partition(Table([]), 2, [])) == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_scaling_weights_scales_cost(self, seed):
+        """WOPT(c * w) == c * WOPT(w): the objective is homogeneous."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 8))
+        t = random_table(rng, n, 3, 3)
+        base, _ = optimal_weighted_anonymization(t, 2, [1, 2, 3])
+        scaled, _ = optimal_weighted_anonymization(t, 2, [2, 4, 6])
+        assert scaled == pytest.approx(2 * base)

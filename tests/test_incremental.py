@@ -1,0 +1,200 @@
+"""Tests for incremental anonymization and the shared partition DP."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.incremental import IncrementalAnonymizer
+from repro.algorithms.partition_dp import minimum_cost_partition
+from repro.core.alphabet import STAR
+from repro.core.anonymity import is_k_anonymous
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+class TestPartitionDpEngine:
+    def test_zero_cost_function(self):
+        cost, groups = minimum_cost_partition(6, 2, lambda members: 0.0)
+        assert cost == 0.0
+        assert sorted(i for g in groups for i in g) == list(range(6))
+        assert all(2 <= len(g) <= 3 for g in groups)
+
+    def test_prefers_cheap_groups(self):
+        # cost = spread of indices: consecutive pairs are optimal
+        def spread(members):
+            return max(members) - min(members)
+
+        cost, groups = minimum_cost_partition(6, 2, spread)
+        assert cost == 3.0
+        assert {frozenset({0, 1}), frozenset({2, 3}), frozenset({4, 5})} == set(
+            groups
+        )
+
+    def test_group_max_override(self):
+        cost, groups = minimum_cost_partition(
+            6, 2, lambda m: float(len(m)), group_max=2
+        )
+        assert all(len(g) == 2 for g in groups)
+        assert cost == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_cost_partition(1, 2, lambda m: 0.0)
+        with pytest.raises(ValueError):
+            minimum_cost_partition(3, 0, lambda m: 0.0)
+        with pytest.raises(ValueError):
+            minimum_cost_partition(3, 2, lambda m: 0.0, group_max=1)
+        assert minimum_cost_partition(0, 3, lambda m: 0.0) == (0.0, [])
+
+    def test_cost_function_called_once_per_group(self):
+        calls = []
+
+        def counting(members):
+            calls.append(members)
+            return 0.0
+
+        minimum_cost_partition(5, 2, counting)
+        assert len(calls) == len(set(calls))
+
+
+class TestOptimalRecoding:
+    def test_suppression_hierarchies_match_exact(self):
+        """With height-1 hierarchies, recoding loss == OPT stars."""
+        import numpy as np
+
+        from repro.algorithms.exact import optimal_anonymization
+        from repro.generalization import Hierarchy
+        from repro.generalization.optimal_recoding import optimal_recoding
+
+        for seed in range(4):
+            t = random_table(np.random.default_rng(seed), 8, 3, 3)
+            hierarchies = [
+                Hierarchy.suppression(sorted({row[j] for row in t.rows}))
+                for j in range(3)
+            ]
+            loss, _ = optimal_recoding(t, 2, hierarchies)
+            opt, _ = optimal_anonymization(t, 2)
+            assert loss == pytest.approx(opt)
+
+    def test_real_hierarchies_lose_less(self):
+        """Interval hierarchies never lose more than suppression."""
+        from repro.algorithms.exact import optimal_anonymization
+        from repro.generalization import interval_hierarchy
+        from repro.generalization.optimal_recoding import optimal_recoding
+
+        t = Table([(2,), (3,), (12,), (13,)])
+        hierarchy = interval_hierarchy(0, 16, base_width=2, branching=2)
+        loss, partition = optimal_recoding(t, 2, hierarchies=[hierarchy])
+        opt, _ = optimal_anonymization(t, 2)
+        assert loss <= opt
+        # the natural grouping pairs neighbours
+        assert {frozenset({0, 1}), frozenset({2, 3})} == set(partition.groups)
+
+    def test_recoded_release_is_k_anonymous(self):
+        from repro.generalization import interval_hierarchy, recode_partition
+        from repro.generalization.optimal_recoding import optimal_recoding
+
+        t = Table([(1,), (6,), (9,), (14,)])
+        hierarchy = interval_hierarchy(0, 16, base_width=4, branching=2)
+        _, partition = optimal_recoding(t, 2, [hierarchy])
+        released = recode_partition(t, partition, [hierarchy])
+        assert is_k_anonymous(released, 2)
+
+    def test_validation(self):
+        from repro.generalization import Hierarchy
+        from repro.generalization.optimal_recoding import optimal_recoding
+
+        h = Hierarchy.suppression([1, 2])
+        with pytest.raises(ValueError):
+            optimal_recoding(Table([(1,), (2,)]), 2, [h, h])
+        with pytest.raises(ValueError):
+            optimal_recoding(Table([(1,)]), 2, [h])
+        assert optimal_recoding(Table([], attributes=["a"]), 2, [h])[0] == 0.0
+
+
+class TestIncrementalAnonymizer:
+    def test_doctest_scenario(self):
+        inc = IncrementalAnonymizer(k=2, degree=2)
+        inc.insert([(0, 0), (0, 1)])
+        assert inc.released().rows == ((0, STAR), (0, STAR))
+        inc.insert([(5, 5)])
+        assert inc.released().rows[2] == (STAR, STAR)
+        assert inc.n_pending == 1
+        inc.insert([(5, 5)])
+        assert inc.released().rows[2] == (5, 5)
+        assert inc.n_pending == 0
+
+    def test_snapshots_always_k_anonymous(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        inc = IncrementalAnonymizer(k=3, degree=3)
+        for _ in range(15):
+            batch = [tuple(int(v) for v in rng.integers(0, 3, size=3))]
+            inc.insert(batch)
+            assert inc.is_publishable()
+            snapshot = inc.released()
+            # the full snapshot (pending all-star rows included) is
+            # k-anonymous whenever the all-star class is empty or big
+            if inc.n_pending == 0:
+                assert is_k_anonymous(snapshot, 3)
+
+    def test_images_only_coarsen(self):
+        """Once a cell is released, later snapshots never reveal more
+        about it — the anti-intersection-attack invariant."""
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        inc = IncrementalAnonymizer(k=2, degree=3)
+        previous: list[tuple] = []
+        previously_settled: set[int] = set()
+        for _ in range(20):
+            inc.insert([tuple(int(v) for v in rng.integers(0, 2, size=3))])
+            current = list(inc.released().rows)
+            for i in previously_settled:
+                # a *published* (settled) cell, once starred, stays starred;
+                # pending rows are withheld, not published, so their later
+                # reveal is fine and they are excluded here
+                for old_value, new_value in zip(previous[i], current[i]):
+                    if old_value is STAR:
+                        assert new_value is STAR
+            previous = current
+            previously_settled = set(inc._group_of)
+
+    def test_batch_insert(self):
+        inc = IncrementalAnonymizer(k=2, degree=1)
+        inc.insert([(1,), (1,), (2,), (2,), (3,)])
+        assert inc.n_rows == 5
+        assert inc.n_pending == 1
+
+    def test_degree_validation(self):
+        inc = IncrementalAnonymizer(k=2, degree=2)
+        with pytest.raises(ValueError, match="degree"):
+            inc.insert([(1,)])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalAnonymizer(k=0, degree=1)
+        with pytest.raises(ValueError):
+            IncrementalAnonymizer(k=2, degree=-1)
+
+    def test_attributes_carried(self):
+        inc = IncrementalAnonymizer(k=2, degree=2, attributes=["a", "b"])
+        inc.insert([(1, 2), (1, 3)])
+        assert inc.released().attributes == ("a", "b")
+
+    def test_groups_never_exceed_2k_minus_1(self):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        inc = IncrementalAnonymizer(k=2, degree=2)
+        for _ in range(30):
+            inc.insert([tuple(int(v) for v in rng.integers(0, 2, size=2))])
+        assert all(len(g) <= 3 for g in inc._groups)
+
+    def test_empty_snapshot(self):
+        inc = IncrementalAnonymizer(k=3, degree=2)
+        assert inc.released().n_rows == 0
+        assert inc.is_publishable()
+        assert inc.total_stars() == 0

@@ -1,0 +1,148 @@
+"""Integration tests: the paper's example and cross-module pipelines."""
+
+import pytest
+
+from repro import (
+    CenterCoverAnonymizer,
+    ExactAnonymizer,
+    GreedyCoverAnonymizer,
+    STAR,
+    Suppressor,
+    Table,
+    is_k_anonymous,
+    optimal_anonymization,
+)
+from repro.core.anonymity import equivalence_classes
+from repro.core.metrics import metric_report
+
+
+class TestHospitalExample:
+    """Section 1's motivating table, under the suppression-only model."""
+
+    def test_optimal_two_anonymization(self, hospital_table):
+        opt, partition = optimal_anonymization(hospital_table, 2)
+        # The natural grouping: the two Stones (differ in first+age,
+        # 2 coords x 2 rows = 4 stars) and the two Johns (differ in
+        # last+age+race, 3 coords x 2 rows = 6 stars): 10 total.
+        assert opt == 10
+        groups = {frozenset(g) for g in partition.groups}
+        assert groups == {frozenset({0, 2}), frozenset({1, 3})}
+
+    def test_anonymized_output_matches_paper_structure(self, hospital_table):
+        result = ExactAnonymizer().anonymize(hospital_table, 2)
+        rows = result.anonymized.rows
+        # Stones: (*, Stone, *, Afr-Am); Johns: (John, *, *, *)
+        assert rows[0] == (STAR, "Stone", STAR, "Afr-Am")
+        assert rows[2] == (STAR, "Stone", STAR, "Afr-Am")
+        assert rows[1] == ("John", STAR, STAR, STAR)
+        assert rows[3] == ("John", STAR, STAR, STAR)
+
+    def test_approximations_also_find_it(self, hospital_table):
+        for algorithm in [GreedyCoverAnonymizer(), CenterCoverAnonymizer()]:
+            result = algorithm.anonymize(hospital_table, 2)
+            assert result.is_valid(hospital_table)
+            assert result.stars <= 12  # never catastrophically off
+
+    def test_metrics_on_released_table(self, hospital_table):
+        result = ExactAnonymizer().anonymize(hospital_table, 2)
+        report = metric_report(result.anonymized, 2)
+        assert report["stars"] == 10
+        assert report["classes"] == 2
+        assert report["avg_class_size_ratio"] == 1.0
+
+
+class TestEndToEndPipelines:
+    def test_census_pipeline_all_algorithms_ordered(self):
+        """On a real-ish workload the cost ordering must put exact below
+        the approximations and everything below suppress-everything."""
+        from repro.algorithms import (
+            KMemberAnonymizer,
+            MondrianAnonymizer,
+            MSTForestAnonymizer,
+            RandomPartitionAnonymizer,
+            SuppressEverythingAnonymizer,
+        )
+        from repro.workloads import census_table, quasi_identifiers
+
+        table = quasi_identifiers(census_table(60, seed=0))
+        ceiling = SuppressEverythingAnonymizer().anonymize(table, 3).stars
+        for algorithm in [
+            CenterCoverAnonymizer(),
+            MondrianAnonymizer(),
+            KMemberAnonymizer(),
+            MSTForestAnonymizer(),
+            RandomPartitionAnonymizer(seed=0),
+        ]:
+            result = algorithm.anonymize(table, 3)
+            assert result.is_valid(table)
+            assert result.stars <= ceiling
+
+    def test_suppressor_roundtrip_through_csv(self, tmp_path):
+        from repro.io import read_csv, write_csv
+        from repro.workloads import uniform_table
+
+        t = uniform_table(12, 3, alphabet_size=3, seed=0)
+        str_table = t.with_rows(
+            [tuple(str(v) for v in row) for row in t.rows]
+        )
+        result = CenterCoverAnonymizer().anonymize(str_table, 3)
+        path = tmp_path / "anon.csv"
+        write_csv(result.anonymized, path)
+        released = read_csv(path)
+        assert is_k_anonymous(released, 3)
+        # the suppressor can be recovered from the released file
+        recovered = Suppressor.from_tables(str_table, released)
+        assert recovered.total_stars() == result.stars
+
+    def test_hardness_to_algorithm_pipeline(self):
+        """Run the approximation algorithms on a reduction instance and
+        decode a matching whenever the output hits the threshold."""
+        from repro.workloads import entry_reduction_instance
+
+        red = entry_reduction_instance(2, k=3, extra_edges=2, seed=5)
+        result = ExactAnonymizer().anonymize(red.table, 3)
+        assert result.stars == red.threshold
+        matching = red.matching_from_anonymized(result.anonymized)
+        from repro.hardness.matching import is_perfect_matching
+
+        assert is_perfect_matching(red.graph, matching)
+
+    def test_generalization_vs_suppression_on_same_table(self):
+        """Generalization (the intro's flavour) loses no more records
+        than suppression at the same k, and both release k-anonymous
+        tables."""
+        from repro.generalization import (
+            Hierarchy,
+            generalize_table,
+            interval_hierarchy,
+            samarati,
+        )
+
+        t = Table(
+            [(34, "Stone"), (47, "Stone"), (36, "Reyser"), (22, "Ramos")],
+            attributes=["age", "last"],
+        )
+        hierarchies = [
+            interval_hierarchy(0, 80, base_width=10, branching=2),
+            Hierarchy.suppression(["Stone", "Reyser", "Ramos"]),
+        ]
+        node, _ = samarati(t, hierarchies, 2)
+        recoded = generalize_table(t, hierarchies, list(node))
+        assert is_k_anonymous(recoded, 2)
+
+        suppressed = ExactAnonymizer().anonymize(t, 2)
+        assert is_k_anonymous(suppressed.anonymized, 2)
+
+    def test_equivalence_classes_match_partition(self):
+        from repro.workloads import planted_groups_table
+
+        t = planted_groups_table(4, 3, 5, noise=0.1, seed=2)
+        result = CenterCoverAnonymizer().anonymize(t, 3)
+        classes = equivalence_classes(result.anonymized)
+        assert result.partition is not None
+        # every partition group maps into a single equivalence class
+        for group in result.partition.groups:
+            images = {result.anonymized.rows[i] for i in group}
+            assert len(images) == 1
+        # and class sizes are sums of group sizes
+        assert sum(len(v) for v in classes.values()) == t.n_rows

@@ -1,0 +1,153 @@
+"""Tests for the k-member clustering and MST-forest anonymizers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import InfeasibleAnonymizationError
+from repro.algorithms.forest import (
+    MSTForestAnonymizer,
+    _decompose,
+    _minimum_spanning_tree,
+)
+from repro.algorithms.kmember import KMemberAnonymizer
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+class TestKMember:
+    def test_valid_output(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 17, 4, 3)
+        result = KMemberAnonymizer().anonymize(t, 4)
+        assert result.is_valid(t)
+
+    def test_finds_natural_pairs(self):
+        t = Table([(0, 0), (0, 1), (5, 5), (5, 6)])
+        result = KMemberAnonymizer().anonymize(t, 2)
+        assert result.stars == 4
+
+    def test_cluster_count(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(1), 13, 3, 3)
+        result = KMemberAnonymizer().anonymize(t, 4)
+        assert result.extras["clusters"] == 3
+
+    def test_leftovers_absorbed(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(2), 11, 3, 3)
+        result = KMemberAnonymizer().anonymize(t, 3)
+        assert result.partition is not None
+        assert all(len(g) >= 3 for g in result.partition.groups)
+        assert sum(len(g) for g in result.partition.groups) == 11
+
+    def test_empty_and_infeasible(self):
+        assert KMemberAnonymizer().anonymize(Table([]), 2).stars == 0
+        with pytest.raises(InfeasibleAnonymizationError):
+            KMemberAnonymizer().anonymize(Table([(1,)]), 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_always_valid(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 20))
+        t = random_table(rng, n, 3, 3)
+        assert KMemberAnonymizer().anonymize(t, k).is_valid(t)
+
+
+class TestMSTInternals:
+    def test_mst_of_path(self):
+        dist = [
+            [0, 1, 9],
+            [1, 0, 1],
+            [9, 1, 0],
+        ]
+        adjacency = _minimum_spanning_tree(dist)
+        assert sorted(adjacency[1]) == [0, 2]
+        assert adjacency[0] == [1]
+
+    def test_mst_edge_count(self):
+        import numpy as np
+
+        from repro.core.distance import pairwise_distance_matrix
+
+        t = random_table(np.random.default_rng(0), 10, 4, 3)
+        adjacency = _minimum_spanning_tree(pairwise_distance_matrix(t))
+        assert sum(len(a) for a in adjacency) == 2 * (10 - 1)
+
+    def test_mst_trivial_sizes(self):
+        assert _minimum_spanning_tree([]) == []
+        assert _minimum_spanning_tree([[0]]) == [[]]
+
+    def test_decompose_star_graph(self):
+        # vertex 0 adjacent to 1..5
+        adjacency = [[1, 2, 3, 4, 5], [0], [0], [0], [0], [0]]
+        components = _decompose(adjacency, 2)
+        sizes = sorted(len(c) for c in components)
+        assert sum(sizes) == 6
+        assert all(size >= 2 for size in sizes)
+
+    def test_decompose_path(self):
+        adjacency = [[1], [0, 2], [1, 3], [2, 4], [3]]
+        components = _decompose(adjacency, 2)
+        assert sum(len(c) for c in components) == 5
+        assert all(len(c) >= 2 for c in components)
+
+    def test_decompose_empty(self):
+        assert _decompose([], 2) == []
+
+    def test_decompose_small_tree_single_component(self):
+        adjacency = [[1], [0]]
+        components = _decompose(adjacency, 3)
+        assert components == [[1, 0]] or components == [[0, 1]]
+
+
+class TestMSTForest:
+    def test_valid_output(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 21, 4, 3)
+        result = MSTForestAnonymizer().anonymize(t, 4)
+        assert result.is_valid(t)
+
+    def test_cluster_structure_found(self):
+        t = Table([(0, 0), (0, 1), (9, 9), (9, 8)])
+        assert MSTForestAnonymizer().anonymize(t, 2).stars == 4
+
+    def test_groups_in_range(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(1), 23, 3, 3)
+        result = MSTForestAnonymizer().anonymize(t, 3)
+        assert result.partition is not None
+        assert all(3 <= len(g) <= 5 for g in result.partition.groups)
+
+    def test_empty_and_infeasible(self):
+        assert MSTForestAnonymizer().anonymize(Table([]), 2).stars == 0
+        with pytest.raises(InfeasibleAnonymizationError):
+            MSTForestAnonymizer().anonymize(Table([(1,)]), 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_always_valid(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 25))
+        t = random_table(rng, n, 3, 3)
+        assert MSTForestAnonymizer().anonymize(t, k).is_valid(t)
+
+    def test_competitive_with_random_on_clustered_data(self):
+        from repro.algorithms.baselines import RandomPartitionAnonymizer
+        from repro.workloads import planted_groups_table
+
+        t = planted_groups_table(8, 3, 6, noise=0.05, seed=0)
+        forest = MSTForestAnonymizer().anonymize(t, 3).stars
+        random_cost = RandomPartitionAnonymizer(seed=0).anonymize(t, 3).stars
+        assert forest <= random_cost

@@ -1,0 +1,111 @@
+"""Tests for the hypergraph perfect-matching solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness.generators import (
+    matchless_hypergraph,
+    planted_matching_hypergraph,
+    random_hypergraph,
+)
+from repro.hardness.hypergraph import Hypergraph
+from repro.hardness.matching import (
+    find_perfect_matching,
+    greedy_matching,
+    has_perfect_matching,
+    is_perfect_matching,
+)
+
+
+class TestIsPerfectMatching:
+    def test_accepts_exact_cover(self):
+        h = Hypergraph(6, [{0, 1, 2}, {3, 4, 5}, {0, 3, 4}])
+        assert is_perfect_matching(h, [0, 1])
+
+    def test_rejects_overlap(self):
+        h = Hypergraph(6, [{0, 1, 2}, {2, 3, 4}])
+        assert not is_perfect_matching(h, [0, 1])
+
+    def test_rejects_undercover(self):
+        h = Hypergraph(6, [{0, 1, 2}])
+        assert not is_perfect_matching(h, [0])
+
+    def test_empty_graph(self):
+        assert is_perfect_matching(Hypergraph(0, []), [])
+
+
+class TestFindPerfectMatching:
+    def test_docstring_instance(self):
+        h = Hypergraph(6, [{0, 1, 2}, {1, 2, 3}, {3, 4, 5}])
+        assert find_perfect_matching(h) == [0, 2]
+
+    def test_needs_backtracking(self):
+        # taking {0,1,2} first is a dead end; the only solution is
+        # {0,1,3} + {2,4,5}.
+        h = Hypergraph(6, [{0, 1, 2}, {0, 1, 3}, {2, 4, 5}])
+        matching = find_perfect_matching(h)
+        assert matching is not None
+        assert is_perfect_matching(h, matching)
+        assert sorted(matching) == [1, 2]
+
+    def test_no_matching(self):
+        h = Hypergraph(6, [{0, 1, 2}, {0, 3, 4}, {0, 1, 5}])
+        assert find_perfect_matching(h) is None
+        assert not has_perfect_matching(h)
+
+    def test_isolated_vertex_fast_path(self):
+        h = Hypergraph(4, [{0, 1, 2}])
+        assert find_perfect_matching(h) is None
+
+    def test_empty_graph(self):
+        assert find_perfect_matching(Hypergraph(0, [])) == []
+
+    def test_indivisible_vertex_count(self):
+        h = Hypergraph(4, [{0, 1, 2}, {1, 2, 3}, {0, 2, 3}, {0, 1, 3}])
+        assert find_perfect_matching(h) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4), st.integers(2, 4))
+    def test_planted_instances_always_found(self, seed, n_groups, k):
+        h, planted = planted_matching_hypergraph(
+            n_groups, k, extra_edges=3, seed=seed
+        )
+        assert is_perfect_matching(h, planted)
+        found = find_perfect_matching(h)
+        assert found is not None
+        assert is_perfect_matching(h, found)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_matchless_instances_never_found(self, seed, n_groups):
+        h = matchless_hypergraph(max(2, n_groups), 3, n_edges=8, seed=seed)
+        assert find_perfect_matching(h) is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_agrees_with_exhaustive_search(self, seed):
+        from itertools import combinations
+
+        h = random_hypergraph(6, 6, 3, seed=seed)
+        exhaustive = any(
+            is_perfect_matching(h, combo)
+            for r in range(3)
+            for combo in combinations(range(h.n_edges), r)
+        )
+        assert has_perfect_matching(h) == exhaustive
+
+
+class TestGreedyMatching:
+    def test_maximal(self):
+        h = Hypergraph(6, [{0, 1, 2}, {1, 2, 3}, {3, 4, 5}])
+        chosen = greedy_matching(h)
+        covered = set().union(*(h.edge(j) for j in chosen))
+        for j, edge in enumerate(h.edges):
+            assert j in chosen or (edge & covered)
+
+    def test_greedy_can_miss_perfect(self):
+        # greedy takes {0,1,2} by index and strands vertices 3..5
+        h = Hypergraph(6, [{0, 1, 2}, {0, 1, 3}, {2, 4, 5}])
+        greedy = greedy_matching(h)
+        assert not is_perfect_matching(h, greedy)
+        assert has_perfect_matching(h)

@@ -1,0 +1,143 @@
+"""Metamorphic properties of OPT and the anonymization pipeline.
+
+These relations must hold for *any* correct implementation, no oracle
+needed — transformations of the input with predictable effect on the
+optimum.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import CenterCoverAnonymizer
+from repro.algorithms.exact import optimal_anonymization
+from repro.core.anonymity import equivalence_classes
+from repro.core.partition import anonymize_partition, partition_from_equivalence
+from repro.core.suppressor import Suppressor
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10 ** 6))
+def test_value_renaming_preserves_opt(seed):
+    """Only equality matters: bijectively renaming each column's values
+    leaves OPT unchanged."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 9))
+    table = random_table(rng, n, 3, 3)
+    renamed = table.with_rows(
+        [tuple(f"col{j}-val{v}" for j, v in enumerate(row)) for row in table.rows]
+    )
+    assert optimal_anonymization(table, 2)[0] == optimal_anonymization(
+        renamed, 2
+    )[0]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10 ** 6))
+def test_duplicating_a_row_adds_at_most_m(seed):
+    """OPT(V + duplicate of v) <= OPT(V) + m: slot the copy into v's
+    group (cost grows by that group's disagreement count <= m)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    m = 3
+    table = random_table(rng, n, m, 3)
+    opt, _ = optimal_anonymization(table, 2)
+    victim = int(rng.integers(0, n))
+    bigger = table.with_rows(list(table.rows) + [table.rows[victim]])
+    opt_bigger, _ = optimal_anonymization(bigger, 2)
+    assert opt_bigger <= opt + m
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10 ** 6))
+def test_duplicating_a_column_sandwiches_opt(seed):
+    """OPT <= OPT(column j duplicated) <= 2 OPT: projecting recovers a
+    solution; duplicating each star covers the copy."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    table = random_table(rng, n, 3, 3)
+    opt, _ = optimal_anonymization(table, 2)
+    doubled = Table(
+        [row + (row[0],) for row in table.rows]
+    )
+    opt_doubled, _ = optimal_anonymization(doubled, 2)
+    assert opt <= opt_doubled <= 2 * opt
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10 ** 6))
+def test_dropping_a_column_never_raises_opt(seed):
+    """Fewer attributes, fewer potential disagreements."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    table = random_table(rng, n, 3, 3)
+    opt, _ = optimal_anonymization(table, 2)
+    projected = table.project([0, 1])
+    opt_projected, _ = optimal_anonymization(projected, 2)
+    assert opt_projected <= opt
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10 ** 6), st.integers(2, 3))
+def test_suppressor_roundtrip_algebra(seed, k):
+    """apply -> from_tables -> apply is a fixed point."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(k, 14))
+    table = random_table(rng, n, 3, 3)
+    result = CenterCoverAnonymizer().anonymize(table, k)
+    recovered = Suppressor.from_tables(table, result.anonymized)
+    assert recovered.apply(table) == result.anonymized
+    assert recovered == result.suppressor
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10 ** 6), st.integers(2, 3))
+def test_reanonymizing_along_equivalence_is_free(seed, k):
+    """The release's own equivalence classes form a partition whose
+    induced anonymization adds zero stars."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(k, 14))
+    table = random_table(rng, n, 3, 3)
+    released = CenterCoverAnonymizer().anonymize(table, k).anonymized
+    partition = partition_from_equivalence(released, k)
+    again, suppressor = anonymize_partition(released, partition)
+    assert suppressor.total_stars() == 0
+    assert again == released
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10 ** 6), st.integers(2, 3))
+def test_release_classes_are_unions_of_partition_groups(seed, k):
+    """Each equivalence class of the release is a union of groups of the
+    algorithm's partition (groups with the same image merge)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(k, 14))
+    table = random_table(rng, n, 3, 3)
+    result = CenterCoverAnonymizer().anonymize(table, k)
+    assert result.partition is not None
+    class_of = {}
+    for record, indices in equivalence_classes(result.anonymized).items():
+        for i in indices:
+            class_of[i] = record
+    for group in result.partition.groups:
+        classes = {class_of[i] for i in group}
+        assert len(classes) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10 ** 6))
+def test_opt_subadditive_under_concatenation(seed):
+    """OPT(V1 ++ V2) <= OPT(V1) + OPT(V2): the side-by-side solution is
+    feasible for the concatenation."""
+    rng = np.random.default_rng(seed)
+    a = random_table(rng, int(rng.integers(2, 6)), 3, 3)
+    b = random_table(rng, int(rng.integers(2, 6)), 3, 3)
+    both = Table(list(a.rows) + list(b.rows))
+    opt_a, _ = optimal_anonymization(a, 2)
+    opt_b, _ = optimal_anonymization(b, 2)
+    opt_both, _ = optimal_anonymization(both, 2)
+    assert opt_both <= opt_a + opt_b

@@ -1,0 +1,80 @@
+"""Tests for repro.core.metrics utility measures."""
+
+import pytest
+
+from repro.core.alphabet import STAR
+from repro.core.metrics import (
+    average_class_size_ratio,
+    discernibility,
+    metric_report,
+    precision,
+    suppression_ratio,
+)
+from repro.core.table import Table
+
+
+@pytest.fixture
+def half_starred():
+    return Table([(1, STAR), (1, STAR)])
+
+
+class TestSuppressionRatio:
+    def test_half(self, half_starred):
+        assert suppression_ratio(half_starred) == 0.5
+
+    def test_empty_table(self):
+        assert suppression_ratio(Table([])) == 0.0
+
+    def test_clean_table(self):
+        assert suppression_ratio(Table([(1, 2)])) == 0.0
+
+    def test_fully_starred(self):
+        assert suppression_ratio(Table([(STAR, STAR)])) == 1.0
+
+
+class TestPrecision:
+    def test_complements_suppression(self, half_starred):
+        assert precision(half_starred) == 0.5
+
+    def test_clean_table(self):
+        assert precision(Table([(1,)])) == 1.0
+
+
+class TestDiscernibility:
+    def test_sum_of_squared_class_sizes(self):
+        t = Table([(1,), (1,), (2,)])
+        assert discernibility(t) == 4 + 1
+
+    def test_single_class(self):
+        assert discernibility(Table([(1,)] * 5)) == 25
+
+    def test_all_distinct(self):
+        assert discernibility(Table([(i,) for i in range(4)])) == 4
+
+
+class TestAverageClassSize:
+    def test_ideal_is_one(self):
+        t = Table([(1,), (1,), (2,), (2,)])
+        assert average_class_size_ratio(t, 2) == 1.0
+
+    def test_oversized_classes(self):
+        t = Table([(1,)] * 6)
+        assert average_class_size_ratio(t, 2) == 3.0
+
+    def test_empty(self):
+        assert average_class_size_ratio(Table([]), 2) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            average_class_size_ratio(Table([(1,)]), 0)
+
+
+class TestReport:
+    def test_keys_and_consistency(self, half_starred):
+        report = metric_report(half_starred, 2)
+        assert report["stars"] == 2
+        assert report["suppression_ratio"] == 0.5
+        assert report["precision"] == 0.5
+        assert report["classes"] == 1
+        assert report["discernibility"] == 4
+        assert report["avg_class_size_ratio"] == 1.0

@@ -1,0 +1,95 @@
+"""Tests for the Mondrian baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mondrian import MondrianAnonymizer, _best_cut, leaf_size_histogram
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+class TestBestCut:
+    def test_cuts_on_most_diverse_attribute(self):
+        t = Table([(0, i) for i in range(6)])
+        left, right = _best_cut(t, list(range(6)), 2)
+        assert len(left) >= 2 and len(right) >= 2
+        cut_values = {t[i][1] for i in left} & {t[i][1] for i in right}
+        assert not cut_values  # a clean value boundary
+
+    def test_no_cut_on_identical_rows(self):
+        t = Table([(1, 1)] * 6)
+        assert _best_cut(t, list(range(6)), 2) is None
+
+    def test_no_cut_when_sides_too_small(self):
+        t = Table([(0,), (0,), (0,), (1,)])
+        # the only boundary leaves 1 row on one side < k=2
+        assert _best_cut(t, list(range(4)), 2) is None
+
+
+class TestMondrian:
+    def test_valid_output(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(0), 20, 4, 4)
+        result = MondrianAnonymizer().anonymize(t, 3)
+        assert result.is_valid(t)
+
+    def test_leaves_at_least_k(self):
+        import numpy as np
+
+        t = random_table(np.random.default_rng(1), 25, 3, 3)
+        result = MondrianAnonymizer().anonymize(t, 4)
+        assert result.partition is not None
+        assert all(len(g) >= 4 for g in result.partition.groups)
+
+    def test_clusters_found(self):
+        # two well-separated blocks should be cut apart
+        t = Table([(0, 0)] * 4 + [(9, 9)] * 4)
+        result = MondrianAnonymizer().anonymize(t, 4)
+        assert result.stars == 0
+
+    def test_extras_and_histogram(self):
+        t = Table([(0, 0)] * 4 + [(9, 9)] * 4)
+        result = MondrianAnonymizer().anonymize(t, 4)
+        assert result.extras["cuts"] == 1
+        assert result.extras["leaves"] == 2
+        assert leaf_size_histogram(result) == {4: 2}
+
+    def test_histogram_empty_without_partition(self):
+        from repro.algorithms.baselines import SuppressEverythingAnonymizer
+
+        t = Table([(1,)] * 3)
+        result = SuppressEverythingAnonymizer().anonymize(t, 3)
+        assert leaf_size_histogram(result) == {}
+
+    def test_empty_and_infeasible(self):
+        from repro.algorithms.base import InfeasibleAnonymizationError
+
+        assert MondrianAnonymizer().anonymize(Table([]), 2).stars == 0
+        with pytest.raises(InfeasibleAnonymizationError):
+            MondrianAnonymizer().anonymize(Table([(1,)]), 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_always_valid(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 30))
+        t = random_table(rng, n, 4, 4)
+        result = MondrianAnonymizer().anonymize(t, k)
+        assert result.is_valid(t)
+
+    def test_strict_leaves_cannot_be_cut(self):
+        """Every leaf really is uncuttable — the strict-Mondrian stopping
+        criterion."""
+        import numpy as np
+
+        t = random_table(np.random.default_rng(3), 18, 3, 3)
+        result = MondrianAnonymizer().anonymize(t, 3)
+        assert result.partition is not None
+        for group in result.partition.groups:
+            if len(group) >= 6:
+                assert _best_cut(t, sorted(group), 3) is None

@@ -1,0 +1,198 @@
+"""Tests for the privacy analysis extensions (l-diversity, risk)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import CenterCoverAnonymizer, MondrianAnonymizer
+from repro.core.alphabet import STAR
+from repro.core.table import Table
+from repro.privacy import (
+    LDiverseAnonymizer,
+    diversity_level,
+    is_l_diverse,
+    linkage_attack,
+    prosecutor_risk,
+    risk_report,
+)
+
+from .conftest import random_table
+
+
+class TestDiversityPredicates:
+    def test_diversity_level(self):
+        released = Table([(1,), (1,), (2,), (2,)])
+        sensitive = ["flu", "cold", "flu", "flu"]
+        # class (1,): {flu, cold} = 2; class (2,): {flu} = 1
+        assert diversity_level(released, sensitive) == 1
+
+    def test_is_l_diverse(self):
+        released = Table([(1,), (1,), (2,), (2,)])
+        sensitive = ["flu", "cold", "flu", "hep"]
+        assert is_l_diverse(released, sensitive, 2)
+        assert not is_l_diverse(released, sensitive, 3)
+
+    def test_homogeneity_attack_detected(self):
+        """The classic failure k-anonymity alone permits: a k-anonymous
+        class where everyone shares the diagnosis."""
+        released = Table([(1,), (1,), (1,)])
+        sensitive = ["HIV", "HIV", "HIV"]
+        assert not is_l_diverse(released, sensitive, 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            diversity_level(Table([(1,)]), ["a", "b"])
+        with pytest.raises(ValueError):
+            is_l_diverse(Table([(1,)]), ["a"], 0)
+
+    def test_empty_table(self):
+        assert is_l_diverse(Table([]), [], 3)
+        assert diversity_level(Table([]), []) == 0
+
+
+class TestLDiverseAnonymizer:
+    def _instance(self, seed=0, n=18):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        identifiers = random_table(rng, n, 3, 3)
+        sensitive = [str(int(v)) for v in rng.integers(0, 3, size=n)]
+        return identifiers, sensitive
+
+    def test_enforces_l_diversity(self):
+        identifiers, sensitive = self._instance()
+        result = LDiverseAnonymizer(2).anonymize_with_sensitive(
+            identifiers, 3, sensitive
+        )
+        assert result.is_valid(identifiers)
+        assert is_l_diverse(result.anonymized, sensitive, 2)
+
+    def test_costs_at_least_base(self):
+        identifiers, sensitive = self._instance(seed=1)
+        base = CenterCoverAnonymizer().anonymize(identifiers, 3).stars
+        result = LDiverseAnonymizer(2).anonymize_with_sensitive(
+            identifiers, 3, sensitive
+        )
+        assert result.stars >= base
+        assert result.extras["base_stars"] == base
+
+    def test_impossible_diversity_rejected(self):
+        identifiers, _ = self._instance()
+        uniform = ["same"] * identifiers.n_rows
+        with pytest.raises(ValueError, match="distinct sensitive"):
+            LDiverseAnonymizer(2).anonymize_with_sensitive(
+                identifiers, 3, uniform
+            )
+
+    def test_last_column_convention(self):
+        table = Table(
+            [(0, 0, "flu"), (0, 0, "cold"), (0, 1, "flu"), (0, 1, "hep")]
+        )
+        result = LDiverseAnonymizer(2).anonymize(table, 2)
+        assert result.anonymized.degree == 2  # sensitive column split off
+
+    def test_needs_two_columns(self):
+        with pytest.raises(ValueError, match="quasi-identifier"):
+            LDiverseAnonymizer(2).anonymize(Table([(1,), (2,)]), 2)
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            LDiverseAnonymizer(0)
+
+    def test_name(self):
+        assert LDiverseAnonymizer(3).name == "center_cover+ldiv3"
+
+    def test_works_over_mondrian(self):
+        identifiers, sensitive = self._instance(seed=2)
+        result = LDiverseAnonymizer(
+            2, inner=MondrianAnonymizer()
+        ).anonymize_with_sensitive(identifiers, 3, sensitive)
+        assert is_l_diverse(result.anonymized, sensitive, 2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_property_always_diverse(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 24))
+        identifiers = random_table(rng, n, 3, 3)
+        sensitive = [int(v) for v in rng.integers(0, 4, size=n)]
+        if len(set(sensitive)) < 2:
+            return
+        result = LDiverseAnonymizer(2).anonymize_with_sensitive(
+            identifiers, 2, sensitive
+        )
+        assert result.is_valid(identifiers)
+        assert is_l_diverse(result.anonymized, sensitive, 2)
+
+
+class TestProsecutorRisk:
+    def test_per_record_reciprocal_class_size(self):
+        t = Table([(1,), (1,), (2,), (2,), (2,)])
+        assert prosecutor_risk(t) == [0.5, 0.5, 1 / 3, 1 / 3, 1 / 3]
+
+    def test_report(self):
+        t = Table([(1,), (1,), (2,)])
+        report = risk_report(t)
+        assert report.max_risk == 1.0
+        assert report.records_at_max == 1
+        assert report.class_count == 2
+        assert not report.meets_k(2)
+
+    def test_empty(self):
+        assert risk_report(Table([])).max_risk == 0.0
+
+    def test_k_anonymity_caps_risk_at_1_over_k(self):
+        """The quantitative content of the paper's privacy parameter."""
+        import numpy as np
+
+        for seed in range(5):
+            t = random_table(np.random.default_rng(seed), 20, 4, 3)
+            for k in (2, 4):
+                released = CenterCoverAnonymizer().anonymize(t, k).anonymized
+                assert risk_report(released).meets_k(k)
+
+
+class TestLinkageAttack:
+    def test_raw_release_reidentifies(self):
+        original = Table([(30, "M"), (40, "F"), (50, "M")])
+        counts = linkage_attack(original, original, ["alice", "bob", "carol"])
+        assert counts == {"alice": 1, "bob": 1, "carol": 1}
+
+    def test_k_anonymous_release_resists(self):
+        original = Table([(30, "M"), (31, "M"), (40, "F"), (41, "F")])
+        released = CenterCoverAnonymizer().anonymize(original, 2).anonymized
+        counts = linkage_attack(
+            released, original, ["a", "b", "c", "d"]
+        )
+        assert all(count >= 2 for count in counts.values())
+
+    def test_stars_match_anything(self):
+        released = Table([(STAR, "M"), (STAR, "M")])
+        external = Table([(99, "M")])
+        assert linkage_attack(released, external, ["x"]) == {"x": 2}
+
+    def test_absent_individual_can_have_zero(self):
+        released = Table([(30, "M")])
+        external = Table([(77, "F")])
+        assert linkage_attack(released, external, ["ghost"]) == {"ghost": 0}
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="schema"):
+            linkage_attack(Table([(1,)]), Table([(1, 2)]), ["x"])
+        with pytest.raises(ValueError, match="identity"):
+            linkage_attack(Table([(1,)]), Table([(1,)]), ["x", "y"])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_property_k_anonymity_bounds_linkage(self, seed, k):
+        """Every present individual matches >= k released records."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 20))
+        original = random_table(rng, n, 3, 3)
+        released = CenterCoverAnonymizer().anonymize(original, k).anonymized
+        counts = linkage_attack(released, original, list(range(n)))
+        assert all(count >= k for count in counts.values())

@@ -1,0 +1,147 @@
+"""Tests for entropy l-diversity, the t-closeness enforcer, and the
+power-law fitter."""
+
+import math
+
+import pytest
+
+from repro.algorithms import CenterCoverAnonymizer
+from repro.core.table import Table
+from repro.privacy import (
+    TCloseAnonymizer,
+    closeness_level,
+    entropy_diversity_level,
+    is_entropy_l_diverse,
+    is_l_diverse,
+    is_t_close,
+)
+from repro.theory import fit_power_law
+
+from .conftest import random_table
+
+
+class TestEntropyDiversity:
+    def test_uniform_class_reaches_distinct_count(self):
+        released = Table([(1,)] * 4)
+        sensitive = ["a", "b", "c", "d"]
+        assert entropy_diversity_level(released, sensitive) == pytest.approx(4.0)
+
+    def test_skewed_class_scores_lower_than_distinct(self):
+        released = Table([(1,)] * 50)
+        sensitive = ["HIV"] * 49 + ["Flu"]
+        assert is_l_diverse(released, sensitive, 2)  # distinct says 2
+        level = entropy_diversity_level(released, sensitive)
+        assert 1.0 < level < 1.2  # entropy says "barely above 1"
+        assert not is_entropy_l_diverse(released, sensitive, 2)
+
+    def test_min_over_classes(self):
+        released = Table([(1,), (1,), (2,), (2,)])
+        sensitive = ["a", "b", "c", "c"]
+        # class (1,) has entropy log 2; class (2,) has entropy 0
+        assert entropy_diversity_level(released, sensitive) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            entropy_diversity_level(Table([(1,)]), ["a", "b"])
+        with pytest.raises(ValueError):
+            is_entropy_l_diverse(Table([(1,)]), ["a"], 0.5)
+
+    def test_empty(self):
+        assert is_entropy_l_diverse(Table([]), [], 3)
+
+    def test_entropy_never_exceeds_distinct(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            n = int(rng.integers(4, 16))
+            released = Table([(int(v),) for v in rng.integers(0, 3, size=n)])
+            sensitive = [int(v) for v in rng.integers(0, 4, size=n)]
+            from repro.privacy import diversity_level
+
+            assert entropy_diversity_level(released, sensitive) <= (
+                diversity_level(released, sensitive) + 1e-9
+            )
+
+
+class TestTCloseAnonymizer:
+    def _instance(self, seed=0, n=20):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        identifiers = random_table(rng, n, 3, 3)
+        sensitive = [str(int(v)) for v in rng.integers(0, 3, size=n)]
+        return identifiers, sensitive
+
+    def test_enforces_t(self):
+        identifiers, sensitive = self._instance()
+        result = TCloseAnonymizer(0.2).anonymize_with_sensitive(
+            identifiers, 3, sensitive
+        )
+        assert result.is_valid(identifiers)
+        assert is_t_close(result.anonymized, sensitive, 0.2)
+
+    def test_t_zero_reachable_by_full_merge(self):
+        identifiers, sensitive = self._instance(seed=1)
+        result = TCloseAnonymizer(0.0).anonymize_with_sensitive(
+            identifiers, 3, sensitive
+        )
+        assert closeness_level(result.anonymized, sensitive) <= 1e-9
+
+    def test_tighter_t_costs_more(self):
+        identifiers, sensitive = self._instance(seed=2)
+        loose = TCloseAnonymizer(0.6).anonymize_with_sensitive(
+            identifiers, 3, sensitive
+        )
+        tight = TCloseAnonymizer(0.05).anonymize_with_sensitive(
+            identifiers, 3, sensitive
+        )
+        assert tight.stars >= loose.stars
+
+    def test_cost_at_least_base(self):
+        identifiers, sensitive = self._instance(seed=3)
+        base = CenterCoverAnonymizer().anonymize(identifiers, 3).stars
+        result = TCloseAnonymizer(0.3).anonymize_with_sensitive(
+            identifiers, 3, sensitive
+        )
+        assert result.stars >= base
+        assert result.extras["base_stars"] == base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TCloseAnonymizer(1.5)
+        identifiers, sensitive = self._instance()
+        with pytest.raises(ValueError):
+            TCloseAnonymizer(0.2).anonymize_with_sensitive(
+                identifiers, 3, sensitive[:-1]
+            )
+
+    def test_name(self):
+        assert TCloseAnonymizer(0.25).name == "center_cover+tclose0.25"
+
+
+class TestFitPowerLaw:
+    def test_exact_quadratic(self):
+        sizes = [10, 20, 40, 80]
+        times = [s ** 2 for s in sizes]
+        assert fit_power_law(sizes, times) == pytest.approx(2.0)
+
+    def test_exact_linear_with_constant(self):
+        sizes = [1, 2, 4, 8]
+        times = [5 * s for s in sizes]
+        assert fit_power_law(sizes, times) == pytest.approx(1.0)
+
+    def test_exponential_data_fits_high(self):
+        sizes = [10, 20, 40]
+        times = [math.exp(s) for s in sizes]
+        assert fit_power_law(sizes, times) > 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 2])

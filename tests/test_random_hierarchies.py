@@ -1,0 +1,146 @@
+"""Property tests over randomly generated taxonomy hierarchies.
+
+The hand-written hierarchy tests use fixed trees; here hypothesis builds
+random uniform-depth taxonomies and checks the structural laws that
+every hierarchy must satisfy, plus Samarati/Incognito consistency and
+journalist-vs-prosecutor risk domination.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.table import Table
+from repro.generalization import (
+    GeneralizationLattice,
+    Hierarchy,
+    incognito,
+    samarati,
+)
+from repro.privacy import journalist_risk, prosecutor_risk
+
+
+def random_hierarchy(rng: np.random.Generator, n_leaves: int, depth: int
+                     ) -> Hierarchy:
+    """A random uniform-depth taxonomy over leaves ``L0..L{n-1}``."""
+    parent: dict = {}
+    level_nodes = [f"L{i}" for i in range(n_leaves)]
+    for level in range(1, depth + 1):
+        if level == depth:
+            for node in level_nodes:
+                parent[node] = "*"
+            break
+        n_parents = max(1, int(rng.integers(1, max(2, len(level_nodes)))))
+        labels = [f"lvl{level}-{p}" for p in range(n_parents)]
+        # every parent gets at least one child; extras go randomly
+        children = list(level_nodes)
+        rng.shuffle(children)
+        for p, child in enumerate(children[:n_parents]):
+            parent[child] = labels[p]
+        for child in children[n_parents:]:
+            parent[child] = labels[int(rng.integers(0, n_parents))]
+        level_nodes = labels
+    return Hierarchy(parent, "*")
+
+
+class TestRandomHierarchyLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_structural_laws(self, seed):
+        rng = np.random.default_rng(seed)
+        n_leaves = int(rng.integers(2, 8))
+        depth = int(rng.integers(1, 4))
+        hierarchy = random_hierarchy(rng, n_leaves, depth)
+        assert hierarchy.height == depth
+        assert len(hierarchy.leaves) == n_leaves
+        for leaf in hierarchy.leaves:
+            # generalizing to the top always reaches the root
+            assert hierarchy.generalize(leaf, hierarchy.height) == "*"
+            # levels are monotone along the ancestor chain
+            previous = leaf
+            for level in range(1, hierarchy.height + 1):
+                node = hierarchy.generalize(leaf, level)
+                assert hierarchy.level_of(node) == level
+                assert hierarchy.generalize(previous, level) == node
+                previous = node
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_lca_laws(self, seed):
+        rng = np.random.default_rng(seed)
+        hierarchy = random_hierarchy(rng, int(rng.integers(2, 8)),
+                                     int(rng.integers(1, 4)))
+        leaves = list(hierarchy.leaves)
+        a = leaves[int(rng.integers(0, len(leaves)))]
+        b = leaves[int(rng.integers(0, len(leaves)))]
+        level = hierarchy.lca_level([a, b])
+        # symmetric, reflexive-zero, and actually unifying
+        assert level == hierarchy.lca_level([b, a])
+        assert hierarchy.lca_level([a]) == 0
+        assert hierarchy.generalize(a, level) == hierarchy.generalize(b, level)
+        if level > 0:
+            below = level - 1
+            if below >= 0 and a != b:
+                assert (
+                    hierarchy.generalize(a, below)
+                    != hierarchy.generalize(b, below)
+                    or level == 0
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_samarati_incognito_consistency(self, seed):
+        """On random tables + random hierarchies, Samarati's minimal
+        height equals the minimum height over Incognito's frontier."""
+        rng = np.random.default_rng(seed)
+        h1 = random_hierarchy(rng, 3, int(rng.integers(1, 3)))
+        h2 = random_hierarchy(rng, 3, int(rng.integers(1, 3)))
+        leaves1, leaves2 = list(h1.leaves), list(h2.leaves)
+        n = int(rng.integers(2, 9))
+        rows = [
+            (leaves1[int(rng.integers(0, 3))], leaves2[int(rng.integers(0, 3))])
+            for _ in range(n)
+        ]
+        table = Table(rows)
+        _, height = samarati(table, [h1, h2], 2)
+        frontier = incognito(table, [h1, h2], 2)
+        assert min(sum(node) for node in frontier) == height
+        lattice = GeneralizationLattice([h1, h2])
+        for node in frontier:
+            assert lattice.satisfies(table, node, 2)
+
+
+class TestJournalistRisk:
+    def test_dominated_by_prosecutor(self):
+        from repro.algorithms import CenterCoverAnonymizer
+
+        rng = np.random.default_rng(0)
+        population_rows = [
+            tuple(int(v) for v in rng.integers(0, 3, size=3))
+            for _ in range(60)
+        ]
+        population = Table(population_rows)
+        sample = population.select_rows(range(20))
+        released = CenterCoverAnonymizer().anonymize(sample, 3).anonymized
+        journalist = journalist_risk(released, population)
+        prosecutor = prosecutor_risk(released)
+        # the release's rows all exist in the population, so every
+        # journalist risk is positive and at most ~the prosecutor risk
+        assert all(0 < j <= p + 1e-9 for j, p in zip(journalist, prosecutor))
+
+    def test_impossible_record_zero(self):
+        released = Table([(99, 99)])
+        population = Table([(1, 1), (2, 2)])
+        assert journalist_risk(released, population) == [0.0]
+
+    def test_star_matches_everyone(self):
+        from repro.core.alphabet import STAR
+
+        released = Table([(STAR, STAR)])
+        population = Table([(1, 1), (2, 2), (3, 3)])
+        assert journalist_risk(released, population) == [pytest.approx(1 / 3)]
+
+    def test_schema_mismatch(self):
+        with pytest.raises(ValueError):
+            journalist_risk(Table([(1,)]), Table([(1, 2)]))

@@ -1,0 +1,121 @@
+"""Tests for the Reduce procedure (Section 4.2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.reduce_cover import reduce_and_shrink, reduce_cover
+from repro.core.partition import Cover, Partition
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+def _random_cover(rng, n: int, k: int) -> Cover:
+    """A random (k, *)-cover: every row in at least one random group."""
+    groups = []
+    uncovered = set(range(n))
+    while uncovered:
+        size = int(rng.integers(k, min(2 * k, n) + 1))
+        seed_row = uncovered.pop()
+        others = [i for i in range(n) if i != seed_row]
+        mates = rng.choice(others, size=min(size - 1, len(others)), replace=False)
+        group = frozenset({seed_row, *(int(i) for i in mates)})
+        uncovered -= group
+        groups.append(group)
+    k_max = max(len(g) for g in groups)
+    return Cover(groups, n, k, k_max=max(k_max, 2 * k - 1))
+
+
+class TestRemovalPath:
+    def test_removes_from_larger_set(self):
+        c = Cover([{0, 1, 2}, {2, 3}], n_rows=4, k=2)
+        p = reduce_cover(c)
+        assert p.is_partition()
+        # 2 must stay in the size-2 set; the size-3 set loses it.
+        assert frozenset({2, 3}) in p.groups
+        assert frozenset({0, 1}) in p.groups
+
+    def test_tie_removes_deterministically(self):
+        c = Cover([{0, 1, 2}, {2, 3, 4}], n_rows=5, k=2)
+        p1 = reduce_cover(c)
+        p2 = reduce_cover(c)
+        assert p1.groups == p2.groups
+
+
+class TestMergePath:
+    def test_merges_two_k_sets(self):
+        c = Cover([{0, 1}, {1, 2}], n_rows=3, k=2)
+        p = reduce_cover(c)
+        assert p.groups == (frozenset({0, 1, 2}),)
+
+    def test_merged_size_bounded_by_2k_minus_1(self):
+        c = Cover([{0, 1, 2}, {2, 3, 4}], n_rows=5, k=3)
+        p = reduce_cover(c)
+        assert all(len(g) <= 5 for g in p.groups)
+
+    def test_identical_duplicate_sets_collapse(self):
+        c = Cover([{0, 1}, {0, 1}], n_rows=2, k=2)
+        p = reduce_cover(c)
+        assert p.groups == (frozenset({0, 1}),)
+
+
+class TestAlreadyPartition:
+    def test_no_op(self):
+        c = Cover([{0, 1}, {2, 3}], n_rows=4, k=2)
+        p = reduce_cover(c)
+        assert set(p.groups) == set(c.groups)
+
+    def test_triple_overlap_chain(self):
+        c = Cover([{0, 1}, {1, 2}, {2, 3}], n_rows=4, k=2)
+        p = reduce_cover(c)
+        assert p.is_partition()
+        assert all(len(g) >= 2 for g in p.groups)
+
+
+class TestInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_reduce_produces_valid_partition(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 16))
+        cover = _random_cover(rng, n, k)
+        p = reduce_cover(cover)
+        assert p.is_partition()
+        p.validate()
+        assert all(len(g) >= k for g in p.groups)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_diameter_sum_never_increases(self, seed, k):
+        """The paper's key property of Reduce, checked on random tables
+        and covers."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 16))
+        t = random_table(rng, n, 4, 3)
+        cover = _random_cover(rng, n, k)
+        p = reduce_cover(cover)
+        assert p.diameter_sum(t) <= cover.diameter_sum(t)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 3))
+    def test_reduce_and_shrink_yields_small_groups(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 16))
+        t = random_table(rng, n, 4, 3)
+        cover = _random_cover(rng, n, k)
+        p = reduce_and_shrink(t, cover)
+        assert isinstance(p, Partition)
+        assert all(k <= len(g) <= 2 * k - 1 for g in p.groups)
+
+
+class TestDoctestCase:
+    def test_module_example(self):
+        c = Cover([{0, 1}, {1, 2}], n_rows=3, k=2)
+        assert sorted(len(g) for g in reduce_cover(c).groups) == [3]

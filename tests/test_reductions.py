@@ -1,0 +1,214 @@
+"""Tests for the Section 3 reductions — the heart of the hardness results.
+
+The crucial properties (verified with exact solvers on small instances):
+
+* Theorem 3.1: OPT over entry suppression == n(m-1)  <=>  perfect matching;
+  OPT > n(m-1) when no perfect matching exists.
+* Theorem 3.2: min whole-attribute suppression == m - n/k  <=>  perfect
+  matching.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.exact import (
+    optimal_anonymization,
+    optimal_attribute_suppression,
+)
+from repro.core.anonymity import is_k_anonymous, suppressed_cell_count
+from repro.hardness.generators import (
+    matchless_hypergraph,
+    planted_matching_hypergraph,
+)
+from repro.hardness.hypergraph import Hypergraph
+from repro.hardness.matching import find_perfect_matching
+from repro.hardness.reductions import (
+    AttributeSuppressionReduction,
+    EntrySuppressionReduction,
+)
+
+
+@pytest.fixture
+def planted():
+    graph, _ = planted_matching_hypergraph(2, 3, extra_edges=2, seed=7)
+    return graph
+
+
+class TestEntryReductionConstruction:
+    def test_table_shape_and_alphabet(self, planted):
+        red = EntrySuppressionReduction(planted, 3)
+        assert red.table.n_rows == planted.n_vertices
+        assert red.table.degree == planted.n_edges
+        # v_i[j] = 0 iff u_i in e_j, else the row-unique value i+1
+        for i, row in enumerate(red.table.rows):
+            for j, value in enumerate(row):
+                if i in planted.edge(j):
+                    assert value == 0
+                else:
+                    assert value == i + 1
+
+    def test_threshold(self, planted):
+        red = EntrySuppressionReduction(planted, 3)
+        n, m = planted.n_vertices, planted.n_edges
+        assert red.threshold == n * (m - 1)
+
+    def test_rejects_small_k(self, planted):
+        with pytest.raises(ValueError, match="k >= 3"):
+            EntrySuppressionReduction(planted, 2)
+
+    def test_rejects_non_uniform(self):
+        h = Hypergraph(4, [{0, 1}, {1, 2, 3}])
+        with pytest.raises(ValueError, match="uniform"):
+            EntrySuppressionReduction(h, 3)
+
+    def test_rejects_non_simple(self):
+        h = Hypergraph(3, [{0, 1, 2}, {2, 1, 0}], require_simple=False)
+        with pytest.raises(ValueError, match="simple"):
+            EntrySuppressionReduction(h, 3)
+
+
+class TestEntryReductionCertificates:
+    def test_forward_certificate(self, planted):
+        red = EntrySuppressionReduction(planted, 3)
+        matching = find_perfect_matching(planted)
+        assert matching is not None
+        anonymized = red.anonymize_from_matching(matching)
+        assert is_k_anonymous(anonymized, 3)
+        assert suppressed_cell_count(anonymized) == red.threshold
+
+    def test_backward_certificate_roundtrip(self, planted):
+        red = EntrySuppressionReduction(planted, 3)
+        matching = find_perfect_matching(planted)
+        anonymized = red.anonymize_from_matching(matching)
+        assert sorted(red.matching_from_anonymized(anonymized)) == sorted(matching)
+
+    def test_forward_rejects_non_matching(self, planted):
+        red = EntrySuppressionReduction(planted, 3)
+        with pytest.raises(ValueError, match="perfect matching"):
+            red.suppressor_from_matching([0])
+
+    def test_backward_rejects_wrong_shape(self, planted):
+        from repro.core.table import Table
+
+        red = EntrySuppressionReduction(planted, 3)
+        with pytest.raises(ValueError, match="row count"):
+            red.matching_from_anonymized(Table([(0,)]))
+
+    def test_backward_rejects_unstructured_table(self, planted):
+        red = EntrySuppressionReduction(planted, 3)
+        with pytest.raises(ValueError):
+            red.matching_from_anonymized(red.table)  # nothing suppressed
+
+
+class TestTheorem31Equivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_opt_hits_threshold_iff_matching(self, seed):
+        graph, _ = planted_matching_hypergraph(2, 3, extra_edges=1, seed=seed)
+        red = EntrySuppressionReduction(graph, 3)
+        opt, _ = optimal_anonymization(red.table, 3)
+        assert opt == red.threshold
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_opt_exceeds_threshold_without_matching(self, seed):
+        graph = matchless_hypergraph(2, 3, n_edges=4, seed=seed)
+        red = EntrySuppressionReduction(graph, 3)
+        opt, _ = optimal_anonymization(red.table, 3)
+        assert opt > red.threshold
+
+    def test_optimal_partition_encodes_matching(self):
+        graph, _ = planted_matching_hypergraph(2, 3, extra_edges=2, seed=3)
+        red = EntrySuppressionReduction(graph, 3)
+        opt, partition = optimal_anonymization(red.table, 3)
+        from repro.core.partition import anonymize_partition
+
+        anonymized, _ = anonymize_partition(red.table, partition)
+        matching = red.matching_from_anonymized(anonymized)
+        from repro.hardness.matching import is_perfect_matching
+
+        assert is_perfect_matching(graph, matching)
+
+
+class TestAttributeReductionConstruction:
+    def test_binary_table(self, planted):
+        red = AttributeSuppressionReduction(planted, 3)
+        values = {v for row in red.table.rows for v in row}
+        assert values <= {0, 1}
+
+    def test_custom_symbols(self, planted):
+        red = AttributeSuppressionReduction(planted, 3, b0="no", b1="yes")
+        values = {v for row in red.table.rows for v in row}
+        assert values <= {"no", "yes"}
+
+    def test_each_column_has_exactly_k_ones(self, planted):
+        red = AttributeSuppressionReduction(planted, 3)
+        for j in range(red.table.degree):
+            assert sum(1 for row in red.table.rows if row[j] == 1) == 3
+
+    def test_threshold(self, planted):
+        red = AttributeSuppressionReduction(planted, 3)
+        assert red.threshold == planted.n_edges - planted.n_vertices // 3
+
+    def test_rejects_equal_symbols(self, planted):
+        with pytest.raises(ValueError, match="differ"):
+            AttributeSuppressionReduction(planted, 3, b0=1, b1=1)
+
+    def test_rejects_small_k(self, planted):
+        with pytest.raises(ValueError, match="k > 2"):
+            AttributeSuppressionReduction(planted, 2)
+
+    def test_rejects_indivisible_n(self):
+        h = Hypergraph(4, [{0, 1, 2}, {1, 2, 3}])
+        with pytest.raises(ValueError, match="k | n"):
+            AttributeSuppressionReduction(h, 3)
+
+
+class TestAttributeReductionCertificates:
+    def test_forward_certificate(self, planted):
+        red = AttributeSuppressionReduction(planted, 3)
+        matching = find_perfect_matching(planted)
+        suppressor = red.suppressor_from_matching(matching)
+        anonymized = suppressor.apply(red.table)
+        assert is_k_anonymous(anonymized, 3)
+        assert len(suppressor.suppressed_attributes()) == red.threshold
+
+    def test_backward_roundtrip(self, planted):
+        red = AttributeSuppressionReduction(planted, 3)
+        matching = find_perfect_matching(planted)
+        anonymized = red.suppressor_from_matching(matching).apply(red.table)
+        assert sorted(red.matching_from_anonymized(anonymized)) == sorted(matching)
+
+    def test_kept_attributes_validation(self, planted):
+        red = AttributeSuppressionReduction(planted, 3)
+        with pytest.raises(ValueError, match="expected"):
+            red.matching_from_kept_attributes([0])
+
+    def test_rejects_cell_level_suppression(self, planted):
+        from repro.core.suppressor import Suppressor
+
+        red = AttributeSuppressionReduction(planted, 3)
+        partial = Suppressor({0: [0]}, red.table.n_rows, red.table.degree)
+        with pytest.raises(ValueError, match="attribute"):
+            red.matching_from_anonymized(partial.apply(red.table))
+
+
+class TestTheorem32Equivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_min_attributes_hits_threshold_iff_matching(self, seed):
+        graph, _ = planted_matching_hypergraph(2, 3, extra_edges=2, seed=seed)
+        red = AttributeSuppressionReduction(graph, 3)
+        count, suppressed = optimal_attribute_suppression(red.table, 3)
+        assert count == red.threshold
+        kept = [j for j in range(graph.n_edges) if j not in suppressed]
+        assert sorted(red.matching_from_kept_attributes(kept))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_min_attributes_exceeds_threshold_without_matching(self, seed):
+        graph = matchless_hypergraph(2, 3, n_edges=4, seed=seed)
+        red = AttributeSuppressionReduction(graph, 3)
+        count, _ = optimal_attribute_suppression(red.table, 3)
+        assert count > red.threshold

@@ -1,0 +1,105 @@
+"""Tests for the release dossier and its CLI command."""
+
+import pytest
+
+from repro import CenterCoverAnonymizer, STAR, Table
+from repro.cli import main
+from repro.io import write_csv
+from repro.report import release_dossier
+
+from .conftest import random_table
+
+
+@pytest.fixture
+def pair():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    original = random_table(rng, 16, 3, 3)
+    released = CenterCoverAnonymizer().anonymize(original, 4).anonymized
+    sensitive = [str(int(v)) for v in rng.integers(0, 3, size=16)]
+    return original, released, sensitive
+
+
+class TestReleaseDossier:
+    def test_approved_release(self, pair):
+        original, released, _ = pair
+        text = release_dossier(original, released, 4)
+        assert text.startswith("RELEASE DOSSIER — verdict: APPROVED (k=4)")
+        assert "[1] validation" in text
+        assert "[2] anonymity & utility metrics" in text
+        assert "[3] re-identification risk" in text
+        assert "[4] analytic utility" in text
+        assert "all intervals sound: True" in text
+
+    def test_rejected_release(self, pair):
+        original, _, __ = pair
+        text = release_dossier(original, original, 4)
+        assert "verdict: REJECTED" in text
+        assert "PROBLEM" in text
+
+    def test_sensitive_section(self, pair):
+        original, released, sensitive = pair
+        text = release_dossier(original, released, 4, sensitive=sensitive)
+        assert "[4] attribute disclosure" in text
+        assert "distinct l-diversity" in text
+        assert "t-closeness" in text
+        assert "[5] analytic utility" in text
+
+    def test_no_queries(self, pair):
+        original, released, _ = pair
+        text = release_dossier(original, released, 4, n_queries=0)
+        assert "analytic utility" not in text
+
+    def test_validation_errors(self, pair):
+        original, released, _ = pair
+        with pytest.raises(ValueError):
+            release_dossier(original, released, 0)
+        with pytest.raises(ValueError):
+            release_dossier(original, released, 4, sensitive=["x"])
+
+    def test_empty_tables(self):
+        empty = Table([], attributes=["a"])
+        text = release_dossier(empty, empty, 3, sensitive=[])
+        assert "APPROVED" in text
+
+
+class TestCliDossier:
+    def test_end_to_end(self, tmp_path, capsys):
+        rows = ["age,sex,diag"]
+        for i in range(8):
+            rows.append(f"{30 + 10 * (i // 4)},{'F' if i % 2 else 'M'},d{i % 2}")
+        original_path = tmp_path / "orig.csv"
+        original_path.write_text("\n".join(rows) + "\n")
+
+        released_path = tmp_path / "rel.csv"
+        code = main(["anonymize", str(original_path), "-k", "2",
+                     "-o", str(released_path)])
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(["dossier", str(original_path), str(released_path),
+                     "-k", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "APPROVED" in out
+
+    def test_with_sensitive_column(self, tmp_path, capsys):
+        rows = ["age,diag"] + [f"{30 + (i // 3) * 10},d{i % 3}"
+                               for i in range(9)]
+        original_path = tmp_path / "orig.csv"
+        original_path.write_text("\n".join(rows) + "\n")
+        released_path = tmp_path / "rel.csv"
+        assert main(["anonymize", str(original_path), "-k", "3",
+                     "--ldiv", "2", "-o", str(released_path)]) == 0
+        capsys.readouterr()
+        code = main(["dossier", str(original_path), str(released_path),
+                     "-k", "3", "--sensitive", "diag"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "attribute disclosure" in out
+
+    def test_rejected_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "raw.csv"
+        path.write_text("a\n1\n2\n")
+        assert main(["dossier", str(path), str(path), "-k", "2"]) == 1

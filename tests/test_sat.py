@@ -1,0 +1,120 @@
+"""Tests for the CNF representation and the DPLL solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness.sat import (
+    Cnf,
+    is_satisfiable,
+    planted_satisfiable_cnf,
+    random_three_cnf,
+    solve_sat,
+    unsatisfiable_cnf,
+)
+
+
+class TestCnf:
+    def test_basic(self):
+        f = Cnf(2, [(1, 2), (-1, 2)])
+        assert f.n_vars == 2
+        assert f.n_clauses == 2
+        assert f.is_three_cnf()
+
+    def test_rejects_empty_clause(self):
+        with pytest.raises(ValueError, match="empty"):
+            Cnf(2, [()])
+
+    def test_rejects_bad_literals(self):
+        with pytest.raises(ValueError):
+            Cnf(2, [(0,)])
+        with pytest.raises(ValueError):
+            Cnf(2, [(3,)])
+        with pytest.raises(ValueError):
+            Cnf(-1, [])
+
+    def test_evaluate(self):
+        f = Cnf(2, [(1, 2), (-1,)])
+        assert f.evaluate([False, True])
+        assert not f.evaluate([True, True])
+        with pytest.raises(ValueError):
+            f.evaluate([True])
+
+    def test_is_three_cnf_false(self):
+        assert not Cnf(4, [(1, 2, 3, 4)]).is_three_cnf()
+
+    def test_repr(self):
+        assert "n_vars=2" in repr(Cnf(2, [(1,)]))
+
+
+class TestSolver:
+    def test_trivially_sat(self):
+        assert solve_sat(Cnf(1, [(1,)])) == [True]
+        assert solve_sat(Cnf(1, [(-1,)])) == [False]
+
+    def test_trivially_unsat(self):
+        assert solve_sat(Cnf(1, [(1,), (-1,)])) is None
+
+    def test_unit_propagation_chain(self):
+        f = Cnf(3, [(1,), (-1, 2), (-2, 3)])
+        assert solve_sat(f) == [True, True, True]
+
+    def test_canonical_unsat(self):
+        assert not is_satisfiable(unsatisfiable_cnf())
+
+    def test_requires_branching(self):
+        # no units, no pure literals at the top level
+        f = Cnf(3, [(1, 2), (-1, -2), (2, 3), (-2, -3), (1, 3), (-1, -3)])
+        result = solve_sat(f)
+        # exactly one of each pair true: impossible for an odd cycle
+        assert result is None or f.evaluate(result)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(3, 5), st.integers(1, 12))
+    def test_agrees_with_brute_force(self, seed, n_vars, n_clauses):
+        f = random_three_cnf(n_vars, n_clauses, seed=seed)
+        brute = any(
+            f.evaluate(list(bits))
+            for bits in itertools.product([False, True], repeat=n_vars)
+        )
+        result = solve_sat(f)
+        assert (result is not None) == brute
+        if result is not None:
+            assert f.evaluate(result)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_planted_formulas_always_sat(self, seed):
+        f, hidden = planted_satisfiable_cnf(5, 10, seed=seed)
+        assert f.evaluate(hidden)
+        result = solve_sat(f)
+        assert result is not None
+        assert f.evaluate(result)
+
+
+class TestGenerators:
+    def test_random_shape(self):
+        f = random_three_cnf(6, 9, seed=0)
+        assert f.n_vars == 6
+        assert f.n_clauses == 9
+        assert all(len(c) == 3 for c in f.clauses)
+        assert all(len({abs(l) for l in c}) == 3 for c in f.clauses)
+
+    def test_deterministic(self):
+        a = random_three_cnf(5, 7, seed=3)
+        b = random_three_cnf(5, 7, seed=3)
+        assert a.clauses == b.clauses
+
+    def test_too_few_vars(self):
+        with pytest.raises(ValueError):
+            random_three_cnf(2, 3)
+        with pytest.raises(ValueError):
+            planted_satisfiable_cnf(2, 3)
+
+    def test_unsatisfiable_cnf_structure(self):
+        f = unsatisfiable_cnf()
+        assert f.n_vars == 3
+        assert f.n_clauses == 8
+        assert len(set(f.clauses)) == 8

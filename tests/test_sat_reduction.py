@@ -1,0 +1,144 @@
+"""Tests for the Garey-Johnson 3SAT -> 3DM reduction and the full
+3SAT -> 3DM -> k-ANONYMITY chain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness.matching import (
+    find_perfect_matching,
+    has_perfect_matching,
+    is_perfect_matching,
+)
+from repro.hardness.reductions import EntrySuppressionReduction
+from repro.hardness.sat import Cnf, planted_satisfiable_cnf, solve_sat
+from repro.hardness.sat_reduction import ThreeSatToMatchingReduction
+
+
+class TestConstruction:
+    def test_element_count_is_6nm(self):
+        f = Cnf(2, [(1, 2), (-1, -2), (1, -2)])
+        red = ThreeSatToMatchingReduction(f)
+        assert red.n_elements == 6 * 2 * 3
+
+    def test_hypergraph_is_simple_and_3_uniform(self):
+        f, _ = planted_satisfiable_cnf(3, 3, seed=0)
+        red = ThreeSatToMatchingReduction(f)
+        assert red.hypergraph.is_simple()
+        assert red.hypergraph.is_uniform(3)
+
+    def test_element_naming_roundtrip(self):
+        f = Cnf(1, [(1,)])
+        red = ThreeSatToMatchingReduction(f)
+        e = red.element_id("tip_t", 1, 0)
+        assert red.element_name(e) == ("tip_t", 1, 0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            ThreeSatToMatchingReduction(Cnf(0, []))
+
+
+class TestEquivalence:
+    def test_tiny_unsat_has_no_matching(self):
+        red = ThreeSatToMatchingReduction(Cnf(1, [(1,), (-1,)]))
+        assert not has_perfect_matching(red.hypergraph)
+
+    def test_tiny_sat_has_matching(self):
+        red = ThreeSatToMatchingReduction(Cnf(1, [(1,), (1,)]))
+        assert has_perfect_matching(red.hypergraph)
+
+    def test_two_var_unsat(self):
+        # (x1)(x2)(-x1 or -x2): UNSAT
+        red = ThreeSatToMatchingReduction(
+            Cnf(2, [(1,), (2,), (-1, -2)])
+        )
+        assert not has_perfect_matching(red.hypergraph)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_planted_sat_always_matches(self, seed):
+        f, hidden = planted_satisfiable_cnf(3, 3, seed=seed)
+        red = ThreeSatToMatchingReduction(f)
+        matching = red.matching_from_assignment(hidden)
+        assert is_perfect_matching(red.hypergraph, matching)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_solver_agrees_with_sat(self, seed):
+        """has_perfect_matching(gadget) == is_satisfiable(formula), on
+        formulas small enough for the matching search."""
+        from repro.hardness.sat import random_three_cnf
+
+        f = random_three_cnf(3, 2, seed=seed)
+        red = ThreeSatToMatchingReduction(f)
+        assert has_perfect_matching(red.hypergraph) == (solve_sat(f) is not None)
+
+
+class TestCertificates:
+    @pytest.fixture
+    def sat_instance(self):
+        f, hidden = planted_satisfiable_cnf(3, 3, seed=5)
+        return f, hidden, ThreeSatToMatchingReduction(f)
+
+    def test_forward_rejects_falsifying_assignment(self, sat_instance):
+        f, hidden, red = sat_instance
+        wrong = [not value for value in hidden]
+        if not f.evaluate(wrong):
+            with pytest.raises(ValueError, match="satisfy"):
+                red.matching_from_assignment(wrong)
+
+    def test_forward_validates_length(self, sat_instance):
+        _, __, red = sat_instance
+        with pytest.raises(ValueError, match="truth value"):
+            red.matching_from_assignment([True])
+
+    def test_roundtrip(self, sat_instance):
+        f, hidden, red = sat_instance
+        matching = red.matching_from_assignment(hidden)
+        decoded = red.assignment_from_matching(matching)
+        assert f.evaluate(decoded)
+
+    def test_backward_from_solver_matching(self, sat_instance):
+        f, _, red = sat_instance
+        matching = find_perfect_matching(red.hypergraph)
+        assert matching is not None
+        decoded = red.assignment_from_matching(matching)
+        assert f.evaluate(decoded)
+
+    def test_backward_rejects_non_matching(self, sat_instance):
+        _, __, red = sat_instance
+        with pytest.raises(ValueError, match="perfect matching"):
+            red.assignment_from_matching([0])
+
+
+class TestFullChain:
+    """3SAT -> 3DM -> k-ANONYMITY, certificates flowing end to end."""
+
+    def test_sat_formula_reaches_anonymity_threshold(self):
+        formula, hidden = planted_satisfiable_cnf(3, 3, seed=1)
+        gadget = ThreeSatToMatchingReduction(formula)
+        anonymity = EntrySuppressionReduction(gadget.hypergraph, 3)
+
+        # assignment -> matching -> anonymization at the threshold
+        matching = gadget.matching_from_assignment(hidden)
+        anonymized = anonymity.anonymize_from_matching(matching)
+        from repro.core.anonymity import is_k_anonymous, suppressed_cell_count
+
+        assert is_k_anonymous(anonymized, 3)
+        assert suppressed_cell_count(anonymized) == anonymity.threshold
+
+        # ...and back: anonymization -> matching -> assignment
+        recovered_matching = anonymity.matching_from_anonymized(anonymized)
+        assignment = gadget.assignment_from_matching(recovered_matching)
+        assert formula.evaluate(assignment)
+
+    def test_unsat_formula_cannot_reach_threshold(self):
+        """For UNSAT formulas no perfect matching exists, so no
+        anonymization of the chain table can exhibit the threshold
+        structure (every row keeping exactly one 0-cell)."""
+        gadget = ThreeSatToMatchingReduction(Cnf(1, [(1,), (-1,)]))
+        anonymity = EntrySuppressionReduction(gadget.hypergraph, 3)
+        assert not has_perfect_matching(gadget.hypergraph)
+        # the forward certificate is impossible to build
+        with pytest.raises(ValueError):
+            anonymity.suppressor_from_matching([0, 1])

@@ -1,0 +1,92 @@
+"""Tests for the small-m exact solver (the Sweeney [8] simulation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.exact import optimal_anonymization
+from repro.algorithms.small_m import SmallMExactAnonymizer
+from repro.core.table import Table
+from repro.workloads import duplicate_heavy_table
+
+
+class TestCorrectness:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 3))
+    def test_matches_dp_on_duplicate_tables(self, seed, k):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 12))
+        t = duplicate_heavy_table(n, 3, n_distinct=4, seed=rng)
+        result = SmallMExactAnonymizer().anonymize(t, k)
+        opt, _ = optimal_anonymization(t, k)
+        assert result.stars == opt
+        assert result.is_valid(t)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 3))
+    def test_matches_dp_on_distinct_tables(self, seed, k):
+        from .conftest import random_table
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 8))
+        t = random_table(rng, n, 2, 2)  # few distinct patterns
+        result = SmallMExactAnonymizer().anonymize(t, k)
+        opt, _ = optimal_anonymization(t, k)
+        assert result.stars == opt
+
+    def test_duplicates_may_split_across_groups(self):
+        """Forcing all copies of a record into the same group is NOT
+        optimality-preserving, so the solver must allow splitting.
+
+        Instance (k=3): (0,1) x2 and (0,0) x4.  Splitting the (0,0)
+        copies 3/1 gives {(0,0) x3} free + {(0,1) x2, (0,0)} costing 3;
+        co-grouping all four (0,0)s strands the two (0,1)s (< k), forcing
+        one 6-row group costing 6.
+        """
+        t = Table([(0, 1), (0, 1), (0, 0), (0, 0), (0, 0), (0, 0)])
+        result = SmallMExactAnonymizer().anonymize(t, 3)
+        assert result.stars == 3
+        opt, _ = optimal_anonymization(t, 3)
+        assert opt == 3
+
+    def test_extras(self):
+        t = duplicate_heavy_table(30, 3, n_distinct=4, seed=0)
+        result = SmallMExactAnonymizer().anonymize(t, 3)
+        assert result.extras["distinct_records"] <= 4
+        assert result.extras["dp_states"] >= 1
+        assert result.extras["opt"] == result.stars
+
+    def test_scales_with_many_duplicates(self):
+        """n = 90 with 3 distinct records is far beyond the subset DP's
+        ~16-row wall but cheap for the multiplicity DP."""
+        t = duplicate_heavy_table(90, 4, n_distinct=3, seed=1)
+        result = SmallMExactAnonymizer().anonymize(t, 3)
+        assert result.is_valid(t)
+
+    def test_state_space_guard(self):
+        t = duplicate_heavy_table(200, 4, n_distinct=6, seed=1)
+        with pytest.raises(ValueError, match="state bound"):
+            SmallMExactAnonymizer(max_states=1000).anonymize(t, 5)
+
+
+class TestGuards:
+    def test_distinct_guard(self):
+        t = Table([(i,) for i in range(40)])
+        with pytest.raises(ValueError, match="distinct"):
+            SmallMExactAnonymizer(max_distinct=10).anonymize(t, 2)
+
+    def test_empty_and_infeasible(self):
+        from repro.algorithms.base import InfeasibleAnonymizationError
+
+        assert SmallMExactAnonymizer().anonymize(Table([]), 3).stars == 0
+        with pytest.raises(InfeasibleAnonymizationError):
+            SmallMExactAnonymizer().anonymize(Table([(1,)]), 2)
+
+    def test_partition_groups_within_bounds(self):
+        t = duplicate_heavy_table(25, 3, n_distinct=3, seed=3)
+        result = SmallMExactAnonymizer().anonymize(t, 4)
+        assert result.partition is not None
+        assert all(4 <= len(g) <= 7 for g in result.partition.groups)

@@ -1,0 +1,86 @@
+"""End-to-end stress tests: realistic scales, full pipeline, every gate.
+
+Heavier than unit tests (a few seconds total) but still CI-friendly;
+these are the runs a release engineer would do before shipping.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CenterCoverAnonymizer,
+    KMemberAnonymizer,
+    LocalSearchAnonymizer,
+    MondrianAnonymizer,
+    MSTForestAnonymizer,
+)
+from repro.analysis import query_error_experiment
+from repro.core.anonymity import is_k_anonymous
+from repro.privacy import linkage_attack, risk_report
+from repro.validate import validate_release
+from repro.workloads import census_table, quasi_identifiers, zipf_table
+
+
+class TestCensusPipelineAtScale:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return quasi_identifiers(census_table(250, seed=99, age_bucket=10))
+
+    def test_full_publisher_pipeline(self, table):
+        k = 5
+        result = LocalSearchAnonymizer(CenterCoverAnonymizer()).anonymize(
+            table, k
+        )
+        report = validate_release(table, result.anonymized, k)
+        assert report.ok, report.summary()
+        assert risk_report(result.anonymized).meets_k(k)
+        counts = linkage_attack(
+            result.anonymized, table, list(range(table.n_rows))
+        )
+        assert min(counts.values()) >= k
+        utility = query_error_experiment(
+            table, result.anonymized, n_queries=25, seed=0
+        )
+        assert utility.all_sound
+
+    def test_three_algorithms_agree_on_validity(self, table):
+        for algorithm in [
+            CenterCoverAnonymizer(),
+            MondrianAnonymizer(),
+            MSTForestAnonymizer(),
+        ]:
+            result = algorithm.anonymize(table, 4)
+            assert result.is_valid(table)
+            assert validate_release(table, result.anonymized, 4).ok
+
+
+class TestWideZipfTable:
+    def test_wide_skewed_table(self):
+        table = zipf_table(150, 16, alphabet_size=10, exponent=1.4, seed=7)
+        result = CenterCoverAnonymizer().anonymize(table, 6)
+        assert result.is_valid(table)
+        assert is_k_anonymous(result.anonymized, 6)
+
+    def test_kmember_on_wide_table(self):
+        table = zipf_table(80, 12, alphabet_size=6, exponent=1.3, seed=8)
+        result = KMemberAnonymizer().anonymize(table, 4)
+        assert result.is_valid(table)
+
+
+class TestManySeedsQuickSweep:
+    def test_twenty_seeds_center_cover(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            seed = int(rng.integers(0, 10 ** 9))
+            n = int(rng.integers(10, 60))
+            m = int(rng.integers(2, 7))
+            k = int(rng.integers(2, 6))
+            if n < k:
+                continue
+            inner = np.random.default_rng(seed)
+            data = inner.integers(0, 4, size=(n, m))
+            from repro.core.table import Table
+
+            table = Table([tuple(int(v) for v in row) for row in data])
+            result = CenterCoverAnonymizer().anonymize(table, k)
+            assert result.is_valid(table), (seed, n, m, k)

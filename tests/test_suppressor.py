@@ -1,0 +1,126 @@
+"""Tests for repro.core.suppressor.Suppressor (Definition 2.1)."""
+
+import pytest
+
+from repro.core.alphabet import STAR
+from repro.core.suppressor import Suppressor
+from repro.core.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table([(1, 2, 3), (4, 5, 6)], attributes=["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_validates_row_range(self):
+        with pytest.raises(ValueError, match="row index"):
+            Suppressor({5: [0]}, n_rows=2, degree=3)
+
+    def test_validates_coordinate_range(self):
+        with pytest.raises(ValueError, match="coordinate"):
+            Suppressor({0: [7]}, n_rows=2, degree=3)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Suppressor({}, n_rows=-1, degree=2)
+
+    def test_empty_coordinate_sets_dropped(self):
+        s = Suppressor({0: [], 1: [2]}, n_rows=2, degree=3)
+        assert s.starred_coordinates(0) == frozenset()
+        assert s.total_stars() == 1
+
+    def test_identity(self, table):
+        s = Suppressor.identity(table)
+        assert s.total_stars() == 0
+        assert s.apply(table) == table
+
+
+class TestApplication:
+    def test_stars_selected_cells(self, table):
+        s = Suppressor({0: [1], 1: [0, 2]}, n_rows=2, degree=3)
+        out = s.apply(table)
+        assert out.rows == ((1, STAR, 3), (STAR, 5, STAR))
+
+    def test_shape_mismatch_rejected(self, table):
+        s = Suppressor({}, n_rows=3, degree=3)
+        with pytest.raises(ValueError, match="shape"):
+            s.apply(table)
+
+    def test_total_stars(self, table):
+        s = Suppressor({0: [0, 1], 1: [2]}, n_rows=2, degree=3)
+        assert s.total_stars() == 3
+
+    def test_apply_preserves_schema(self, table):
+        s = Suppressor({0: [0]}, n_rows=2, degree=3)
+        assert s.apply(table).attributes == table.attributes
+
+
+class TestFromTables:
+    def test_roundtrip(self, table):
+        s = Suppressor({0: [2], 1: [0]}, n_rows=2, degree=3)
+        recovered = Suppressor.from_tables(table, s.apply(table))
+        assert recovered == s
+
+    def test_rejects_changed_values(self, table):
+        bad = table.with_rows([(1, 2, 99), (4, 5, 6)])
+        with pytest.raises(ValueError, match="changed value"):
+            Suppressor.from_tables(table, bad)
+
+    def test_rejects_shape_mismatch(self, table):
+        with pytest.raises(ValueError, match="shapes"):
+            Suppressor.from_tables(table, Table([(1, 2, 3)]))
+
+    def test_identity_recovered(self, table):
+        assert Suppressor.from_tables(table, table).total_stars() == 0
+
+
+class TestAttributeSuppression:
+    def test_suppress_attributes_by_index(self, table):
+        s = Suppressor.suppress_attributes(table, [1])
+        out = s.apply(table)
+        assert out.column(1) == (STAR, STAR)
+        assert out.column(0) == (1, 4)
+
+    def test_suppress_attributes_by_name(self, table):
+        s = Suppressor.suppress_attributes(table, ["c"])
+        assert s.suppressed_attributes() == frozenset([2])
+
+    def test_suppressed_attributes_detection(self, table):
+        s = Suppressor({0: [0, 1], 1: [1]}, n_rows=2, degree=3)
+        assert s.suppressed_attributes() == frozenset([1])
+
+    def test_no_common_attributes(self, table):
+        s = Suppressor({0: [0], 1: [1]}, n_rows=2, degree=3)
+        assert s.suppressed_attributes() == frozenset()
+
+    def test_empty_table_suppressed_attributes(self):
+        s = Suppressor({}, n_rows=0, degree=3)
+        assert s.suppressed_attributes() == frozenset()
+
+    def test_is_attribute_suppressor(self, table):
+        assert Suppressor.suppress_attributes(table, [0, 2]).is_attribute_suppressor()
+        mixed = Suppressor({0: [0], 1: [0, 1]}, n_rows=2, degree=3)
+        assert not mixed.is_attribute_suppressor()
+
+    def test_identity_is_attribute_suppressor(self, table):
+        assert Suppressor.identity(table).is_attribute_suppressor()
+
+
+class TestDunder:
+    def test_equality(self):
+        a = Suppressor({0: [1]}, n_rows=2, degree=2)
+        b = Suppressor({0: (1,)}, n_rows=2, degree=2)
+        c = Suppressor({0: [0]}, n_rows=2, degree=2)
+        assert a == b
+        assert a != c
+        assert a != "not a suppressor"
+
+    def test_hash(self):
+        a = Suppressor({0: [1]}, n_rows=2, degree=2)
+        b = Suppressor({0: [1]}, n_rows=2, degree=2)
+        assert hash(a) == hash(b)
+
+    def test_repr(self):
+        s = Suppressor({0: [1]}, n_rows=2, degree=2)
+        assert "stars=1" in repr(s)

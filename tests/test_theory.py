@@ -1,0 +1,146 @@
+"""Tests for repro.theory: bound formulas and certified inequalities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.exact import optimal_anonymization
+from repro.core.partition import Partition
+from repro.core.table import Table
+from repro.theory import (
+    check_figure_1,
+    check_lemma_4_1,
+    diameter_lower_bound,
+    greedy_cover_ratio,
+    harmonic,
+    theorem_4_1_ratio,
+    theorem_4_2_ratio,
+)
+
+from .conftest import random_table
+
+
+class TestFormulas:
+    def test_harmonic_values(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == 1.5
+        assert harmonic(0) == 0.0
+
+    def test_harmonic_close_to_log(self):
+        assert abs(harmonic(1000) - (math.log(1000) + 0.5772)) < 0.01
+
+    def test_greedy_cover_ratio(self):
+        assert greedy_cover_ratio(1) == 1.0
+        assert greedy_cover_ratio(math.e.__ceil__()) > 2.0
+        with pytest.raises(ValueError):
+            greedy_cover_ratio(0)
+
+    def test_theorem_4_1_values(self):
+        # 3k(1 + ln 2k): for k=3, 9 * (1 + ln 6)
+        assert theorem_4_1_ratio(3) == pytest.approx(9 * (1 + math.log(6)))
+        with pytest.raises(ValueError):
+            theorem_4_1_ratio(0)
+
+    def test_theorem_4_2_values(self):
+        assert theorem_4_2_ratio(3, 8) == pytest.approx(18 * (1 + math.log(8)))
+        with pytest.raises(ValueError):
+            theorem_4_2_ratio(3, 0)
+
+    def test_ratios_grow_with_k(self):
+        assert theorem_4_1_ratio(5) > theorem_4_1_ratio(2)
+        assert theorem_4_2_ratio(5, 4) > theorem_4_2_ratio(2, 4)
+
+
+class TestLemma41:
+    def test_hand_instance(self):
+        t = Table([(0, 0), (0, 1), (5, 5), (5, 5)])
+        p = Partition([{0, 1}, {2, 3}], n_rows=4, k=2)
+        opt, _ = optimal_anonymization(t, 2)
+        report = check_lemma_4_1(t, p, opt)
+        assert report.holds
+        assert report.diameter_sum == 1
+        assert report.opt == opt == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 3))
+    def test_sandwich_on_random_instances(self, seed, k):
+        """Lemma 4.1 verified against the DP optimum and the partition
+        the DP itself produces (which is diameter-reasonable)."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 9))
+        t = random_table(rng, n, 3, 3)
+        opt, partition = optimal_anonymization(t, k)
+        report = check_lemma_4_1(t, partition, opt)
+        # The lower bound uses the *minimum* diameter-sum partition; the
+        # DP partition's diameter sum is only an upper bound on that
+        # minimum, so we check the universally valid directions:
+        assert report.partition_cost >= opt
+        assert report.upper_ok
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 3))
+    def test_lower_bound_via_min_diameter_partition(self, seed, k):
+        """k * min-diameter-sum <= OPT, with the true minimizer found by
+        brute force over partitions (small n)."""
+        import numpy as np
+        from itertools import combinations
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 7))
+        t = random_table(rng, n, 3, 3)
+        opt, _ = optimal_anonymization(t, k)
+
+        best = math.inf
+
+        def partitions(items):
+            if not items:
+                yield []
+                return
+            first, rest = items[0], items[1:]
+            for size in range(k - 1, min(2 * k - 1, len(items))):
+                if 0 < len(rest) - size < k:
+                    continue
+                for mates in combinations(rest, size):
+                    group = frozenset((first, *mates))
+                    remaining = [i for i in rest if i not in group]
+                    for tail in partitions(remaining):
+                        yield [group] + tail
+
+        from repro.core.distance import diameter_of
+
+        for p in partitions(list(range(n))):
+            best = min(best, sum(diameter_of(t, g) for g in p))
+        assert k * best <= opt
+
+    def test_diameter_lower_bound_helper(self):
+        t = Table([(0, 0), (1, 1), (0, 0), (1, 1)])
+        p = Partition([{0, 2}, {1, 3}], n_rows=4, k=2)
+        assert diameter_lower_bound(t, p) == 0
+
+
+class TestFigure1:
+    def test_triangle_on_overlapping_groups(self):
+        t = Table([(0, 0, 0), (1, 1, 0), (1, 1, 1)])
+        assert check_figure_1(t, frozenset({0, 1}), frozenset({1, 2}))
+
+    def test_requires_overlap(self):
+        t = Table([(0,), (1,), (2,)])
+        with pytest.raises(ValueError, match="overlap"):
+            check_figure_1(t, frozenset({0}), frozenset({1}))
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10 ** 6))
+    def test_random_overlapping_groups(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 10))
+        t = random_table(rng, n, 4, 3)
+        shared = int(rng.integers(0, n))
+        a = frozenset({shared} | {int(i) for i in rng.choice(n, size=2)})
+        b = frozenset({shared} | {int(i) for i in rng.choice(n, size=2)})
+        assert check_figure_1(t, a, b)

@@ -1,0 +1,139 @@
+"""Tests for the top-down greedy splitter, plus stateful (model-based)
+testing of the incremental anonymizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.algorithms import TopDownGreedyAnonymizer
+from repro.algorithms.incremental import IncrementalAnonymizer
+from repro.core.alphabet import STAR
+from repro.core.anonymity import is_k_anonymous
+from repro.core.table import Table
+
+from .conftest import random_table
+
+
+class TestTopDownGreedy:
+    def test_valid_output(self):
+        t = random_table(np.random.default_rng(0), 22, 4, 3)
+        result = TopDownGreedyAnonymizer().anonymize(t, 3)
+        assert result.is_valid(t)
+
+    def test_finds_planted_clusters(self):
+        from repro.workloads import planted_groups_table
+
+        t = planted_groups_table(6, 3, 5, noise=0.0, seed=1)
+        result = TopDownGreedyAnonymizer().anonymize(t, 3)
+        assert result.stars == 0
+
+    def test_identical_rows_never_split(self):
+        t = Table([(1, 1)] * 9)
+        result = TopDownGreedyAnonymizer().anonymize(t, 3)
+        assert result.extras["splits"] == 0
+        assert result.stars == 0
+
+    def test_splits_recorded(self):
+        t = Table([(0, 0)] * 3 + [(9, 9)] * 3)
+        result = TopDownGreedyAnonymizer().anonymize(t, 3)
+        assert result.extras["splits"] == 1
+        assert result.extras["groups"] == 2
+
+    def test_empty_and_infeasible(self):
+        from repro.algorithms.base import InfeasibleAnonymizationError
+
+        assert TopDownGreedyAnonymizer().anonymize(Table([]), 2).stars == 0
+        with pytest.raises(InfeasibleAnonymizationError):
+            TopDownGreedyAnonymizer().anonymize(Table([(1,)]), 2)
+
+    def test_never_beats_exact(self):
+        from repro.algorithms.exact import optimal_anonymization
+
+        for seed in range(5):
+            t = random_table(np.random.default_rng(seed), 9, 3, 3)
+            opt, _ = optimal_anonymization(t, 3)
+            assert TopDownGreedyAnonymizer().anonymize(t, 3).stars >= opt
+
+    def test_beats_single_group_when_structure_exists(self):
+        from repro.core.distance import anon_cost
+
+        t = Table([(0, 0, 0)] * 4 + [(7, 7, 7)] * 4)
+        result = TopDownGreedyAnonymizer().anonymize(t, 4)
+        assert result.stars < anon_cost(list(t.rows))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    def test_always_valid(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 28))
+        t = random_table(rng, n, 3, 3)
+        result = TopDownGreedyAnonymizer().anonymize(t, k)
+        assert result.is_valid(t)
+
+
+class IncrementalMachine(RuleBasedStateMachine):
+    """Model-based test: arbitrary insert sequences never violate the
+    snapshot invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.k = 2
+        self.inc = IncrementalAnonymizer(k=self.k, degree=2)
+        self.previous_settled_rows: dict[int, tuple] = {}
+
+    @initialize()
+    def start(self):
+        pass
+
+    @rule(a=st.integers(0, 2), b=st.integers(0, 2))
+    def insert_row(self, a, b):
+        self.inc.insert([(a, b)])
+
+    @rule(
+        rows=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2)),
+            min_size=1, max_size=4,
+        )
+    )
+    def insert_batch(self, rows):
+        self.inc.insert(rows)
+
+    @invariant()
+    def snapshot_publishable(self):
+        assert self.inc.is_publishable()
+
+    @invariant()
+    def settled_rows_k_anonymous(self):
+        snapshot = self.inc.released()
+        settled = [
+            i for i in range(snapshot.n_rows) if i in self.inc._group_of
+        ]
+        if settled:
+            assert is_k_anonymous(snapshot.select_rows(settled), self.k)
+
+    @invariant()
+    def disclosure_is_monotone(self):
+        snapshot = self.inc.released()
+        for i, old_row in self.previous_settled_rows.items():
+            new_row = snapshot.rows[i]
+            for old_value, new_value in zip(old_row, new_row):
+                if old_value is STAR:
+                    assert new_value is STAR
+        self.previous_settled_rows = {
+            i: snapshot.rows[i]
+            for i in range(snapshot.n_rows)
+            if i in self.inc._group_of
+        }
+
+
+TestIncrementalStateful = IncrementalMachine.TestCase
+TestIncrementalStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,68 @@
+"""Tests for the set-valued transaction workloads."""
+
+import pytest
+
+from repro.algorithms import CenterCoverAnonymizer, DataflyAnonymizer
+from repro.algorithms.exact import optimal_anonymization
+from repro.workloads import planted_basket_table, transaction_table
+
+
+class TestTransactionTable:
+    def test_shape_and_binary(self):
+        t = transaction_table(30, 12, seed=0)
+        assert (t.n_rows, t.degree) == (30, 12)
+        assert {v for row in t.rows for v in row} <= {0, 1}
+        assert t.attributes[0] == "item0"
+
+    def test_popularity_skew(self):
+        t = transaction_table(500, 10, popularity_exponent=1.5, seed=1)
+        first = sum(row[0] for row in t.rows)
+        last = sum(row[-1] for row in t.rows)
+        assert first > last
+
+    def test_density_controls_fill(self):
+        sparse = transaction_table(300, 10, density=0.1, seed=2)
+        dense = transaction_table(300, 10, density=0.6, seed=2)
+        fill = lambda t: sum(v for row in t.rows for v in row)  # noqa: E731
+        assert fill(sparse) < fill(dense)
+
+    def test_deterministic(self):
+        assert transaction_table(20, 8, seed=5) == transaction_table(20, 8, seed=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transaction_table(-1, 5)
+        with pytest.raises(ValueError):
+            transaction_table(5, 0)
+        with pytest.raises(ValueError):
+            transaction_table(5, 5, density=0.0)
+        with pytest.raises(ValueError):
+            transaction_table(5, 5, popularity_exponent=-1)
+
+    def test_anonymizable(self):
+        t = transaction_table(40, 8, seed=3)
+        result = CenterCoverAnonymizer().anonymize(t, 4)
+        assert result.is_valid(t)
+
+
+class TestPlantedBaskets:
+    def test_shape(self):
+        t = planted_basket_table(4, 3, 10, seed=0)
+        assert t.n_rows == 12
+        assert t.degree == 10
+
+    def test_zero_flips_zero_opt(self):
+        t = planted_basket_table(3, 3, 6, flip_probability=0.0, seed=1)
+        opt, _ = optimal_anonymization(t, 3)
+        assert opt == 0
+
+    def test_attribute_suppression_works_on_baskets(self):
+        t = planted_basket_table(4, 3, 6, flip_probability=0.05, seed=2)
+        result = DataflyAnonymizer().anonymize(t, 3)
+        assert result.is_valid(t)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planted_basket_table(0, 3, 5)
+        with pytest.raises(ValueError):
+            planted_basket_table(2, 3, 5, flip_probability=2.0)

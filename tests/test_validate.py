@@ -1,0 +1,107 @@
+"""Tests for the release validator and its CLI command."""
+
+import pytest
+
+from repro import CenterCoverAnonymizer, STAR, Table
+from repro.cli import main
+from repro.io import write_csv
+from repro.validate import validate_release
+
+from .conftest import random_table
+
+
+@pytest.fixture
+def pair():
+    import numpy as np
+
+    original = random_table(np.random.default_rng(0), 12, 3, 3)
+    released = CenterCoverAnonymizer().anonymize(original, 3).anonymized
+    return original, released
+
+
+class TestValidateRelease:
+    def test_good_release_passes(self, pair):
+        original, released = pair
+        report = validate_release(original, released, 3)
+        assert report.ok
+        assert report.is_suppression
+        assert report.anonymity >= 3
+        assert report.max_risk <= 1 / 3 + 1e-9
+        assert "RELEASE OK" in report.summary()
+
+    def test_underanonymized_release_fails(self, pair):
+        original, _ = pair
+        report = validate_release(original, original, 3)
+        assert not report.ok
+        assert any("not 3-anonymous" in p for p in report.problems)
+        assert "DO NOT RELEASE" in report.summary()
+
+    def test_tampered_values_detected(self, pair):
+        original, released = pair
+        rows = list(released.rows)
+        tampered_cell = None
+        for i, row in enumerate(rows):
+            for j, value in enumerate(row):
+                if value is not STAR:
+                    tampered_cell = (i, j)
+                    break
+            if tampered_cell:
+                break
+        i, j = tampered_cell
+        rows[i] = rows[i][:j] + (999,) + rows[i][j + 1:]
+        tampered = released.with_rows(rows)
+        report = validate_release(original, tampered, 3)
+        assert not report.is_suppression
+        assert any("not a pure suppression" in p for p in report.problems)
+
+    def test_shape_mismatch(self, pair):
+        original, _ = pair
+        report = validate_release(original, Table([(1,)]), 3)
+        assert not report.ok
+        assert any("shape mismatch" in p for p in report.problems)
+
+    def test_renamed_attributes_flagged(self, pair):
+        original, released = pair
+        renamed = Table(released.rows, attributes=["x", "y", "z"])
+        report = validate_release(original, renamed, 3)
+        assert any("attribute names" in p for p in report.problems)
+
+    def test_claiming_higher_k_than_delivered(self, pair):
+        original, released = pair
+        report = validate_release(original, released, 7)
+        # the release is 3-anonymous; claiming 7 usually fails
+        if report.anonymity < 7:
+            assert not report.ok
+
+    def test_invalid_k(self, pair):
+        original, released = pair
+        with pytest.raises(ValueError):
+            validate_release(original, released, 0)
+
+    def test_empty_tables(self):
+        empty = Table([], attributes=["a"])
+        assert validate_release(empty, empty, 3).ok
+
+
+class TestCliValidate:
+    def test_ok_exit_code(self, tmp_path, pair, capsys):
+        original, released = pair
+        orig_str = original.with_rows(
+            [tuple(str(v) for v in row) for row in original.rows]
+        )
+        rel_str = released.with_rows(
+            [tuple(str(v) if v is not STAR else STAR for v in row)
+             for row in released.rows]
+        )
+        a, b = tmp_path / "orig.csv", tmp_path / "rel.csv"
+        write_csv(orig_str, a)
+        write_csv(rel_str, b)
+        assert main(["validate", str(a), str(b), "-k", "3"]) == 0
+        assert "RELEASE OK" in capsys.readouterr().out
+
+    def test_failing_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "same.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        code = main(["validate", str(path), str(path), "-k", "2"])
+        assert code == 1
+        assert "DO NOT RELEASE" in capsys.readouterr().out

@@ -1,0 +1,154 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exact import optimal_anonymization
+from repro.workloads import (
+    attribute_reduction_instance,
+    census_table,
+    duplicate_heavy_table,
+    entry_reduction_instance,
+    planted_groups_table,
+    quasi_identifiers,
+    uniform_table,
+    zipf_table,
+)
+from repro.workloads.census import ATTRIBUTES, QUASI_IDENTIFIERS
+
+
+class TestUniform:
+    def test_shape(self):
+        t = uniform_table(10, 5, alphabet_size=3, seed=0)
+        assert (t.n_rows, t.degree) == (10, 5)
+
+    def test_values_in_alphabet(self):
+        t = uniform_table(20, 4, alphabet_size=3, seed=1)
+        assert all(0 <= v < 3 for row in t.rows for v in row)
+
+    def test_deterministic(self):
+        assert uniform_table(8, 3, seed=5) == uniform_table(8, 3, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert uniform_table(8, 3, seed=5) != uniform_table(8, 3, seed=6)
+
+    def test_zero_rows(self):
+        assert uniform_table(0, 3, seed=0).n_rows == 0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            uniform_table(-1, 3)
+        with pytest.raises(ValueError):
+            uniform_table(3, 3, alphabet_size=0)
+
+
+class TestZipf:
+    def test_skew(self):
+        t = zipf_table(500, 2, alphabet_size=10, exponent=2.0, seed=0)
+        from collections import Counter
+
+        counts = Counter(v for row in t.rows for v in row)
+        assert counts[0] > counts.get(9, 0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            zipf_table(5, 2, alphabet_size=0)
+        with pytest.raises(ValueError):
+            zipf_table(5, 2, exponent=0)
+
+
+class TestPlantedGroups:
+    def test_shape(self):
+        t = planted_groups_table(4, 3, 5, seed=0)
+        assert t.n_rows == 12
+        assert t.degree == 5
+
+    def test_zero_noise_has_zero_opt(self):
+        t = planted_groups_table(3, 3, 4, noise=0.0, seed=1)
+        opt, _ = optimal_anonymization(t, 3)
+        assert opt == 0
+
+    def test_noise_increases_cost(self):
+        clean = planted_groups_table(3, 2, 6, noise=0.0, seed=2)
+        noisy = planted_groups_table(3, 2, 6, noise=0.5, seed=2)
+        opt_clean, _ = optimal_anonymization(clean, 2)
+        opt_noisy, _ = optimal_anonymization(noisy, 2)
+        assert opt_clean == 0
+        assert opt_noisy >= opt_clean
+
+    def test_shuffle_off_keeps_blocks(self):
+        t = planted_groups_table(2, 3, 4, noise=0.0, seed=3, shuffle=False)
+        assert t.rows[0] == t.rows[1] == t.rows[2]
+        assert t.rows[3] == t.rows[4] == t.rows[5]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            planted_groups_table(0, 3, 4)
+        with pytest.raises(ValueError):
+            planted_groups_table(2, 3, 4, noise=1.5)
+
+
+class TestDuplicateHeavy:
+    def test_distinct_bound(self):
+        t = duplicate_heavy_table(50, 4, n_distinct=6, seed=0)
+        assert len(set(t.rows)) <= 6
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            duplicate_heavy_table(5, 3, n_distinct=0)
+
+
+class TestCensus:
+    def test_schema(self):
+        t = census_table(25, seed=0)
+        assert t.attributes == ATTRIBUTES
+        assert t.n_rows == 25
+
+    def test_ages_bucketed(self):
+        t = census_table(100, seed=1, age_bucket=5)
+        assert all(age % 5 == 0 for age in t.column("age"))
+
+    def test_zip_regions(self):
+        t = census_table(200, seed=2, n_zip_regions=3)
+        prefixes = {z[:3] for z in t.column("zipcode")}
+        assert len(prefixes) == 3
+
+    def test_quasi_identifiers_projection(self):
+        t = census_table(10, seed=3)
+        qi = quasi_identifiers(t)
+        assert qi.attributes == QUASI_IDENTIFIERS
+        assert "diagnosis" not in qi.attributes
+
+    def test_deterministic(self):
+        assert census_table(10, seed=4) == census_table(10, seed=4)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            census_table(-1)
+        with pytest.raises(ValueError):
+            census_table(5, n_zip_regions=0)
+
+
+class TestAdversarial:
+    def test_entry_instance_with_matching(self):
+        red = entry_reduction_instance(2, k=3, with_matching=True, seed=0)
+        opt, _ = optimal_anonymization(red.table, 3)
+        assert opt == red.threshold
+
+    def test_entry_instance_without_matching(self):
+        red = entry_reduction_instance(2, k=3, extra_edges=2,
+                                       with_matching=False, seed=0)
+        opt, _ = optimal_anonymization(red.table, 3)
+        assert opt > red.threshold
+
+    def test_attribute_instances(self):
+        from repro.algorithms.exact import optimal_attribute_suppression
+
+        good = attribute_reduction_instance(2, k=3, with_matching=True, seed=1)
+        count, _ = optimal_attribute_suppression(good.table, 3)
+        assert count == good.threshold
+
+        bad = attribute_reduction_instance(2, k=3, extra_edges=2,
+                                           with_matching=False, seed=1)
+        count, _ = optimal_attribute_suppression(bad.table, 3)
+        assert count > bad.threshold
