@@ -9,17 +9,29 @@
 
 pytest-benchmark's table *is* the result series: compare the rows by
 parameter.
+
+The backend-comparison tests at the bottom time the pure-Python metric
+backend against the vectorized numpy one on identical workloads and
+report the speedup per algorithm — run with ``REPRO_BENCH_QUICK=1`` for
+the CI-sized version.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.algorithms.center_cover import CenterCoverAnonymizer
+from repro.algorithms.chain import GreedyChainAnonymizer
 from repro.algorithms.exact import optimal_anonymization
+from repro.algorithms.forest import MSTForestAnonymizer
 from repro.algorithms.greedy_cover import GreedyCoverAnonymizer
 from repro.algorithms.small_m import SmallMExactAnonymizer
+from repro.core.backend import available_backends, make_backend
 from repro.workloads import duplicate_heavy_table, uniform_table
+
+from .conftest import fmt, quick_mode
 
 
 @pytest.mark.parametrize("n", [8, 10, 12, 14])
@@ -105,3 +117,118 @@ def test_e9_small_m_scaling(benchmark, n):
                                 rounds=1, iterations=1)
     assert result.is_valid(table)
     benchmark.extra_info.update(n=n, distinct=3, k=3)
+
+
+# ----------------------------------------------------------------------
+# Backend comparison: pure-Python metric layer vs the numpy fast path
+# ----------------------------------------------------------------------
+
+
+def _time_once(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+needs_numpy = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="numpy backend not available",
+)
+
+
+@needs_numpy
+@pytest.mark.parametrize("n", [100, 200] if quick_mode() else [200, 500])
+def test_e9_distance_matrix_backend_speedup(benchmark, report, n):
+    """Full pairwise Hamming distance matrix: python vs numpy backend.
+
+    The chunked broadcast path must be at least 5x faster than the pure
+    Python double loop once n reaches 500 (in practice it is orders of
+    magnitude faster), and bit-identical to it.
+    """
+    table = uniform_table(n, 8, alphabet_size=4, seed=0)
+
+    def compare():
+        py_seconds, py_matrix = _time_once(
+            make_backend(table, "python").distance_matrix
+        )
+        np_seconds, np_matrix = _time_once(
+            make_backend(table, "numpy").distance_matrix
+        )
+        return py_seconds, np_seconds, py_matrix, np_matrix
+
+    py_seconds, np_seconds, py_matrix, np_matrix = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert np_matrix == py_matrix, "backends disagree on the matrix"
+    speedup = py_seconds / np_seconds if np_seconds > 0 else float("inf")
+    if n >= 500:
+        assert speedup >= 5.0, (
+            f"numpy matrix only {speedup:.1f}x faster at n={n}"
+        )
+    benchmark.extra_info.update(
+        n=n, m=8, python_seconds=py_seconds, numpy_seconds=np_seconds,
+        speedup=speedup,
+    )
+    report.line(
+        f"E9 distance matrix n={n}: python {fmt(py_seconds)}s, "
+        f"numpy {fmt(np_seconds)}s — {speedup:.0f}x"
+    )
+
+
+@needs_numpy
+def test_e9_algorithm_backend_comparison(benchmark, report):
+    """End-to-end anonymization runtime per backend, per algorithm.
+
+    Each algorithm runs the same workload once with the pure-Python
+    backend and once with the numpy backend; both must produce identical
+    star counts (the backends are exact drop-ins for each other), and
+    the speedup column quantifies how much of each algorithm's runtime
+    the metric layer accounts for.
+    """
+    n = 120 if quick_mode() else 300
+    table = uniform_table(n, 8, alphabet_size=4, seed=0)
+    algorithms = {
+        "center_cover": CenterCoverAnonymizer,
+        "greedy_chain": GreedyChainAnonymizer,
+        "mst_forest": MSTForestAnonymizer,
+    }
+
+    def compare():
+        timings = {}
+        for name, factory in algorithms.items():
+            row = {}
+            for backend_name in ("python", "numpy"):
+                algorithm = factory(
+                    backend=make_backend(table, backend_name)
+                )
+                seconds, result = _time_once(
+                    lambda alg=algorithm: alg.anonymize(table, 4)
+                )
+                assert result.is_valid(table)
+                row[backend_name] = (seconds, result.stars)
+            timings[name] = row
+        return timings
+
+    timings = benchmark.pedantic(compare, rounds=1, iterations=1)
+    rows = []
+    for name, row in timings.items():
+        py_seconds, py_stars = row["python"]
+        np_seconds, np_stars = row["numpy"]
+        assert py_stars == np_stars, (
+            f"{name}: backends disagree ({py_stars} vs {np_stars} stars)"
+        )
+        speedup = py_seconds / np_seconds if np_seconds > 0 else float("inf")
+        benchmark.extra_info[name] = {
+            "python_seconds": py_seconds,
+            "numpy_seconds": np_seconds,
+            "speedup": speedup,
+            "stars": py_stars,
+        }
+        rows.append([name, fmt(py_seconds), fmt(np_seconds),
+                     f"{speedup:.1f}x", py_stars])
+    benchmark.extra_info.update(n=n, k=4, m=8)
+    report.table(
+        f"E9 backend comparison (n={n}, k=4, m=8)",
+        ["algorithm", "python_s", "numpy_s", "speedup", "stars"],
+        rows,
+    )

@@ -9,7 +9,27 @@ in ``benchmark.extra_info`` for machine consumption.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.core.backend import available_backends, default_backend_name
+
+
+def quick_mode() -> bool:
+    """True when REPRO_BENCH_QUICK is set — shrink workloads for CI."""
+    return bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def pytest_report_header(config) -> str:
+    backend = default_backend_name()
+    parts = [
+        f"repro backend: {backend} (available: "
+        f"{', '.join(available_backends())})"
+    ]
+    if quick_mode():
+        parts.append("repro bench mode: quick (REPRO_BENCH_QUICK)")
+    return "\n".join(parts)
 
 
 class Reporter:

@@ -9,6 +9,11 @@ state is a valid (k, *)-partition** and the final answer is the best
 state ever visited — never worse than the starting point.
 
 Fully deterministic given the seed.
+
+Move evaluation uses the backend's incremental
+:class:`~repro.core.backend.MutableGroupStats` — a proposed swap or
+relocate is scored by O(m) what-if queries, never by recomputing a
+whole group (asserted by the operation-count tests).
 """
 
 from __future__ import annotations
@@ -18,14 +23,8 @@ import math
 import numpy as np
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
-from repro.core.distance import disagreeing_coordinates
 from repro.core.partition import Partition
 from repro.core.table import Table
-
-
-def _group_cost(rows, members) -> int:
-    vectors = [rows[i] for i in members]
-    return len(vectors) * len(disagreeing_coordinates(vectors))
 
 
 class SimulatedAnnealingAnonymizer(Anonymizer):
@@ -51,9 +50,11 @@ class SimulatedAnnealingAnonymizer(Anonymizer):
         start_temperature: float = 4.0,
         cooling: float = 0.995,
         seed: int | np.random.Generator = 0,
+        backend=None,
     ):
         from repro.algorithms.center_cover import CenterCoverAnonymizer
 
+        super().__init__(backend=backend)
         if steps < 0:
             raise ValueError("steps must be non-negative")
         if start_temperature <= 0 or not 0 < cooling < 1:
@@ -73,12 +74,11 @@ class SimulatedAnnealingAnonymizer(Anonymizer):
         ) < 2:
             return base
 
-        rows = table.rows
         rng = self._rng
-        groups: list[set[int]] = [set(g) for g in base.partition.groups]
-        costs = [_group_cost(rows, g) for g in groups]
-        current = sum(costs)
-        best_groups = [set(g) for g in groups]
+        backend = self._backend_for(table)
+        groups = [backend.group_stats(g) for g in base.partition.groups]
+        current = sum(s.cost for s in groups)
+        best_groups = [s.members for s in groups]
         best_cost = current
         k_cap = max(2 * k - 1, max(len(g) for g in groups))
 
@@ -89,31 +89,36 @@ class SimulatedAnnealingAnonymizer(Anonymizer):
             a, b = int(a), int(b)
             move_swap = bool(rng.integers(0, 2)) or len(groups[a]) <= k
             if move_swap:
-                u = sorted(groups[a])[int(rng.integers(0, len(groups[a])))]
-                v = sorted(groups[b])[int(rng.integers(0, len(groups[b])))]
-                new_a = (groups[a] - {u}) | {v}
-                new_b = (groups[b] - {v}) | {u}
+                u = sorted(groups[a].members)[int(rng.integers(0, len(groups[a])))]
+                v = sorted(groups[b].members)[int(rng.integers(0, len(groups[b])))]
+                cost_a = groups[a].cost_if_swap(u, v)
+                cost_b = groups[b].cost_if_swap(v, u)
             else:
                 if len(groups[b]) >= k_cap:
                     continue
-                u = sorted(groups[a])[int(rng.integers(0, len(groups[a])))]
-                new_a = groups[a] - {u}
-                new_b = groups[b] | {u}
-            cost_a = _group_cost(rows, new_a)
-            cost_b = _group_cost(rows, new_b)
-            delta = cost_a + cost_b - costs[a] - costs[b]
+                u = sorted(groups[a].members)[int(rng.integers(0, len(groups[a])))]
+                v = None
+                cost_a = groups[a].cost_if_remove(u)
+                cost_b = groups[b].cost_if_add(u)
+            delta = cost_a + cost_b - groups[a].cost - groups[b].cost
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                groups[a], groups[b] = new_a, new_b
-                costs[a], costs[b] = cost_a, cost_b
+                if move_swap:
+                    groups[a].remove(u)
+                    groups[a].add(v)
+                    groups[b].remove(v)
+                    groups[b].add(u)
+                else:
+                    groups[a].remove(u)
+                    groups[b].add(u)
                 current += delta
                 accepted += 1
                 if current < best_cost:
                     best_cost = current
-                    best_groups = [set(g) for g in groups]
+                    best_groups = [s.members for s in groups]
             temperature = max(temperature * self._cooling, 1e-6)
 
         partition = Partition(
-            [frozenset(g) for g in best_groups], table.n_rows, k,
+            best_groups, table.n_rows, k,
             k_max=max(2 * k - 1, max(len(g) for g in best_groups)),
         )
         result = self._result_from_partition(

@@ -52,10 +52,22 @@ class AnonymizationResult:
 
 
 class Anonymizer(abc.ABC):
-    """Abstract base: produce a k-anonymous suppression of a table."""
+    """Abstract base: produce a k-anonymous suppression of a table.
+
+    Every anonymizer accepts a ``backend=`` argument — ``None`` (honour
+    the ``REPRO_BACKEND`` environment variable), a backend name
+    (``"python"`` / ``"numpy"``), or a
+    :class:`repro.core.backend.DistanceBackend` instance — and routes
+    all metric work (distances, diameters, ANON costs, group images)
+    through it instead of ad-hoc tuple-level loops.
+    """
 
     #: short machine-readable identifier, overridden by subclasses
     name: str = "abstract"
+
+    def __init__(self, backend=None):
+        #: backend selector: None, a name, or a DistanceBackend instance
+        self.backend = backend
 
     @abc.abstractmethod
     def anonymize(self, table: Table, k: int) -> AnonymizationResult:
@@ -67,6 +79,12 @@ class Anonymizer(abc.ABC):
     # ------------------------------------------------------------------
     # Shared plumbing for subclasses
     # ------------------------------------------------------------------
+
+    def _backend_for(self, table: Table):
+        """The resolved :class:`DistanceBackend` for *table*."""
+        from repro.core.backend import get_backend
+
+        return get_backend(table, getattr(self, "backend", None))
 
     def _check_feasible(self, table: Table, k: int) -> None:
         if k < 1:
@@ -89,7 +107,9 @@ class Anonymizer(abc.ABC):
                 partition.groups, partition.n_rows, partition.k,
                 k_max=partition.k_max,
             )
-        anonymized, suppressor = anonymize_partition(table, partition)
+        anonymized, suppressor = anonymize_partition(
+            table, partition, backend=self._backend_for(table)
+        )
         return AnonymizationResult(
             anonymized=anonymized,
             suppressor=suppressor,

@@ -47,7 +47,8 @@ class RandomPartitionAnonymizer(Anonymizer):
 
     name = "random_partition"
 
-    def __init__(self, seed: int | np.random.Generator = 0):
+    def __init__(self, seed: int | np.random.Generator = 0, backend=None):
+        super().__init__(backend=backend)
         self._rng = np.random.default_rng(seed)
 
     def anonymize(self, table: Table, k: int) -> AnonymizationResult:

@@ -22,7 +22,6 @@ from itertools import combinations
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.algorithms.center_cover import CenterCoverAnonymizer
-from repro.core.distance import disagreeing_coordinates, pairwise_distance_matrix
 from repro.core.partition import Partition
 from repro.core.table import Table
 
@@ -53,19 +52,18 @@ class BranchBoundAnonymizer(Anonymizer):
 
     def _search(self, table: Table, k: int) -> tuple[int, Partition, int]:
         n = table.n_rows
-        rows = table.rows
-        dist = pairwise_distance_matrix(table)
+        resolved = self._backend_for(table)
+        dist = resolved.distance_matrix()
         upper_size = min(2 * k - 1, n)
 
         # Incumbent from the polynomial approximation algorithm.
-        incumbent = CenterCoverAnonymizer().anonymize(table, k)
+        incumbent = CenterCoverAnonymizer(backend=resolved).anonymize(table, k)
         best_cost = incumbent.stars
         assert incumbent.partition is not None
         best_groups: list[frozenset[int]] = list(incumbent.partition.groups)
 
         def group_cost(members: tuple[int, ...]) -> int:
-            vectors = [rows[i] for i in members]
-            return len(vectors) * len(disagreeing_coordinates(vectors))
+            return resolved.anon_cost(members)
 
         def lower_bound(unassigned: list[int]) -> int:
             if not unassigned:

@@ -30,7 +30,7 @@ from fractions import Fraction
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.algorithms.reduce_cover import reduce_and_shrink
-from repro.core.distance import fast_pairwise_distance_matrix as _distance_matrix
+from repro.core.backend import get_backend
 from repro.core.partition import Cover
 from repro.core.table import Table
 
@@ -40,6 +40,7 @@ def build_ball_cover(
     table: Table,
     k: int,
     diameter_mode: str = "radius_bound",
+    backend=None,
 ) -> Cover:
     """Greedy set cover over center/radius balls (Phase 1 of Theorem 4.2).
 
@@ -48,6 +49,8 @@ def build_ball_cover(
         surrogate (strongly polynomial, the paper's accounting);
         ``"exact"`` computes true diameters (slower, sometimes better
         covers).
+    :param backend: distance-backend selector (see
+        :func:`repro.core.backend.get_backend`).
     :returns: a (k, n)-cover of the table by balls.
     :raises ValueError: on ``0 < n < k`` or an unknown mode.
     """
@@ -62,7 +65,7 @@ def build_ball_cover(
     if n < k:
         raise ValueError(f"{n} rows cannot be covered by sets of size >= {k}")
 
-    dist = _distance_matrix(table)
+    dist = get_backend(table, backend).distance_matrix()
 
     # Per center: rows ordered by (distance, index); candidates are the
     # prefixes ending at a distance boundary with at least k members.
@@ -137,7 +140,8 @@ class CenterCoverAnonymizer(Anonymizer):
 
     name = "center_cover"
 
-    def __init__(self, diameter_mode: str = "radius_bound"):
+    def __init__(self, diameter_mode: str = "radius_bound", backend=None):
+        super().__init__(backend=backend)
         if diameter_mode not in ("radius_bound", "exact"):
             raise ValueError(f"unknown diameter_mode {diameter_mode!r}")
         self._diameter_mode = diameter_mode
@@ -146,12 +150,14 @@ class CenterCoverAnonymizer(Anonymizer):
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
-        cover = build_ball_cover(table, k, diameter_mode=self._diameter_mode)
-        partition = reduce_and_shrink(table, cover)
+        resolved = self._backend_for(table)
+        cover = build_ball_cover(table, k, diameter_mode=self._diameter_mode,
+                                 backend=resolved)
+        partition = reduce_and_shrink(table, cover, backend=resolved)
         extras = {
             "cover_sets": len(cover),
-            "cover_diameter_sum": cover.diameter_sum(table),
-            "partition_diameter_sum": partition.diameter_sum(table),
+            "cover_diameter_sum": cover.diameter_sum(table, backend=resolved),
+            "partition_diameter_sum": partition.diameter_sum(table, backend=resolved),
             "diameter_mode": self._diameter_mode,
         }
         return self._result_from_partition(table, k, partition, extras)

@@ -15,17 +15,17 @@ from __future__ import annotations
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.algorithms.baselines import chunk_indices
-from repro.core.distance import fast_pairwise_distance_matrix as pairwise_distance_matrix
+from repro.core.backend import get_backend
 from repro.core.partition import Partition
 from repro.core.table import Table
 
 
-def nearest_neighbour_order(table: Table) -> list[int]:
+def nearest_neighbour_order(table: Table, backend=None) -> list[int]:
     """A greedy short tour over the rows (start at row 0)."""
     n = table.n_rows
     if n == 0:
         return []
-    dist = pairwise_distance_matrix(table)
+    dist = get_backend(table, backend).distance_matrix()
     visited = [False] * n
     order = [0]
     visited[0] = True
@@ -57,6 +57,6 @@ class GreedyChainAnonymizer(Anonymizer):
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
-        order = nearest_neighbour_order(table)
+        order = nearest_neighbour_order(table, backend=self._backend_for(table))
         partition = Partition(chunk_indices(order, k), table.n_rows, k)
         return self._result_from_partition(table, k, partition)

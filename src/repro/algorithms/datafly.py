@@ -57,7 +57,8 @@ class DataflyAnonymizer(Anonymizer):
 
     name = "datafly"
 
-    def __init__(self, max_outliers: int | None = None):
+    def __init__(self, max_outliers: int | None = None, backend=None):
+        super().__init__(backend=backend)
         self._max_outliers = max_outliers
 
     def anonymize(self, table: Table, k: int) -> AnonymizationResult:

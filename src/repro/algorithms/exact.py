@@ -27,7 +27,7 @@ _INF = float("inf")
 
 
 def optimal_anonymization(
-    table: Table, k: int, group_max: int | None = None
+    table: Table, k: int, group_max: int | None = None, backend=None
 ) -> tuple[int, Partition]:
     """Exact ``OPT(V)`` and an optimal (k, 2k-1)-partition by subset DP.
 
@@ -42,6 +42,7 @@ def optimal_anonymization(
     :raises ValueError: if ``0 < n < k``.
     """
     from repro.algorithms.partition_dp import minimum_cost_partition
+    from repro.core.backend import get_backend
 
     n = table.n_rows
     if k < 1:
@@ -50,11 +51,10 @@ def optimal_anonymization(
         return 0, Partition([], 0, k)
     if n < k:
         raise ValueError(f"{n} rows cannot be {k}-anonymized")
-    rows = table.rows
+    resolved = get_backend(table, backend)
 
     def group_cost(members: tuple[int, ...]) -> float:
-        vectors = [rows[i] for i in members]
-        return len(vectors) * len(disagreeing_coordinates(vectors))
+        return resolved.anon_cost(members)
 
     opt, groups = minimum_cost_partition(n, k, group_cost,
                                          group_max=group_max)
@@ -115,7 +115,9 @@ class ExactAnonymizer(Anonymizer):
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
-        opt, partition = optimal_anonymization(table, k)
+        opt, partition = optimal_anonymization(
+            table, k, backend=self._backend_for(table)
+        )
         result = self._result_from_partition(table, k, partition, {"opt": opt})
         assert result.stars == opt
         return result

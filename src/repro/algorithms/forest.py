@@ -22,7 +22,6 @@ Not part of the paper's claims — shipped as the extension experiment
 from __future__ import annotations
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
-from repro.core.distance import pairwise_distance_matrix
 from repro.core.partition import Partition, split_into_small_groups
 from repro.core.table import Table
 
@@ -127,10 +126,11 @@ class MSTForestAnonymizer(Anonymizer):
         n = table.n_rows
         if n == 0:
             return self._empty_result(table, k)
-        dist = pairwise_distance_matrix(table)
+        resolved = self._backend_for(table)
+        dist = resolved.distance_matrix()
         adjacency = _minimum_spanning_tree(dist)
         raw = _decompose(adjacency, k)
-        groups = split_into_small_groups(table, raw, k)
+        groups = split_into_small_groups(table, raw, k, backend=resolved)
         partition = Partition(groups, n, k)
         return self._result_from_partition(
             table, k, partition, {"tree_components": len(raw)}

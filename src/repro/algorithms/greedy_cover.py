@@ -21,17 +21,21 @@ from itertools import combinations
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.algorithms.reduce_cover import reduce_and_shrink
-from repro.core.distance import pairwise_distance_matrix
+from repro.core.backend import get_backend
 from repro.core.partition import Cover
 from repro.core.table import Table
 
 
-def build_greedy_cover(table: Table, k: int, k_max: int | None = None) -> Cover:
+def build_greedy_cover(
+    table: Table, k: int, k_max: int | None = None, backend=None
+) -> Cover:
     """Run ``Cover(V, C)`` over the full small-subset collection.
 
     :param table: the relation to cover.
     :param k: anonymity parameter; sets have cardinality in
         ``[k, k_max]`` with ``k_max`` defaulting to ``2k - 1``.
+    :param backend: distance-backend selector (see
+        :func:`repro.core.backend.get_backend`).
     :returns: a (k, k_max)-cover chosen greedily by diameter-per-new-vector.
     :raises ValueError: if ``0 < n < k`` (no valid cover exists).
 
@@ -48,7 +52,7 @@ def build_greedy_cover(table: Table, k: int, k_max: int | None = None) -> Cover:
     upper = (2 * k - 1) if k_max is None else k_max
     upper = min(upper, n)
 
-    dist = pairwise_distance_matrix(table)
+    dist = get_backend(table, backend).distance_matrix()
     diameter_cache: dict[tuple[int, ...], int] = {}
 
     def subset_diameter(members: tuple[int, ...]) -> int:
@@ -99,18 +103,20 @@ class GreedyCoverAnonymizer(Anonymizer):
 
     name = "greedy_cover"
 
-    def __init__(self, k_max: int | None = None):
+    def __init__(self, k_max: int | None = None, backend=None):
+        super().__init__(backend=backend)
         self._k_max = k_max
 
     def anonymize(self, table: Table, k: int) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
-        cover = build_greedy_cover(table, k, k_max=self._k_max)
-        partition = reduce_and_shrink(table, cover)
+        resolved = self._backend_for(table)
+        cover = build_greedy_cover(table, k, k_max=self._k_max, backend=resolved)
+        partition = reduce_and_shrink(table, cover, backend=resolved)
         extras = {
             "cover_sets": len(cover),
-            "cover_diameter_sum": cover.diameter_sum(table),
-            "partition_diameter_sum": partition.diameter_sum(table),
+            "cover_diameter_sum": cover.diameter_sum(table, backend=resolved),
+            "partition_diameter_sum": partition.diameter_sum(table, backend=resolved),
         }
         return self._result_from_partition(table, k, partition, extras)

@@ -5,19 +5,17 @@ farthest from the previous seed, then grow it one record at a time,
 always adding the record that increases the cluster's ANON cost least,
 until the cluster has ``k`` members.  Remaining records (fewer than k)
 are each appended to the cluster whose ANON cost they increase least.
+
+Cluster growth runs on the backend's incremental
+:class:`~repro.core.backend.MutableGroupStats` — each candidate is
+scored by an O(m) what-if query instead of re-scanning the cluster.
 """
 
 from __future__ import annotations
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
-from repro.core.distance import disagreeing_coordinates, distance
 from repro.core.partition import Partition
 from repro.core.table import Table
-
-
-def _cost_with(rows, members: list[int], extra: int) -> int:
-    vectors = [rows[i] for i in members] + [rows[extra]]
-    return len(vectors) * len(disagreeing_coordinates(vectors))
 
 
 class KMemberAnonymizer(Anonymizer):
@@ -41,43 +39,42 @@ class KMemberAnonymizer(Anonymizer):
         n = table.n_rows
         if n == 0:
             return self._empty_result(table, k)
-        rows = table.rows
+        backend = self._backend_for(table)
         unassigned = set(range(n))
-        clusters: list[list[int]] = []
-        seed = 0
+        clusters = []
+        seeds: list[int] = []
         while len(unassigned) >= k:
             if clusters:
-                prev_seed = clusters[-1][0]
+                prev_seed = seeds[-1]
                 seed = max(
                     unassigned,
-                    key=lambda i: (distance(rows[prev_seed], rows[i]), -i),
+                    key=lambda i: (backend.distance(prev_seed, i), -i),
                 )
             else:
                 seed = min(unassigned)
-            cluster = [seed]
+            stats = backend.group_stats([seed])
+            seeds.append(seed)
             unassigned.remove(seed)
-            while len(cluster) < k:
+            while len(stats) < k:
                 best = min(
                     unassigned,
-                    key=lambda i: (_cost_with(rows, cluster, i), i),
+                    key=lambda i: (stats.cost_if_add(i), i),
                 )
-                cluster.append(best)
+                stats.add(best)
                 unassigned.remove(best)
-            clusters.append(cluster)
+            clusters.append(stats)
         for leftover in sorted(unassigned):
             target = min(
                 range(len(clusters)),
                 key=lambda c: (
-                    _cost_with(rows, clusters[c], leftover)
-                    - len(clusters[c])
-                    * len(disagreeing_coordinates([rows[i] for i in clusters[c]])),
+                    clusters[c].cost_if_add(leftover) - clusters[c].cost,
                     c,
                 ),
             )
-            clusters[target].append(leftover)
+            clusters[target].add(leftover)
         k_max = max([2 * k - 1] + [len(c) for c in clusters])
         partition = Partition(
-            [frozenset(c) for c in clusters], n, k, k_max=k_max
+            [c.members for c in clusters], n, k, k_max=k_max
         )
         return self._result_from_partition(
             table, k, partition, {"clusters": len(clusters)}

@@ -15,72 +15,73 @@ always a valid k-anonymization with cost no worse than the input's —
 the improvement is certified, not heuristic.  This addresses the
 paper's closing remark that the bounds "can be significantly improved
 using appropriate data structures" on the practical side.
+
+Move evaluation runs entirely on the backend's incremental
+:class:`~repro.core.backend.MutableGroupStats`: each candidate move is
+scored by O(m) what-if queries (``cost_if_add`` / ``cost_if_remove`` /
+``cost_if_swap``) instead of recomputing whole groups — the
+"appropriate data structures" the paper anticipates.  The test suite
+asserts via the backend's operation counters that no full group
+recomputation happens during the search.
 """
 
 from __future__ import annotations
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
-from repro.core.distance import disagreeing_coordinates
+from repro.core.backend import get_backend
 from repro.core.partition import Partition
 from repro.core.table import Table
-
-
-def _group_cost(rows, members) -> int:
-    vectors = [rows[i] for i in members]
-    return len(vectors) * len(disagreeing_coordinates(vectors))
 
 
 def improve_partition(
     table: Table,
     partition: Partition,
     max_rounds: int = 50,
+    backend=None,
 ) -> tuple[Partition, int]:
     """Hill-climb a partition with relocate and swap moves.
 
     :returns: ``(improved_partition, rounds_used)``; the improved
         partition's ANON cost is <= the input's.
     """
-    rows = table.rows
+    resolved = get_backend(table, backend)
     k = partition.k
-    groups: list[set[int]] = [set(g) for g in partition.groups]
-    costs = [_group_cost(rows, g) for g in groups]
+    stats = [resolved.group_stats(g) for g in partition.groups]
 
     def try_relocate() -> bool:
-        for src in range(len(groups)):
-            if len(groups[src]) <= k:
+        for src in range(len(stats)):
+            if len(stats[src]) <= k:
                 continue
-            for v in sorted(groups[src]):
-                without = groups[src] - {v}
-                cost_without = _group_cost(rows, without)
-                for dst in range(len(groups)):
+            for v in sorted(stats[src].members):
+                cost_without = stats[src].cost_if_remove(v)
+                for dst in range(len(stats)):
                     if dst == src:
                         continue
-                    if len(groups[dst]) >= 2 * k - 1:
+                    if len(stats[dst]) >= 2 * k - 1:
                         continue
-                    cost_with = _group_cost(rows, groups[dst] | {v})
+                    cost_with = stats[dst].cost_if_add(v)
                     delta = (
-                        cost_without + cost_with - costs[src] - costs[dst]
+                        cost_without + cost_with
+                        - stats[src].cost - stats[dst].cost
                     )
                     if delta < 0:
-                        groups[src].remove(v)
-                        groups[dst].add(v)
-                        costs[src] = cost_without
-                        costs[dst] = cost_with
+                        stats[src].remove(v)
+                        stats[dst].add(v)
                         return True
         return False
 
     def try_swap() -> bool:
-        for a in range(len(groups)):
-            for b in range(a + 1, len(groups)):
-                for u in sorted(groups[a]):
-                    for v in sorted(groups[b]):
-                        new_a = (groups[a] - {u}) | {v}
-                        new_b = (groups[b] - {v}) | {u}
-                        cost_a = _group_cost(rows, new_a)
-                        cost_b = _group_cost(rows, new_b)
-                        if cost_a + cost_b < costs[a] + costs[b]:
-                            groups[a], groups[b] = new_a, new_b
-                            costs[a], costs[b] = cost_a, cost_b
+        for a in range(len(stats)):
+            for b in range(a + 1, len(stats)):
+                for u in sorted(stats[a].members):
+                    for v in sorted(stats[b].members):
+                        cost_a = stats[a].cost_if_swap(u, v)
+                        cost_b = stats[b].cost_if_swap(v, u)
+                        if cost_a + cost_b < stats[a].cost + stats[b].cost:
+                            stats[a].remove(u)
+                            stats[a].add(v)
+                            stats[b].remove(v)
+                            stats[b].add(u)
                             return True
         return False
 
@@ -89,9 +90,9 @@ def improve_partition(
         rounds += 1
         if not (try_relocate() or try_swap()):
             break
-    k_max = max([partition.k_max] + [len(g) for g in groups])
+    k_max = max([partition.k_max] + [len(s) for s in stats])
     return (
-        Partition([frozenset(g) for g in groups], partition.n_rows, k,
+        Partition([s.members for s in stats], partition.n_rows, k,
                   k_max=k_max),
         rounds,
     )
@@ -109,9 +110,11 @@ class LocalSearchAnonymizer(Anonymizer):
     True
     """
 
-    def __init__(self, inner: Anonymizer | None = None, max_rounds: int = 50):
+    def __init__(self, inner: Anonymizer | None = None, max_rounds: int = 50,
+                 backend=None):
         from repro.algorithms.center_cover import CenterCoverAnonymizer
 
+        super().__init__(backend=backend)
         self._inner = inner if inner is not None else CenterCoverAnonymizer()
         self._max_rounds = max_rounds
         self.name = f"{self._inner.name}+local"
@@ -122,7 +125,8 @@ class LocalSearchAnonymizer(Anonymizer):
         if base.partition is None or table.n_rows == 0:
             return base
         improved, rounds = improve_partition(
-            table, base.partition, max_rounds=self._max_rounds
+            table, base.partition, max_rounds=self._max_rounds,
+            backend=self._backend_for(table),
         )
         result = self._result_from_partition(
             table, k, improved,

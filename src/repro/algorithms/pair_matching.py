@@ -21,15 +21,12 @@ OPT: never better (tests assert), usually within a few stars.
 from __future__ import annotations
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
-from repro.core.distance import (
-    disagreeing_coordinates,
-    pairwise_distance_matrix,
-)
+from repro.core.backend import get_backend
 from repro.core.partition import Partition
 from repro.core.table import Table
 
 
-def minimum_weight_pairing(table: Table) -> list[tuple[int, int]]:
+def minimum_weight_pairing(table: Table, backend=None) -> list[tuple[int, int]]:
     """Min-total-distance perfect pairing of the rows (n must be even).
 
     Uses Edmonds' blossom algorithm through networkx's
@@ -42,7 +39,7 @@ def minimum_weight_pairing(table: Table) -> list[tuple[int, int]]:
         raise ValueError("perfect pairing needs an even number of rows")
     if n == 0:
         return []
-    dist = pairwise_distance_matrix(table)
+    dist = get_backend(table, backend).distance_matrix()
     graph = nx.Graph()
     graph.add_nodes_from(range(n))
     # max_weight_matching maximizes; use (max_dist - d) to minimize d
@@ -75,10 +72,10 @@ class PairMatchingAnonymizer(Anonymizer):
         n = table.n_rows
         if n == 0:
             return self._empty_result(table, k)
-        rows = table.rows
+        backend = self._backend_for(table)
 
         if n % 2 == 0:
-            pairs = minimum_weight_pairing(table)
+            pairs = minimum_weight_pairing(table, backend=backend)
             groups = [frozenset(pair) for pair in pairs]
             partition = Partition(groups, n, 2)
             return self._result_from_partition(
@@ -91,22 +88,16 @@ class PairMatchingAnonymizer(Anonymizer):
         for extra in range(n):
             remaining = [i for i in range(n) if i != extra]
             sub = table.select_rows(remaining)
-            pairs = minimum_weight_pairing(sub)
+            pairs = minimum_weight_pairing(sub, backend=backend)
             groups = [
                 frozenset({remaining[a], remaining[b]}) for a, b in pairs
             ]
             # attach `extra` to the group whose cost grows least
-            def grown_cost(group: frozenset[int]) -> int:
-                members = [rows[i] for i in group | {extra}]
-                return len(members) * len(disagreeing_coordinates(members))
-
             target = min(
                 range(len(groups)),
                 key=lambda g: (
-                    grown_cost(groups[g])
-                    - 2 * len(disagreeing_coordinates(
-                        [rows[i] for i in groups[g]]
-                    )),
+                    backend.anon_cost(groups[g] | {extra})
+                    - backend.anon_cost(groups[g]),
                     g,
                 ),
             )
@@ -114,12 +105,7 @@ class PairMatchingAnonymizer(Anonymizer):
                 (group | {extra}) if g == target else group
                 for g, group in enumerate(groups)
             ]
-            cost = sum(
-                len(group) * len(
-                    disagreeing_coordinates([rows[i] for i in group])
-                )
-                for group in candidate
-            )
+            cost = sum(backend.anon_cost(group) for group in candidate)
             if best is None or cost < best[0]:
                 best = (cost, candidate, extra)
         assert best is not None

@@ -80,7 +80,7 @@ def reduce_cover(cover: Cover) -> Partition:
     return Partition(final, cover.n_rows, k, k_max=k_max)
 
 
-def reduce_and_shrink(table: Table, cover: Cover) -> Partition:
+def reduce_and_shrink(table: Table, cover: Cover, backend=None) -> Partition:
     """Reduce, then split any group larger than ``2k - 1``.
 
     The splitting step implements the Section 4.1 WLOG argument so the
@@ -93,5 +93,6 @@ def reduce_and_shrink(table: Table, cover: Cover) -> Partition:
     partition = reduce_cover(cover)
     if all(len(g) <= 2 * cover.k - 1 for g in partition.groups):
         return Partition(partition.groups, cover.n_rows, cover.k)
-    small = split_into_small_groups(table, partition.groups, cover.k)
+    small = split_into_small_groups(table, partition.groups, cover.k,
+                                    backend=backend)
     return Partition(small, cover.n_rows, cover.k)

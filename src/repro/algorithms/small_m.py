@@ -33,7 +33,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
-from repro.core.distance import disagreeing_coordinates
+from repro.core.backend import get_backend
 from repro.core.partition import Partition
 from repro.core.table import Table
 
@@ -75,7 +75,9 @@ class SmallMExactAnonymizer(Anonymizer):
 
     name = "small_m_exact"
 
-    def __init__(self, max_distinct: int = 16, max_states: int = 2_000_000):
+    def __init__(self, max_distinct: int = 16, max_states: int = 2_000_000,
+                 backend=None):
+        super().__init__(backend=backend)
         #: guard: refuse instances whose distinct-record count would blow up
         self._max_distinct = max_distinct
         #: guard: refuse instances whose DP state space would blow up
@@ -105,13 +107,19 @@ class SmallMExactAnonymizer(Anonymizer):
             )
         k_max = 2 * k - 1
 
+        # Metric queries run against a backend over the distinct-record
+        # table: a take-vector's disagreement set depends only on which
+        # distinct records participate, not on multiplicities.
+        distinct_backend = get_backend(Table(distinct), self.backend)
         group_cost_cache: dict[tuple[int, ...], int] = {}
 
         def group_cost(take: tuple[int, ...]) -> int:
             cached = group_cost_cache.get(take)
             if cached is None:
-                members = [distinct[i] for i, t in enumerate(take) if t]
-                cached = sum(take) * len(disagreeing_coordinates(members))
+                members = [i for i, t in enumerate(take) if t]
+                cached = sum(take) * len(
+                    distinct_backend.disagreeing_coordinates(members)
+                )
                 group_cost_cache[take] = cached
             return cached
 

@@ -15,26 +15,20 @@ see the whole table.  O(n^2) per level in the worst case.
 from __future__ import annotations
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
-from repro.core.distance import disagreeing_coordinates, distance
 from repro.core.partition import Partition
 from repro.core.table import Table
 
 
-def _cost(rows, members) -> int:
-    vectors = [rows[i] for i in members]
-    return len(vectors) * len(disagreeing_coordinates(vectors))
-
-
-def _bisect(table: Table, members: list[int], k: int
+def _bisect(backend, members: list[int], k: int
             ) -> tuple[list[int], list[int]] | None:
     """Seed-based bisection; None if no feasible improving split exists."""
-    rows = table.rows
     if len(members) < 2 * k:
         return None
+    distance = backend.distance
     # seeds: the (approximate) diameter pair, found by double sweep
     anchor = members[0]
-    seed_a = max(members, key=lambda i: (distance(rows[anchor], rows[i]), i))
-    seed_b = max(members, key=lambda i: (distance(rows[seed_a], rows[i]), i))
+    seed_a = max(members, key=lambda i: (distance(anchor, i), i))
+    seed_b = max(members, key=lambda i: (distance(seed_a, i), i))
     if seed_a == seed_b:
         return None  # all rows identical; splitting gains nothing
     side_a, side_b = [seed_a], [seed_b]
@@ -42,14 +36,13 @@ def _bisect(table: Table, members: list[int], k: int
     # decide the most polarized rows first for stability
     rest.sort(
         key=lambda i: (
-            -abs(distance(rows[seed_a], rows[i])
-                 - distance(rows[seed_b], rows[i])),
+            -abs(distance(seed_a, i) - distance(seed_b, i)),
             i,
         )
     )
     for i in rest:
-        da = distance(rows[seed_a], rows[i])
-        db = distance(rows[seed_b], rows[i])
+        da = distance(seed_a, i)
+        db = distance(seed_b, i)
         if da < db or (da == db and len(side_a) <= len(side_b)):
             side_a.append(i)
         else:
@@ -58,13 +51,13 @@ def _bisect(table: Table, members: list[int], k: int
     # from the other side (total >= 2k guarantees this terminates)
     while len(side_a) < k:
         mover = min(
-            side_b[1:], key=lambda i: (distance(rows[seed_a], rows[i]), i)
+            side_b[1:], key=lambda i: (distance(seed_a, i), i)
         )
         side_b.remove(mover)
         side_a.append(mover)
     while len(side_b) < k:
         mover = min(
-            side_a[1:], key=lambda i: (distance(rows[seed_b], rows[i]), i)
+            side_a[1:], key=lambda i: (distance(seed_b, i), i)
         )
         side_a.remove(mover)
         side_b.append(mover)
@@ -73,7 +66,8 @@ def _bisect(table: Table, members: list[int], k: int
     # stays maximal until clusters are fully separated, so insisting on
     # strict improvement would freeze at the root.  Termination is by
     # size: both sides are strictly smaller.
-    if _cost(rows, side_a) + _cost(rows, side_b) > _cost(rows, members):
+    if (backend.anon_cost(side_a) + backend.anon_cost(side_b)
+            > backend.anon_cost(members)):
         return None
     return side_a, side_b
 
@@ -94,12 +88,13 @@ class TopDownGreedyAnonymizer(Anonymizer):
         n = table.n_rows
         if n == 0:
             return self._empty_result(table, k)
+        backend = self._backend_for(table)
         final: list[list[int]] = []
         stack: list[list[int]] = [list(range(n))]
         splits = 0
         while stack:
             members = stack.pop()
-            division = _bisect(table, members, k)
+            division = _bisect(backend, members, k)
             if division is None:
                 final.append(members)
             else:

@@ -8,6 +8,15 @@ partition notions of Section 4.1.
 """
 
 from repro.core.alphabet import STAR, Alphabet, infer_alphabets, is_suppressed
+from repro.core.backend import (
+    DistanceBackend,
+    NumpyBackend,
+    PythonBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    make_backend,
+)
 from repro.core.anonymity import (
     anonymity_level,
     equivalence_classes,
@@ -34,10 +43,17 @@ __all__ = [
     "STAR",
     "Alphabet",
     "Cover",
+    "DistanceBackend",
+    "NumpyBackend",
     "Partition",
+    "PythonBackend",
     "Suppressor",
     "Table",
     "anon_cost",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "make_backend",
     "anonymity_level",
     "anonymize_partition",
     "diameter",

@@ -1,0 +1,577 @@
+"""Unified distance backends: one fast metric substrate for every algorithm.
+
+Every algorithm in this reproduction — greedy cover (Theorem 4.1), the
+center/ball algorithm (Theorem 4.2), local search, annealing, the exact
+solvers — bottoms out in the same primitives: ``distance``, ``diameter``,
+``disagreeing_coordinates``, ``anon_cost``, ``group_image``.  This module
+gives those primitives a single pluggable home:
+
+* :class:`EncodedTable` — a table's rows integer-encoded per attribute
+  and packed into the narrowest numpy integer dtype that fits, built at
+  most once per table.  Suppressed cells are encoded like any other
+  symbol (``STAR`` equals only itself, so code equality coincides with
+  value equality).
+* :class:`DistanceBackend` — the protocol: index-level distance,
+  a cached pairwise distance matrix (computed lazily in row blocks),
+  memoized group statistics (``diameter`` / ``anon_cost`` /
+  ``group_image`` keyed on frozen index sets), and incremental
+  per-group statistics (:class:`MutableGroupStats`).
+* :class:`PythonBackend` — current semantics, zero dependencies; the
+  reference oracle for the parity suite.
+* :class:`NumpyBackend` — vectorized broadcast distance matrix and
+  vectorized group reductions over index arrays.
+
+Backend selection: the ``REPRO_BACKEND`` environment variable
+(``python`` or ``numpy``) picks the default for the whole process;
+unset, the numpy backend is used whenever numpy imports.  Every
+:class:`~repro.algorithms.base.Anonymizer` also accepts an explicit
+``backend=`` argument (a name or a backend instance).
+
+The two backends are bit-identical on every primitive — property-tested
+in ``tests/test_backend_parity.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import weakref
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Any
+
+from repro.core.alphabet import STAR
+from repro.core.distance import (
+    diameter as _rows_diameter,
+    disagreeing_coordinates as _rows_disagreeing,
+    distance as _rows_distance,
+)
+
+Row = tuple[Hashable, ...]
+
+#: entries per broadcast chunk when filling the distance matrix; bounds
+#: the temporary ``(block, n, m)`` comparison array to ~tens of MB.
+_CHUNK_CELLS = 4_000_000
+
+
+def numpy_available() -> bool:
+    """True iff numpy imports in this environment."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy ships with the package
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`make_backend` here and now."""
+    names = ["python"]
+    if numpy_available():
+        names.append("numpy")
+    return tuple(names)
+
+
+def default_backend_name() -> str:
+    """The process-wide default: ``$REPRO_BACKEND``, else numpy if present.
+
+    :raises ValueError: if ``REPRO_BACKEND`` names an unknown backend.
+    """
+    name = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if name:
+        if name not in ("python", "numpy"):
+            raise ValueError(
+                f"REPRO_BACKEND={name!r}: expected 'python' or 'numpy'"
+            )
+        if name == "numpy" and not numpy_available():  # pragma: no cover
+            raise ValueError("REPRO_BACKEND=numpy but numpy is not importable")
+        return name
+    return "numpy" if numpy_available() else "python"
+
+
+# ----------------------------------------------------------------------
+# Encoded tables
+# ----------------------------------------------------------------------
+
+
+class EncodedTable:
+    """A table's rows as a compact per-attribute integer code matrix.
+
+    Codes are assigned in first-appearance order, column by column;
+    ``STAR`` receives an ordinary code (it equals only itself, so code
+    equality is exactly value equality).  The code matrix is packed into
+    the narrowest unsigned dtype that holds the largest code, which
+    keeps the broadcast distance computation memory-bandwidth friendly.
+    """
+
+    __slots__ = ("codes", "decoders", "n_rows", "degree")
+
+    def __init__(self, table):
+        import numpy as np
+
+        n, m = table.n_rows, table.degree
+        encoders: list[dict[Hashable, int]] = [{} for _ in range(m)]
+        codes = np.zeros((n, m), dtype=np.int64)
+        for i, row in enumerate(table.rows):
+            for j, cell in enumerate(row):
+                encoder = encoders[j]
+                code = encoder.get(cell, -1)
+                if code < 0:
+                    code = len(encoder)
+                    encoder[cell] = code
+                codes[i, j] = code
+        max_code = int(codes.max()) if n and m else 0
+        if max_code < 2 ** 8:
+            dtype = np.uint8
+        elif max_code < 2 ** 16:
+            dtype = np.uint16
+        else:  # pragma: no cover - needs > 65536 distinct values per column
+            dtype = np.int64
+        self.codes = codes.astype(dtype)
+        self.decoders: tuple[tuple[Hashable, ...], ...] = tuple(
+            tuple(encoder) for encoder in encoders
+        )
+        self.n_rows = n
+        self.degree = m
+
+    def decode(self, j: int, code: int) -> Hashable:
+        """The original attribute value behind column *j*'s *code*."""
+        return self.decoders[j][code]
+
+
+# ----------------------------------------------------------------------
+# Incremental per-group statistics
+# ----------------------------------------------------------------------
+
+
+class MutableGroupStats:
+    """Incrementally maintained ANON statistics of one mutable group.
+
+    Tracks, per column, the multiset of member values, the number of
+    columns with more than one distinct value (the disagreeing
+    coordinates), and hence ``cost = |S| * |disagreeing|`` — with O(m)
+    updates when the group gains or loses one row, and O(m)
+    *non-mutating* what-if queries (``cost_if_add`` / ``cost_if_remove``
+    / ``cost_if_swap``).  This is what lets local search and annealing
+    evaluate a move without recomputing any group from scratch.
+    """
+
+    __slots__ = ("_backend", "_rows", "_members", "_counts", "_disagree")
+
+    def __init__(self, backend: "DistanceBackend", members: Iterable[int] = ()):
+        self._backend = backend
+        self._rows = backend.table.rows
+        self._members: set[int] = set()
+        self._counts: list[dict[Hashable, int]] = [
+            {} for _ in range(backend.table.degree)
+        ]
+        self._disagree = 0
+        for i in members:
+            self.add(i)
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def members(self) -> frozenset[int]:
+        return frozenset(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, i: int) -> bool:
+        return i in self._members
+
+    @property
+    def n_disagreeing(self) -> int:
+        """Number of coordinates the group does not unanimously agree on."""
+        return self._disagree
+
+    @property
+    def cost(self) -> int:
+        """``ANON(S) = |S| * |disagreeing coordinates|`` right now."""
+        return len(self._members) * self._disagree
+
+    # -- mutation ------------------------------------------------------
+
+    def add(self, i: int) -> None:
+        """Add row *i* to the group (O(m))."""
+        if i in self._members:
+            raise ValueError(f"row {i} already in group")
+        self._members.add(i)
+        for j, value in enumerate(self._rows[i]):
+            counts = self._counts[j]
+            before = len(counts)
+            counts[value] = counts.get(value, 0) + 1
+            if before == 1 and len(counts) == 2:
+                self._disagree += 1
+        self._backend.counters["incremental_updates"] += 1
+
+    def remove(self, i: int) -> None:
+        """Remove row *i* from the group (O(m))."""
+        if i not in self._members:
+            raise ValueError(f"row {i} not in group")
+        self._members.remove(i)
+        for j, value in enumerate(self._rows[i]):
+            counts = self._counts[j]
+            count = counts[value]
+            if count == 1:
+                del counts[value]
+                if len(counts) == 1:
+                    self._disagree -= 1
+            else:
+                counts[value] = count - 1
+        self._backend.counters["incremental_updates"] += 1
+
+    # -- what-if queries (no mutation) ---------------------------------
+
+    def cost_if_add(self, i: int) -> int:
+        """``ANON(S + {i})`` without mutating the group (O(m))."""
+        disagree = 0
+        for j, value in enumerate(self._rows[i]):
+            counts = self._counts[j]
+            distinct = len(counts)
+            if distinct > 1 or (distinct == 1 and value not in counts):
+                disagree += 1
+        self._backend.counters["incremental_updates"] += 1
+        return (len(self._members) + 1) * disagree
+
+    def cost_if_remove(self, i: int) -> int:
+        """``ANON(S - {i})`` without mutating the group (O(m))."""
+        if i not in self._members:
+            raise ValueError(f"row {i} not in group")
+        disagree = 0
+        for j, value in enumerate(self._rows[i]):
+            counts = self._counts[j]
+            distinct = len(counts)
+            if counts[value] == 1:
+                distinct -= 1
+            if distinct > 1:
+                disagree += 1
+        self._backend.counters["incremental_updates"] += 1
+        return (len(self._members) - 1) * disagree
+
+    def cost_if_swap(self, out_i: int, in_i: int) -> int:
+        """``ANON(S - {out_i} + {in_i})`` without mutating (O(m))."""
+        if out_i not in self._members:
+            raise ValueError(f"row {out_i} not in group")
+        if out_i == in_i:
+            return self.cost
+        out_row = self._rows[out_i]
+        in_row = self._rows[in_i]
+        disagree = 0
+        for j in range(len(out_row)):
+            counts = self._counts[j]
+            out_value, in_value = out_row[j], in_row[j]
+            distinct = len(counts)
+            remaining_out = counts[out_value] - 1
+            if remaining_out == 0:
+                distinct -= 1
+            in_count = counts.get(in_value, 0)
+            if in_value == out_value:
+                in_count = remaining_out
+            if in_count == 0:
+                distinct += 1
+            if distinct > 1:
+                disagree += 1
+        self._backend.counters["incremental_updates"] += 1
+        return len(self._members) * disagree
+
+
+# ----------------------------------------------------------------------
+# The backend protocol
+# ----------------------------------------------------------------------
+
+
+class DistanceBackend(abc.ABC):
+    """Shared metric substrate of one table.
+
+    All group-level queries are memoized on the frozen index set, so any
+    two algorithms (or one algorithm's phases) asking about the same
+    group share the work.  ``counters`` tracks how the work was done —
+    ``full_group_scans`` (from-scratch group computations),
+    ``incremental_updates`` (O(m) :class:`MutableGroupStats` steps),
+    ``memo_hits``, and ``matrix_rows`` — which the tests use to assert
+    that the metaheuristics really run on the incremental path.
+    """
+
+    #: short machine-readable identifier, overridden by subclasses
+    name: str = "abstract"
+
+    def __init__(self, table):
+        self.table = table
+        self.counters: dict[str, int] = {
+            "full_group_scans": 0,
+            "incremental_updates": 0,
+            "memo_hits": 0,
+            "matrix_rows": 0,
+        }
+        self._matrix: list[list[int]] | None = None
+        self._diameter_memo: dict[frozenset[int], int] = {}
+        self._disagree_memo: dict[frozenset[int], tuple[int, ...]] = {}
+
+    # -- abstract computational kernels --------------------------------
+
+    @abc.abstractmethod
+    def distance(self, i: int, j: int) -> int:
+        """Hamming distance between rows *i* and *j* of the table."""
+
+    @abc.abstractmethod
+    def _compute_matrix(self) -> list[list[int]]:
+        """The full n x n distance matrix as plain nested lists."""
+
+    @abc.abstractmethod
+    def _compute_diameter(self, indices: tuple[int, ...]) -> int:
+        """Max pairwise distance within the (>= 2 member) group."""
+
+    @abc.abstractmethod
+    def _compute_disagreeing(self, indices: tuple[int, ...]) -> tuple[int, ...]:
+        """Columns on which the (non-empty) group does not agree."""
+
+    # -- shared memoized API -------------------------------------------
+
+    def distance_matrix(self) -> list[list[int]]:
+        """The full pairwise distance matrix, computed once and cached.
+
+        Plain nested lists of plain ints, identical across backends.
+        """
+        if self._matrix is None:
+            self._matrix = self._compute_matrix()
+            self.counters["matrix_rows"] += len(self._matrix)
+        return self._matrix
+
+    def diameter(self, indices: Iterable[int]) -> int:
+        """``d(S)`` for a group of row indices (memoized)."""
+        key = frozenset(indices)
+        cached = self._diameter_memo.get(key)
+        if cached is not None:
+            self.counters["memo_hits"] += 1
+            return cached
+        if len(key) < 2:
+            value = 0
+        else:
+            value = self._compute_diameter(tuple(sorted(key)))
+            self.counters["full_group_scans"] += 1
+        self._diameter_memo[key] = value
+        return value
+
+    def disagreeing_coordinates(self, indices: Iterable[int]) -> list[int]:
+        """Coordinates the group disagrees on (memoized)."""
+        key = frozenset(indices)
+        cached = self._disagree_memo.get(key)
+        if cached is not None:
+            self.counters["memo_hits"] += 1
+            return list(cached)
+        if not key:
+            value: tuple[int, ...] = ()
+        else:
+            value = tuple(self._compute_disagreeing(tuple(sorted(key))))
+            self.counters["full_group_scans"] += 1
+        self._disagree_memo[key] = value
+        return list(value)
+
+    def anon_cost(self, indices: Iterable[int]) -> int:
+        """``ANON(S) = |S| * |disagreeing coordinates|`` (memoized)."""
+        key = frozenset(indices)
+        return len(key) * len(self.disagreeing_coordinates(key))
+
+    def group_image(self, indices: Iterable[int]) -> Row:
+        """The group's common anonymized vector under minimal suppression."""
+        key = frozenset(indices)
+        if not key:
+            raise ValueError("a group image needs at least one vector")
+        starred = set(self.disagreeing_coordinates(key))
+        first = self.table.rows[min(key)]
+        return tuple(
+            STAR if j in starred else value for j, value in enumerate(first)
+        )
+
+    def radius_from(self, center: int, indices: Iterable[int]) -> int:
+        """Max distance from row *center* to any row in *indices*."""
+        return max((self.distance(center, i) for i in indices), default=0)
+
+    def group_stats(self, members: Iterable[int] = ()) -> MutableGroupStats:
+        """A fresh incremental statistics tracker seeded with *members*."""
+        return MutableGroupStats(self, members)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(table={self.table!r})"
+
+
+class PythonBackend(DistanceBackend):
+    """Pure-Python reference backend: current semantics, no dependencies."""
+
+    name = "python"
+
+    def distance(self, i: int, j: int) -> int:
+        rows = self.table.rows
+        return _rows_distance(rows[i], rows[j])
+
+    def _compute_matrix(self) -> list[list[int]]:
+        rows = self.table.rows
+        n = len(rows)
+        matrix = [[0] * n for _ in range(n)]
+        for i in range(n):
+            row_i = rows[i]
+            line = matrix[i]
+            for j in range(i + 1, n):
+                d = _rows_distance(row_i, rows[j])
+                line[j] = d
+                matrix[j][i] = d
+        return matrix
+
+    def _compute_diameter(self, indices: tuple[int, ...]) -> int:
+        rows = self.table.rows
+        return _rows_diameter([rows[i] for i in indices])
+
+    def _compute_disagreeing(self, indices: tuple[int, ...]) -> tuple[int, ...]:
+        rows = self.table.rows
+        return tuple(_rows_disagreeing([rows[i] for i in indices]))
+
+
+class NumpyBackend(DistanceBackend):
+    """Vectorized backend over an :class:`EncodedTable`.
+
+    The distance matrix is filled by chunked broadcasting
+    (``(codes[block, None, :] != codes[None, :, :]).sum(axis=2)``) — one
+    row block at a time, never materializing more than ``_CHUNK_CELLS``
+    comparison cells — and group reductions run over index arrays
+    without touching Python tuples.
+    """
+
+    name = "numpy"
+
+    def __init__(self, table):
+        super().__init__(table)
+        self._encoded: EncodedTable | None = None
+        self._np_matrix: Any = None
+
+    @property
+    def encoded(self) -> EncodedTable:
+        """The integer-encoded rows, built on first use."""
+        if self._encoded is None:
+            self._encoded = EncodedTable(self.table)
+        return self._encoded
+
+    def distance(self, i: int, j: int) -> int:
+        if self._np_matrix is not None:
+            return int(self._np_matrix[i, j])
+        codes = self.encoded.codes
+        return int((codes[i] != codes[j]).sum())
+
+    def matrix_array(self) -> Any:
+        """The distance matrix as an ``int32`` numpy array (cached)."""
+        if self._np_matrix is None:
+            import numpy as np
+
+            codes = self.encoded.codes
+            n, m = codes.shape
+            matrix = np.zeros((n, n), dtype=np.int32)
+            block = max(1, _CHUNK_CELLS // max(1, n * m))
+            for start in range(0, n, block):
+                stop = min(start + block, n)
+                matrix[start:stop] = (
+                    codes[start:stop, None, :] != codes[None, :, :]
+                ).sum(axis=2, dtype=np.int32)
+                self.counters["matrix_rows"] += stop - start
+            self._np_matrix = matrix
+        return self._np_matrix
+
+    def _compute_matrix(self) -> list[list[int]]:
+        return self.matrix_array().tolist()
+
+    def _compute_diameter(self, indices: tuple[int, ...]) -> int:
+        import numpy as np
+
+        if self._np_matrix is not None:
+            idx = np.asarray(indices)
+            return int(self._np_matrix[np.ix_(idx, idx)].max())
+        codes = self.encoded.codes
+        sub = codes[np.asarray(indices)]
+        size, m = sub.shape
+        best = 0
+        block = max(1, _CHUNK_CELLS // max(1, size * m))
+        for start in range(0, size, block):
+            stop = min(start + block, size)
+            diffs = (sub[start:stop, None, :] != sub[None, :, :]).sum(axis=2)
+            best = max(best, int(diffs.max()))
+        return best
+
+    def _compute_disagreeing(self, indices: tuple[int, ...]) -> tuple[int, ...]:
+        import numpy as np
+
+        codes = self.encoded.codes
+        if codes.shape[1] == 0:
+            return ()
+        idx = np.asarray(indices)
+        mismatched = (codes[idx[1:]] != codes[idx[0]]).any(axis=0)
+        return tuple(int(j) for j in np.flatnonzero(mismatched))
+
+    def radius_from(self, center: int, indices: Iterable[int]) -> int:
+        import numpy as np
+
+        idx = list(indices)
+        if not idx:
+            return 0
+        if self._np_matrix is not None:
+            return int(self._np_matrix[center, np.asarray(idx)].max())
+        codes = self.encoded.codes
+        return int((codes[np.asarray(idx)] != codes[center]).sum(axis=1).max())
+
+
+# ----------------------------------------------------------------------
+# Selection and per-table caching
+# ----------------------------------------------------------------------
+
+_BACKEND_CLASSES: dict[str, type[DistanceBackend]] = {
+    "python": PythonBackend,
+    "numpy": NumpyBackend,
+}
+
+#: id(table) -> {backend name -> backend}; entries evicted when the
+#: table is garbage collected (tables carry a __weakref__ slot).
+_BACKEND_CACHE: dict[int, dict[str, DistanceBackend]] = {}
+
+
+def make_backend(table, name: str | None = None) -> DistanceBackend:
+    """A fresh, uncached backend instance for *table*."""
+    resolved = name if name is not None else default_backend_name()
+    try:
+        cls = _BACKEND_CLASSES[resolved]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {resolved!r}; expected one of "
+            f"{sorted(_BACKEND_CLASSES)}"
+        ) from None
+    if resolved == "numpy" and not numpy_available():  # pragma: no cover
+        raise ValueError("numpy backend requested but numpy is not importable")
+    return cls(table)
+
+
+def get_backend(
+    table, backend: str | DistanceBackend | None = None
+) -> DistanceBackend:
+    """The shared backend of *table* (cached per table instance).
+
+    :param backend: ``None`` (use :func:`default_backend_name`), a
+        backend name, or an existing :class:`DistanceBackend` — an
+        instance bound to *table* is returned as-is, so cached matrices
+        and memos travel with it.
+    """
+    if isinstance(backend, DistanceBackend):
+        if backend.table is table:
+            return backend
+        name = backend.name
+    else:
+        name = backend if backend is not None else default_backend_name()
+    key = id(table)
+    per_table = _BACKEND_CACHE.get(key)
+    if per_table is None:
+        per_table = {}
+        _BACKEND_CACHE[key] = per_table
+        try:
+            weakref.finalize(table, _BACKEND_CACHE.pop, key, None)
+        except TypeError:  # pragma: no cover - non-weakrefable table stand-in
+            pass
+    instance = per_table.get(name)
+    if instance is None:
+        instance = make_backend(table, name)
+        per_table[name] = instance
+    return instance

@@ -51,15 +51,22 @@ def differing_coordinates(u: Sequence[Hashable], v: Sequence[Hashable]) -> list[
 def diameter(rows: Sequence[Sequence[Hashable]]) -> int:
     """Maximum pairwise distance within the group (the paper's ``d(S)``).
 
-    Empty and singleton groups have diameter 0.
+    Empty and singleton groups have diameter 0.  Short-circuits as soon
+    as the running best reaches the degree ``m`` — the maximum possible
+    Hamming distance — instead of finishing the O(|S|^2) scan.
     """
     rows = list(rows)
+    if not rows:
+        return 0
+    degree = len(rows[0])
     best = 0
     for i in range(len(rows)):
         for j in range(i + 1, len(rows)):
             d = distance(rows[i], rows[j])
             if d > best:
                 best = d
+                if best == degree:
+                    return best
     return best
 
 
@@ -117,6 +124,11 @@ def anon_cost(rows: Sequence[Sequence[Hashable]]) -> int:
 
 # ----------------------------------------------------------------------
 # Index-set variants (groups as sets of row indices into a table)
+#
+# These delegate to the table's shared DistanceBackend
+# (:mod:`repro.core.backend`), so repeated queries about the same group
+# hit the backend's memo and the REPRO_BACKEND env var picks the
+# implementation.  Pass ``backend=`` to pin one explicitly.
 # ----------------------------------------------------------------------
 
 
@@ -126,19 +138,25 @@ def group_rows(table, indices: Iterable[int]) -> list[Row]:
     return [rows[i] for i in indices]
 
 
-def diameter_of(table, indices: Iterable[int]) -> int:
+def diameter_of(table, indices: Iterable[int], backend=None) -> int:
     """``d(S)`` for a group of row indices of *table*."""
-    return diameter(group_rows(table, indices))
+    from repro.core.backend import get_backend
+
+    return get_backend(table, backend).diameter(indices)
 
 
-def anon_cost_of(table, indices: Iterable[int]) -> int:
+def anon_cost_of(table, indices: Iterable[int], backend=None) -> int:
     """``ANON(S)`` for a group of row indices of *table*."""
-    return anon_cost(group_rows(table, indices))
+    from repro.core.backend import get_backend
+
+    return get_backend(table, backend).anon_cost(indices)
 
 
-def group_image_of(table, indices: Iterable[int]) -> Row:
+def group_image_of(table, indices: Iterable[int], backend=None) -> Row:
     """Anonymized common image for a group of row indices of *table*."""
-    return group_image(group_rows(table, indices))
+    from repro.core.backend import get_backend
+
+    return get_backend(table, backend).group_image(indices)
 
 
 def pairwise_distance_matrix(table) -> list[list[int]]:
@@ -159,25 +177,26 @@ def pairwise_distance_matrix(table) -> list[list[int]]:
 
 
 def fast_pairwise_distance_matrix(table) -> list[list[int]]:
-    """Like :func:`pairwise_distance_matrix`, vectorized via numpy when
-    the table is star-free (integer-encoding each attribute); falls back
-    to the pure-Python version otherwise.  Always returns plain lists
-    with identical values (property-tested)."""
-    for row in table.rows:
-        if any(cell is STAR for cell in row):
-            return pairwise_distance_matrix(table)
-    if table.n_rows == 0 or table.degree == 0:
-        return pairwise_distance_matrix(table)
-    import numpy as np
+    """Deprecated shim over the backend layer's cached distance matrix.
 
-    from repro.core.table import rows_as_int_array
+    Historically this did a per-row numpy loop over
+    ``(encoded != encoded[i]).sum(axis=1)``; the chunked-broadcast
+    implementation now lives in
+    :meth:`repro.core.backend.NumpyBackend.matrix_array`.  Call
+    ``get_backend(table).distance_matrix()`` instead — this wrapper only
+    survives for older callers and will be removed.
+    """
+    import warnings
 
-    encoded = rows_as_int_array(table)
-    n = encoded.shape[0]
-    matrix = np.empty((n, n), dtype=np.int64)
-    for i in range(n):
-        matrix[i] = (encoded != encoded[i]).sum(axis=1)
-    return matrix.tolist()
+    warnings.warn(
+        "fast_pairwise_distance_matrix is deprecated; use "
+        "repro.core.backend.get_backend(table).distance_matrix()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.backend import get_backend
+
+    return get_backend(table).distance_matrix()
 
 
 def is_consistent_suppression(original: Sequence[Hashable],

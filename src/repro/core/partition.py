@@ -15,12 +15,6 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.core.distance import (
-    anon_cost_of,
-    diameter_of,
-    distance,
-    group_image_of,
-)
 from repro.core.suppressor import Suppressor
 from repro.core.table import Table
 
@@ -115,18 +109,24 @@ class Cover:
 
     # ------------------------------------------------------------------
 
-    def diameter_sum(self, table: Table) -> int:
+    def diameter_sum(self, table: Table, backend=None) -> int:
         """``d(Pi) = sum over groups of d(S)`` — the paper's objective for
         the k-minimum diameter sum problem."""
-        return sum(diameter_of(table, group) for group in self._groups)
+        from repro.core.backend import get_backend
 
-    def anon_cost(self, table: Table) -> int:
+        resolved = get_backend(table, backend)
+        return sum(resolved.diameter(group) for group in self._groups)
+
+    def anon_cost(self, table: Table, backend=None) -> int:
         """Total stars needed to anonymize each group to its common image.
 
         For a partition this is the cost of the induced anonymization;
         for an overlapping cover it is only an accounting quantity.
         """
-        return sum(anon_cost_of(table, group) for group in self._groups)
+        from repro.core.backend import get_backend
+
+        resolved = get_backend(table, backend)
+        return sum(resolved.anon_cost(group) for group in self._groups)
 
     # ------------------------------------------------------------------
 
@@ -174,7 +174,9 @@ class Partition(Cover):
         )
 
 
-def anonymize_partition(table: Table, partition: Cover) -> tuple[Table, Suppressor]:
+def anonymize_partition(
+    table: Table, partition: Cover, backend=None
+) -> tuple[Table, Suppressor]:
     """Step 3 of the paper's summary algorithm.
 
     For each group, star every coordinate on which the group disagrees, so
@@ -184,12 +186,15 @@ def anonymize_partition(table: Table, partition: Cover) -> tuple[Table, Suppress
     :raises ValueError: if *partition* is not actually disjoint (an
         overlapping cover does not induce a well-defined suppressor).
     """
+    from repro.core.backend import get_backend
+
     if not partition.is_partition():
         raise ValueError("cannot anonymize from an overlapping cover; Reduce first")
+    resolved = get_backend(table, backend)
     starred: dict[int, set[int]] = {}
     rows = table.rows
     for group in partition.groups:
-        image = group_image_of(table, group)
+        image = resolved.group_image(group)
         for i in group:
             coords = {
                 j for j, value in enumerate(image)
@@ -202,7 +207,7 @@ def anonymize_partition(table: Table, partition: Cover) -> tuple[Table, Suppress
 
 
 def split_into_small_groups(
-    table: Table, groups: Iterable[Iterable[int]], k: int
+    table: Table, groups: Iterable[Iterable[int]], k: int, backend=None
 ) -> list[Group]:
     """Split oversized groups into pieces of size in ``[k, 2k-1]``.
 
@@ -212,17 +217,19 @@ def split_into_small_groups(
     Splits peel off the k members closest to an arbitrary anchor, which
     never increases (and usually decreases) total ANON cost.
     """
+    from repro.core.backend import get_backend
+
     if k < 1:
         raise ValueError("k must be positive")
+    resolved = get_backend(table, backend)
     result: list[Group] = []
-    rows = table.rows
     for raw in groups:
         members = sorted(raw)
         if len(members) < k:
             raise ValueError(f"group of size {len(members)} smaller than k={k}")
         while len(members) >= 2 * k:
-            anchor = rows[members[0]]
-            members.sort(key=lambda i: distance(anchor, rows[i]))
+            anchor = members[0]
+            members.sort(key=lambda i: resolved.distance(anchor, i))
             result.append(frozenset(members[:k]))
             members = members[k:]
         result.append(frozenset(members))

@@ -37,7 +37,7 @@ class Table:
     ('Harry', 34)
     """
 
-    __slots__ = ("_rows", "_attributes")
+    __slots__ = ("_rows", "_attributes", "__weakref__")
 
     def __init__(
         self,

@@ -5,6 +5,11 @@ results under ``pytest-benchmark``; this module exposes the same
 experiments as plain functions returning data structures, so users can
 rerun them from notebooks or scripts (and the CLI's ``experiment``
 command).  Each runner is deterministic given its seed.
+
+Every runner takes a ``backend=`` selector (``"python"`` / ``"numpy"``)
+that is applied to the algorithms it runs; left as ``None``, the
+process-wide default applies — i.e. the ``REPRO_BACKEND`` environment
+variable picks the metric implementation for every experiment.
 """
 
 from __future__ import annotations
@@ -72,6 +77,7 @@ def ratio_experiment(
     sigma: int = 3,
     trials: int = 20,
     base_seed: int = 0,
+    backend: str | None = None,
 ) -> RatioExperiment:
     """Measured approximation ratios vs exact optima on random tables.
 
@@ -80,10 +86,12 @@ def ratio_experiment(
     from repro.algorithms.exact import optimal_anonymization
     from repro.theory import theorem_4_1_ratio, theorem_4_2_ratio
 
+    if backend is not None:
+        algorithm.backend = backend
     rows = []
     for t in range(trials):
         table = _random_table(base_seed + t, n, m, sigma)
-        opt, _ = optimal_anonymization(table, k)
+        opt, _ = optimal_anonymization(table, k, backend=backend)
         cost = algorithm.anonymize(table, k).stars
         rows.append(RatioRow(seed=base_seed + t, opt=opt, cost=cost))
     if algorithm.name == "greedy_cover":
@@ -178,11 +186,14 @@ def k_sweep(
     table: Table,
     ks: tuple[int, ...] = (2, 3, 4, 5, 6, 8),
     algorithm: Anonymizer | None = None,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Cost/utility across k — the E10 series on any table."""
     from repro.algorithms.center_cover import CenterCoverAnonymizer
 
     algorithm = algorithm if algorithm is not None else CenterCoverAnonymizer()
+    if backend is not None:
+        algorithm.backend = backend
     points = []
     for k in ks:
         result = algorithm.anonymize(table, k)
@@ -202,6 +213,7 @@ def comparison(
     table: Table,
     k: int,
     algorithms: dict[str, Callable[[], Anonymizer]] | None = None,
+    backend: str | None = None,
 ) -> dict[str, int]:
     """Suppressed-cell counts per algorithm — one row of the E8 table."""
     if algorithms is None:
@@ -226,7 +238,10 @@ def comparison(
         }
     costs = {}
     for name, factory in algorithms.items():
-        result = factory().anonymize(table, k)
+        algorithm = factory()
+        if backend is not None:
+            algorithm.backend = backend
+        result = algorithm.anonymize(table, k)
         if not result.is_valid(table):
             raise AssertionError(f"{name} produced an invalid release")
         costs[name] = result.stars

@@ -1,0 +1,214 @@
+"""Property-based parity: NumpyBackend must be bit-identical to PythonBackend.
+
+The pure-Python backend is the reference oracle — its primitives are the
+row-level functions in :mod:`repro.core.distance` applied verbatim.  The
+numpy backend re-derives every primitive from the integer-encoded table,
+so this suite drives both with the same generated tables (random values,
+suppressed cells, mixed types, degenerate shapes) and requires exact
+agreement, including Python types (plain ``int``, plain ``list``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import STAR
+from repro.core.backend import (
+    EncodedTable,
+    NumpyBackend,
+    PythonBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    make_backend,
+)
+from repro.core.distance import pairwise_distance_matrix
+from repro.core.table import Table
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="numpy backend not available",
+)
+
+# -- table strategies ---------------------------------------------------
+
+_VALUES = st.one_of(
+    st.integers(0, 3),
+    st.sampled_from(["a", "b", STAR]),
+)
+
+
+@st.composite
+def tables(draw, min_rows: int = 0, max_rows: int = 8) -> Table:
+    m = draw(st.integers(0, 5))
+    n = draw(st.integers(min_rows, max_rows))
+    rows = [
+        tuple(draw(_VALUES) for _ in range(m))
+        for _ in range(n)
+    ]
+    return Table(rows)
+
+
+@st.composite
+def tables_with_group(draw) -> tuple[Table, frozenset[int]]:
+    table = draw(tables(min_rows=1))
+    size = draw(st.integers(1, table.n_rows))
+    group = draw(
+        st.sets(
+            st.integers(0, table.n_rows - 1), min_size=size, max_size=size
+        )
+    )
+    return table, frozenset(group)
+
+
+def backends(table: Table) -> tuple[PythonBackend, NumpyBackend]:
+    return make_backend(table, "python"), make_backend(table, "numpy")
+
+
+# -- primitive parity ---------------------------------------------------
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_distance_matrix_parity(table):
+    py, npb = backends(table)
+    py_matrix = py.distance_matrix()
+    np_matrix = npb.distance_matrix()
+    assert np_matrix == py_matrix
+    assert np_matrix == pairwise_distance_matrix(table)
+    for row in np_matrix:
+        assert type(row) is list
+        assert all(type(value) is int for value in row)
+
+
+@given(tables(min_rows=2))
+@settings(max_examples=40, deadline=None)
+def test_pointwise_distance_parity(table):
+    py, npb = backends(table)
+    for i in range(table.n_rows):
+        for j in range(table.n_rows):
+            d = npb.distance(i, j)
+            assert type(d) is int
+            assert d == py.distance(i, j)
+
+
+@given(tables_with_group())
+@settings(max_examples=80, deadline=None)
+def test_group_query_parity(table_and_group):
+    table, group = table_and_group
+    py, npb = backends(table)
+    assert npb.diameter(group) == py.diameter(group)
+    assert npb.disagreeing_coordinates(group) == py.disagreeing_coordinates(
+        group
+    )
+    assert npb.anon_cost(group) == py.anon_cost(group)
+    assert npb.group_image(group) == py.group_image(group)
+    center = min(group)
+    assert npb.radius_from(center, group) == py.radius_from(center, group)
+
+
+@given(tables_with_group())
+@settings(max_examples=60, deadline=None)
+def test_group_stats_parity(table_and_group):
+    """Incremental stats agree with from-scratch queries on both backends."""
+    table, group = table_and_group
+    for backend in backends(table):
+        stats = backend.group_stats(group)
+        assert stats.cost == backend.anon_cost(group)
+        assert stats.n_disagreeing == len(
+            backend.disagreeing_coordinates(group)
+        )
+        for extra in range(table.n_rows):
+            if extra in group:
+                assert stats.cost_if_remove(extra) == backend.anon_cost(
+                    group - {extra}
+                )
+            else:
+                assert stats.cost_if_add(extra) == backend.anon_cost(
+                    group | {extra}
+                )
+        out = min(group)
+        for into in range(table.n_rows):
+            if into not in group:
+                assert stats.cost_if_swap(out, into) == backend.anon_cost(
+                    (group - {out}) | {into}
+                )
+        # what-if queries must not have mutated the tracker
+        assert stats.members == group
+        assert stats.cost == backend.anon_cost(group)
+
+
+def test_degenerate_shapes():
+    for rows in ([], [()], [(), ()], [(1,)], [(STAR, STAR)]):
+        table = Table(rows)
+        py, npb = backends(table)
+        assert npb.distance_matrix() == py.distance_matrix()
+        if rows:
+            full = frozenset(range(len(rows)))
+            assert npb.diameter(full) == py.diameter(full)
+            assert npb.group_image(full) == py.group_image(full)
+
+
+# -- encoding -----------------------------------------------------------
+
+
+def test_encoded_table_roundtrip():
+    table = Table([(1, "x", STAR), (1, "y", 2.5), (3, "x", STAR)])
+    encoded = EncodedTable(table)
+    assert encoded.n_rows == 3 and encoded.degree == 3
+    for i, row in enumerate(table.rows):
+        for j, value in enumerate(row):
+            assert encoded.decode(j, int(encoded.codes[i, j])) == value
+
+
+def test_encoded_table_star_is_ordinary_symbol():
+    """STAR equals only itself, so starred tables stay on the fast path."""
+    table = Table([(STAR, 0), (STAR, 1), (0, 0)])
+    py, npb = backends(table)
+    assert npb.distance(0, 1) == py.distance(0, 1) == 1
+    assert npb.distance(0, 2) == py.distance(0, 2) == 1
+    assert npb.distance_matrix() == py.distance_matrix()
+
+
+def test_encoded_table_packs_narrow_dtypes():
+    small = EncodedTable(Table([(0, 1), (2, 3)]))
+    assert small.codes.dtype == np.uint8
+    # codes count distinct values per column: >256 of them need uint16
+    tall = EncodedTable(Table([(i,) for i in range(300)]))
+    assert tall.codes.dtype == np.uint16
+
+
+# -- selection and caching ----------------------------------------------
+
+
+def test_default_backend_honours_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "python")
+    assert default_backend_name() == "python"
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    assert default_backend_name() == "numpy"
+    monkeypatch.setenv("REPRO_BACKEND", "fortran")
+    with pytest.raises(ValueError, match="REPRO_BACKEND"):
+        default_backend_name()
+    monkeypatch.delenv("REPRO_BACKEND")
+    assert default_backend_name() == "numpy"
+
+
+def test_get_backend_caches_per_table_and_name():
+    table = Table([(0, 1), (1, 0)])
+    first = get_backend(table, "numpy")
+    assert get_backend(table, "numpy") is first
+    assert get_backend(table, "python") is not first
+    # an instance already bound to the table passes through unchanged
+    assert get_backend(table, first) is first
+    # a foreign instance is re-resolved by name onto the new table
+    other = Table([(5, 5), (6, 6)])
+    rebound = get_backend(other, first)
+    assert rebound is not first and rebound.table is other
+
+
+def test_make_backend_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown backend"):
+        make_backend(Table([(0,)]), "fortran")
