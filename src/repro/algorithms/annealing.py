@@ -51,10 +51,12 @@ class SimulatedAnnealingAnonymizer(Anonymizer):
         cooling: float = 0.995,
         seed: int | np.random.Generator = 0,
         backend=None,
+        budget=None,
+        trace=None,
     ):
         from repro.algorithms.center_cover import CenterCoverAnonymizer
 
-        super().__init__(backend=backend)
+        super().__init__(backend=backend, budget=budget, trace=trace)
         if steps < 0:
             raise ValueError("steps must be non-negative")
         if start_temperature <= 0 or not 0 < cooling < 1:
@@ -66,16 +68,18 @@ class SimulatedAnnealingAnonymizer(Anonymizer):
         self._rng = np.random.default_rng(seed)
         self.name = f"{self._inner.name}+anneal"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
-        base = self._inner.anonymize(table, k)
+        with run.phase("base"):
+            base = self._inner.anonymize(table, k, timeout=run.budget)
         if base.partition is None or table.n_rows == 0 or len(
             base.partition.groups
         ) < 2:
             return base
 
         rng = self._rng
-        backend = self._backend_for(table)
+        backend = run.backend
+        budget = run.budget
         groups = [backend.group_stats(g) for g in base.partition.groups]
         current = sum(s.cost for s in groups)
         best_groups = [s.members for s in groups]
@@ -84,39 +88,49 @@ class SimulatedAnnealingAnonymizer(Anonymizer):
 
         temperature = self._t0
         accepted = 0
-        for _ in range(self._steps):
-            a, b = rng.choice(len(groups), size=2, replace=False)
-            a, b = int(a), int(b)
-            move_swap = bool(rng.integers(0, 2)) or len(groups[a]) <= k
-            if move_swap:
-                u = sorted(groups[a].members)[int(rng.integers(0, len(groups[a])))]
-                v = sorted(groups[b].members)[int(rng.integers(0, len(groups[b])))]
-                cost_a = groups[a].cost_if_swap(u, v)
-                cost_b = groups[b].cost_if_swap(v, u)
-            else:
-                if len(groups[b]) >= k_cap:
-                    continue
-                u = sorted(groups[a].members)[int(rng.integers(0, len(groups[a])))]
-                v = None
-                cost_a = groups[a].cost_if_remove(u)
-                cost_b = groups[b].cost_if_add(u)
-            delta = cost_a + cost_b - groups[a].cost - groups[b].cost
-            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+        steps_taken = 0
+        with run.phase("anneal"):
+            for _ in range(self._steps):
+                if budget.expired():
+                    # graceful degradation: keep the best state visited,
+                    # which is never worse than the inner algorithm's.
+                    run.mark_deadline_hit()
+                    break
+                steps_taken += 1
+                a, b = rng.choice(len(groups), size=2, replace=False)
+                a, b = int(a), int(b)
+                move_swap = bool(rng.integers(0, 2)) or len(groups[a]) <= k
                 if move_swap:
-                    groups[a].remove(u)
-                    groups[a].add(v)
-                    groups[b].remove(v)
-                    groups[b].add(u)
+                    u = sorted(groups[a].members)[int(rng.integers(0, len(groups[a])))]
+                    v = sorted(groups[b].members)[int(rng.integers(0, len(groups[b])))]
+                    cost_a = groups[a].cost_if_swap(u, v)
+                    cost_b = groups[b].cost_if_swap(v, u)
                 else:
-                    groups[a].remove(u)
-                    groups[b].add(u)
-                current += delta
-                accepted += 1
-                if current < best_cost:
-                    best_cost = current
-                    best_groups = [s.members for s in groups]
-            temperature = max(temperature * self._cooling, 1e-6)
+                    if len(groups[b]) >= k_cap:
+                        continue
+                    u = sorted(groups[a].members)[int(rng.integers(0, len(groups[a])))]
+                    v = None
+                    cost_a = groups[a].cost_if_remove(u)
+                    cost_b = groups[b].cost_if_add(u)
+                delta = cost_a + cost_b - groups[a].cost - groups[b].cost
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    if move_swap:
+                        groups[a].remove(u)
+                        groups[a].add(v)
+                        groups[b].remove(v)
+                        groups[b].add(u)
+                    else:
+                        groups[a].remove(u)
+                        groups[b].add(u)
+                    current += delta
+                    accepted += 1
+                    if current < best_cost:
+                        best_cost = current
+                        best_groups = [s.members for s in groups]
+                temperature = max(temperature * self._cooling, 1e-6)
 
+        run.count("steps_taken", steps_taken)
+        run.count("accepted_moves", accepted)
         partition = Partition(
             best_groups, table.n_rows, k,
             k_max=max(2 * k - 1, max(len(g) for g in best_groups)),
@@ -124,7 +138,9 @@ class SimulatedAnnealingAnonymizer(Anonymizer):
         result = self._result_from_partition(
             table, k, partition,
             {"base_stars": base.stars, "accepted_moves": accepted,
-             "steps": self._steps, "base_algorithm": self._inner.name},
+             "steps": self._steps, "steps_taken": steps_taken,
+             "base_algorithm": self._inner.name},
+            run=run,
         )
         assert result.stars <= base.stars
         return result

@@ -51,14 +51,14 @@ class RandomPartitionAnonymizer(Anonymizer):
         super().__init__(backend=backend)
         self._rng = np.random.default_rng(seed)
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
         order = list(range(table.n_rows))
         self._rng.shuffle(order)
         partition = Partition(chunk_indices(order, k), table.n_rows, k)
-        return self._result_from_partition(table, k, partition)
+        return self._result_from_partition(table, k, partition, run=run)
 
 
 class SortedChunkAnonymizer(Anonymizer):
@@ -70,7 +70,7 @@ class SortedChunkAnonymizer(Anonymizer):
 
     name = "sorted_chunk"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
@@ -80,7 +80,7 @@ class SortedChunkAnonymizer(Anonymizer):
             key=lambda i: tuple(str(value) for value in rows[i]),
         )
         partition = Partition(chunk_indices(order, k), table.n_rows, k)
-        return self._result_from_partition(table, k, partition)
+        return self._result_from_partition(table, k, partition, run=run)
 
 
 class SuppressEverythingAnonymizer(Anonymizer):
@@ -92,7 +92,7 @@ class SuppressEverythingAnonymizer(Anonymizer):
 
     name = "suppress_everything"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)

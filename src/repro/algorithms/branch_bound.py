@@ -11,8 +11,15 @@ once), pruned with:
   from them under canonical seeding).
 
 Slower per node than the subset DP of :mod:`repro.algorithms.exact`, but
-the pruning usually reaches somewhat larger ``n`` within a time budget,
-and it provides an independent exact implementation for cross-checks.
+the pruning usually reaches somewhat larger ``n``, and it provides an
+independent exact implementation for cross-checks.
+
+The search honours a real wall-clock budget (``timeout=`` on
+``anonymize`` or ``budget=`` on the constructor): the deadline is
+checked at every node and candidate group, and on expiry the best
+incumbent found so far — always a valid k-anonymous release, never
+worse than the Theorem 4.2 seed — is returned with
+``extras["deadline_hit"]`` set and ``extras["proven_optimal"]`` False.
 """
 
 from __future__ import annotations
@@ -26,8 +33,16 @@ from repro.core.partition import Partition
 from repro.core.table import Table
 
 
+class _OutOfTime(Exception):
+    """Internal unwind signal: the budget expired mid-search."""
+
+
 class BranchBoundAnonymizer(Anonymizer):
     """Exact solver; practical up to roughly n = 18 with small k.
+
+    With a time budget the solver becomes an anytime algorithm: it
+    returns the best incumbent when the clock runs out instead of the
+    proven optimum.
 
     >>> from repro.core.table import Table
     >>> t = Table([(0, 0), (0, 0), (0, 1), (1, 1)])
@@ -37,27 +52,40 @@ class BranchBoundAnonymizer(Anonymizer):
 
     name = "branch_bound"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
-        opt, partition, nodes = self._search(table, k)
-        result = self._result_from_partition(
-            table, k, partition, {"opt": opt, "nodes": nodes}
-        )
-        assert result.stars == opt
+        best, partition, nodes, proven = self._search(table, k, run)
+        run.count("nodes", nodes)
+        if proven:
+            extras = {"opt": best, "nodes": nodes, "proven_optimal": True}
+        else:
+            extras = {
+                "incumbent": best, "nodes": nodes, "proven_optimal": False,
+            }
+        result = self._result_from_partition(table, k, partition, extras,
+                                             run=run)
+        assert result.stars == best
         return result
 
     # ------------------------------------------------------------------
 
-    def _search(self, table: Table, k: int) -> tuple[int, Partition, int]:
+    def _search(
+        self, table: Table, k: int, run
+    ) -> tuple[int, Partition, int, bool]:
         n = table.n_rows
-        resolved = self._backend_for(table)
-        dist = resolved.distance_matrix()
+        resolved = run.backend
+        budget = run.budget
+        with run.phase("bound_setup"):
+            dist = resolved.distance_matrix()
         upper_size = min(2 * k - 1, n)
 
         # Incumbent from the polynomial approximation algorithm.
-        incumbent = CenterCoverAnonymizer(backend=resolved).anonymize(table, k)
+        with run.phase("incumbent"):
+            incumbent = CenterCoverAnonymizer(backend=resolved).anonymize(
+                table, k
+            )
         best_cost = incumbent.stars
         assert incumbent.partition is not None
         best_groups: list[frozenset[int]] = list(incumbent.partition.groups)
@@ -80,6 +108,8 @@ class BranchBoundAnonymizer(Anonymizer):
 
         def dfs(unassigned: list[int], cost: int) -> None:
             nonlocal best_cost, best_groups, nodes
+            if budget.expired():
+                raise _OutOfTime
             nodes += 1
             if not unassigned:
                 if cost < best_cost:
@@ -94,6 +124,8 @@ class BranchBoundAnonymizer(Anonymizer):
                 if 0 < remaining - size < k:
                     continue
                 for mates in combinations(rest, size - 1):
+                    if budget.expired():
+                        raise _OutOfTime
                     members = (seed, *mates)
                     added = group_cost(members)
                     if cost + added >= best_cost:
@@ -103,7 +135,13 @@ class BranchBoundAnonymizer(Anonymizer):
                     dfs([u for u in rest if u not in mate_set], cost + added)
                     current.pop()
 
-        dfs(list(range(n)), 0)
+        proven = True
+        with run.phase("search"):
+            try:
+                dfs(list(range(n)), 0)
+            except _OutOfTime:
+                proven = False
+                run.mark_deadline_hit()
         partition = Partition(best_groups, n, k,
                               k_max=max([2 * k - 1] + [len(g) for g in best_groups]))
-        return best_cost, partition, nodes
+        return best_cost, partition, nodes, proven

@@ -140,24 +140,29 @@ class CenterCoverAnonymizer(Anonymizer):
 
     name = "center_cover"
 
-    def __init__(self, diameter_mode: str = "radius_bound", backend=None):
-        super().__init__(backend=backend)
+    def __init__(self, diameter_mode: str = "radius_bound", backend=None,
+                 budget=None, trace=None):
+        super().__init__(backend=backend, budget=budget, trace=trace)
         if diameter_mode not in ("radius_bound", "exact"):
             raise ValueError(f"unknown diameter_mode {diameter_mode!r}")
         self._diameter_mode = diameter_mode
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
-        resolved = self._backend_for(table)
-        cover = build_ball_cover(table, k, diameter_mode=self._diameter_mode,
-                                 backend=resolved)
-        partition = reduce_and_shrink(table, cover, backend=resolved)
+        resolved = run.backend
+        with run.phase("cover"):
+            cover = build_ball_cover(
+                table, k, diameter_mode=self._diameter_mode, backend=resolved
+            )
+        with run.phase("reduce"):
+            partition = reduce_and_shrink(table, cover, backend=resolved)
+        run.count("cover_sets", len(cover))
         extras = {
             "cover_sets": len(cover),
             "cover_diameter_sum": cover.diameter_sum(table, backend=resolved),
             "partition_diameter_sum": partition.diameter_sum(table, backend=resolved),
             "diameter_mode": self._diameter_mode,
         }
-        return self._result_from_partition(table, k, partition, extras)
+        return self._result_from_partition(table, k, partition, extras, run=run)

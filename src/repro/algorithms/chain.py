@@ -53,10 +53,11 @@ class GreedyChainAnonymizer(Anonymizer):
 
     name = "greedy_chain"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
-        order = nearest_neighbour_order(table, backend=self._backend_for(table))
+        with run.phase("tour"):
+            order = nearest_neighbour_order(table, backend=run.backend)
         partition = Partition(chunk_indices(order, k), table.n_rows, k)
-        return self._result_from_partition(table, k, partition)
+        return self._result_from_partition(table, k, partition, run=run)

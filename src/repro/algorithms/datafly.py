@@ -57,11 +57,12 @@ class DataflyAnonymizer(Anonymizer):
 
     name = "datafly"
 
-    def __init__(self, max_outliers: int | None = None, backend=None):
-        super().__init__(backend=backend)
+    def __init__(self, max_outliers: int | None = None, backend=None,
+                 budget=None, trace=None):
+        super().__init__(backend=backend, budget=budget, trace=trace)
         self._max_outliers = max_outliers
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         n, m = table.n_rows, table.degree
         if n == 0:

@@ -27,7 +27,8 @@ _INF = float("inf")
 
 
 def optimal_anonymization(
-    table: Table, k: int, group_max: int | None = None, backend=None
+    table: Table, k: int, group_max: int | None = None, backend=None,
+    budget=None,
 ) -> tuple[int, Partition]:
     """Exact ``OPT(V)`` and an optimal (k, 2k-1)-partition by subset DP.
 
@@ -39,7 +40,12 @@ def optimal_anonymization(
 
     Runtime roughly ``O(2^n * C(n, 2k-1))`` — use only for n up to ~16.
 
+    :param budget: optional wall-clock allowance (seconds or a
+        :class:`~repro.instrument.TimeBudget`), forwarded to the DP
+        engine.
     :raises ValueError: if ``0 < n < k``.
+    :raises repro.instrument.BudgetExceededError: if *budget* expires
+        before the optimum is proven.
     """
     from repro.algorithms.partition_dp import minimum_cost_partition
     from repro.core.backend import get_backend
@@ -57,7 +63,7 @@ def optimal_anonymization(
         return resolved.anon_cost(members)
 
     opt, groups = minimum_cost_partition(n, k, group_cost,
-                                         group_max=group_max)
+                                         group_max=group_max, budget=budget)
     upper = min((2 * k - 1) if group_max is None else group_max, n)
     return int(opt), Partition(groups, n, k, k_max=upper)
 
@@ -107,18 +113,25 @@ def brute_force_optimal(table: Table, k: int) -> int:
 
 
 class ExactAnonymizer(Anonymizer):
-    """Anonymizer facade over :func:`optimal_anonymization`."""
+    """Anonymizer facade over :func:`optimal_anonymization`.
+
+    A time budget makes the solver fail fast instead of hanging: the
+    subset DP has no feasible incumbent mid-flight, so on expiry it
+    raises :class:`~repro.instrument.BudgetExceededError`.
+    """
 
     name = "exact_dp"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
-        opt, partition = optimal_anonymization(
-            table, k, backend=self._backend_for(table)
-        )
-        result = self._result_from_partition(table, k, partition, {"opt": opt})
+        with run.phase("dp"):
+            opt, partition = optimal_anonymization(
+                table, k, backend=run.backend, budget=run.budget
+            )
+        result = self._result_from_partition(table, k, partition,
+                                             {"opt": opt}, run=run)
         assert result.stars == opt
         return result
 

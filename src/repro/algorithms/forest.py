@@ -121,17 +121,19 @@ class MSTForestAnonymizer(Anonymizer):
 
     name = "mst_forest"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         n = table.n_rows
         if n == 0:
             return self._empty_result(table, k)
-        resolved = self._backend_for(table)
-        dist = resolved.distance_matrix()
-        adjacency = _minimum_spanning_tree(dist)
-        raw = _decompose(adjacency, k)
-        groups = split_into_small_groups(table, raw, k, backend=resolved)
+        resolved = run.backend
+        with run.phase("mst"):
+            dist = resolved.distance_matrix()
+            adjacency = _minimum_spanning_tree(dist)
+        with run.phase("decompose"):
+            raw = _decompose(adjacency, k)
+            groups = split_into_small_groups(table, raw, k, backend=resolved)
         partition = Partition(groups, n, k)
         return self._result_from_partition(
-            table, k, partition, {"tree_components": len(raw)}
+            table, k, partition, {"tree_components": len(raw)}, run=run
         )

@@ -103,20 +103,26 @@ class GreedyCoverAnonymizer(Anonymizer):
 
     name = "greedy_cover"
 
-    def __init__(self, k_max: int | None = None, backend=None):
-        super().__init__(backend=backend)
+    def __init__(self, k_max: int | None = None, backend=None,
+                 budget=None, trace=None):
+        super().__init__(backend=backend, budget=budget, trace=trace)
         self._k_max = k_max
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
-        resolved = self._backend_for(table)
-        cover = build_greedy_cover(table, k, k_max=self._k_max, backend=resolved)
-        partition = reduce_and_shrink(table, cover, backend=resolved)
+        resolved = run.backend
+        with run.phase("cover"):
+            cover = build_greedy_cover(
+                table, k, k_max=self._k_max, backend=resolved
+            )
+        with run.phase("reduce"):
+            partition = reduce_and_shrink(table, cover, backend=resolved)
+        run.count("cover_sets", len(cover))
         extras = {
             "cover_sets": len(cover),
             "cover_diameter_sum": cover.diameter_sum(table, backend=resolved),
             "partition_diameter_sum": partition.diameter_sum(table, backend=resolved),
         }
-        return self._result_from_partition(table, k, partition, extras)
+        return self._result_from_partition(table, k, partition, extras, run=run)

@@ -34,12 +34,12 @@ class KMemberAnonymizer(Anonymizer):
 
     name = "kmember"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         n = table.n_rows
         if n == 0:
             return self._empty_result(table, k)
-        backend = self._backend_for(table)
+        backend = run.backend
         unassigned = set(range(n))
         clusters = []
         seeds: list[int] = []
@@ -76,6 +76,7 @@ class KMemberAnonymizer(Anonymizer):
         partition = Partition(
             [c.members for c in clusters], n, k, k_max=k_max
         )
+        run.count("clusters", len(clusters))
         return self._result_from_partition(
-            table, k, partition, {"clusters": len(clusters)}
+            table, k, partition, {"clusters": len(clusters)}, run=run
         )

@@ -38,21 +38,40 @@ def improve_partition(
     partition: Partition,
     max_rounds: int = 50,
     backend=None,
+    budget=None,
+    run=None,
 ) -> tuple[Partition, int]:
     """Hill-climb a partition with relocate and swap moves.
 
+    :param budget: optional wall-clock allowance (seconds or a
+        :class:`~repro.instrument.TimeBudget`); checked once per
+        candidate scan, so expiry stops the search between moves and the
+        partition returned is always valid, with cost <= the input's.
+    :param run: optional :class:`~repro.instrument.Run` used to report
+        rounds/moves counters and a deadline hit; when given and
+        ``budget`` is None, the run's own budget applies.
     :returns: ``(improved_partition, rounds_used)``; the improved
         partition's ANON cost is <= the input's.
     """
+    from repro.instrument import as_budget
+
     resolved = get_backend(table, backend)
+    if budget is None and run is not None:
+        budget = run.budget
+    budget = as_budget(budget).start()
     k = partition.k
     stats = [resolved.group_stats(g) for g in partition.groups]
+    out_of_time = False
 
     def try_relocate() -> bool:
+        nonlocal out_of_time
         for src in range(len(stats)):
             if len(stats[src]) <= k:
                 continue
             for v in sorted(stats[src].members):
+                if budget.expired():
+                    out_of_time = True
+                    return False
                 cost_without = stats[src].cost_if_remove(v)
                 for dst in range(len(stats)):
                     if dst == src:
@@ -71,8 +90,12 @@ def improve_partition(
         return False
 
     def try_swap() -> bool:
+        nonlocal out_of_time
         for a in range(len(stats)):
             for b in range(a + 1, len(stats)):
+                if budget.expired():
+                    out_of_time = True
+                    return False
                 for u in sorted(stats[a].members):
                     for v in sorted(stats[b].members):
                         cost_a = stats[a].cost_if_swap(u, v)
@@ -86,10 +109,18 @@ def improve_partition(
         return False
 
     rounds = 0
-    while rounds < max_rounds:
+    moves = 0
+    while rounds < max_rounds and not out_of_time:
         rounds += 1
-        if not (try_relocate() or try_swap()):
+        if try_relocate() or (not out_of_time and try_swap()):
+            moves += 1
+        elif not out_of_time:
             break
+    if run is not None:
+        run.count("rounds", rounds)
+        run.count("moves", moves)
+        if out_of_time:
+            run.mark_deadline_hit()
     k_max = max([partition.k_max] + [len(s) for s in stats])
     return (
         Partition([s.members for s in stats], partition.n_rows, k,
@@ -111,27 +142,30 @@ class LocalSearchAnonymizer(Anonymizer):
     """
 
     def __init__(self, inner: Anonymizer | None = None, max_rounds: int = 50,
-                 backend=None):
+                 backend=None, budget=None, trace=None):
         from repro.algorithms.center_cover import CenterCoverAnonymizer
 
-        super().__init__(backend=backend)
+        super().__init__(backend=backend, budget=budget, trace=trace)
         self._inner = inner if inner is not None else CenterCoverAnonymizer()
         self._max_rounds = max_rounds
         self.name = f"{self._inner.name}+local"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
-        base = self._inner.anonymize(table, k)
+        with run.phase("base"):
+            base = self._inner.anonymize(table, k, timeout=run.budget)
         if base.partition is None or table.n_rows == 0:
             return base
-        improved, rounds = improve_partition(
-            table, base.partition, max_rounds=self._max_rounds,
-            backend=self._backend_for(table),
-        )
+        with run.phase("improve"):
+            improved, rounds = improve_partition(
+                table, base.partition, max_rounds=self._max_rounds,
+                backend=run.backend, run=run,
+            )
         result = self._result_from_partition(
             table, k, improved,
             {"base_stars": base.stars, "rounds": rounds,
              "base_algorithm": self._inner.name},
+            run=run,
         )
         assert result.stars <= base.stars
         return result

@@ -63,26 +63,29 @@ class MondrianAnonymizer(Anonymizer):
 
     name = "mondrian"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
         leaves: list[frozenset[int]] = []
         stack = [list(range(table.n_rows))]
         cuts = 0
-        while stack:
-            members = stack.pop()
-            if len(members) >= 2 * k:
-                cut = _best_cut(table, members, k)
-                if cut is not None:
-                    cuts += 1
-                    stack.extend(cut)
-                    continue
-            leaves.append(frozenset(members))
+        with run.phase("cut"):
+            while stack:
+                members = stack.pop()
+                if len(members) >= 2 * k:
+                    cut = _best_cut(table, members, k)
+                    if cut is not None:
+                        cuts += 1
+                        stack.extend(cut)
+                        continue
+                leaves.append(frozenset(members))
+        run.count("cuts", cuts)
         k_max = max([2 * k - 1] + [len(g) for g in leaves])
         partition = Partition(leaves, table.n_rows, k, k_max=k_max)
         return self._result_from_partition(
-            table, k, partition, {"cuts": cuts, "leaves": len(leaves)}
+            table, k, partition, {"cuts": cuts, "leaves": len(leaves)},
+            run=run,
         )
 
 

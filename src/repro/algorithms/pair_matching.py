@@ -65,21 +65,23 @@ class PairMatchingAnonymizer(Anonymizer):
 
     name = "pair_matching"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         if k != 2:
             raise ValueError("PairMatchingAnonymizer is specific to k = 2")
         self._check_feasible(table, k)
         n = table.n_rows
         if n == 0:
             return self._empty_result(table, k)
-        backend = self._backend_for(table)
+        backend = run.backend
 
         if n % 2 == 0:
-            pairs = minimum_weight_pairing(table, backend=backend)
+            with run.phase("matching"):
+                pairs = minimum_weight_pairing(table, backend=backend)
             groups = [frozenset(pair) for pair in pairs]
             partition = Partition(groups, n, 2)
             return self._result_from_partition(
-                table, k, partition, {"pairs": len(pairs), "tripled": None}
+                table, k, partition, {"pairs": len(pairs), "tripled": None},
+                run=run,
             )
 
         # odd n: one triple is unavoidable; try each row as the "extra"
@@ -113,4 +115,5 @@ class PairMatchingAnonymizer(Anonymizer):
         return self._result_from_partition(
             table, k, partition,
             {"pairs": len(best[1]) - 1, "tripled": best[2]},
+            run=run,
         )

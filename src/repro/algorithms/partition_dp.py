@@ -32,6 +32,7 @@ def minimum_cost_partition(
     k: int,
     group_cost: GroupCost,
     group_max: int | None = None,
+    budget=None,
 ) -> tuple[float, list[frozenset[int]]]:
     """Exact minimum additive-cost partition into groups of [k, group_max].
 
@@ -40,9 +41,18 @@ def minimum_cost_partition(
     :param group_cost: cost of one group, given its sorted member tuple.
         Must be non-negative; called at most once per distinct group.
     :param group_max: maximum group size (default ``2k - 1``).
+    :param budget: optional wall-clock allowance (seconds or a
+        :class:`~repro.instrument.TimeBudget`), checked once per fresh DP
+        state.  An exact DP holds no feasible incumbent mid-flight, so
+        expiry raises :class:`~repro.instrument.BudgetExceededError`
+        rather than degrading.
     :returns: ``(optimal_cost, groups)``.
     :raises ValueError: if ``0 < n < k`` or ``k < 1``.
+    :raises repro.instrument.BudgetExceededError: if *budget* expires
+        before the optimum is proven.
     """
+    from repro.instrument import as_budget
+
     if k < 1:
         raise ValueError("k must be positive")
     if n == 0:
@@ -52,6 +62,7 @@ def minimum_cost_partition(
     upper = min((2 * k - 1) if group_max is None else group_max, n)
     if upper < k:
         raise ValueError("group_max must be at least k")
+    budget = as_budget(budget).start()
 
     cost_cache: dict[tuple[int, ...], float] = {}
 
@@ -70,6 +81,7 @@ def minimum_cost_partition(
         cached = memo.get(mask)
         if cached is not None:
             return cached
+        budget.check("minimum_cost_partition")
         remaining = mask.bit_count()
         if remaining < k:
             memo[mask] = _INF

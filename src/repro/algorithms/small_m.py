@@ -76,17 +76,18 @@ class SmallMExactAnonymizer(Anonymizer):
     name = "small_m_exact"
 
     def __init__(self, max_distinct: int = 16, max_states: int = 2_000_000,
-                 backend=None):
-        super().__init__(backend=backend)
+                 backend=None, budget=None, trace=None):
+        super().__init__(backend=backend, budget=budget, trace=trace)
         #: guard: refuse instances whose distinct-record count would blow up
         self._max_distinct = max_distinct
         #: guard: refuse instances whose DP state space would blow up
         self._max_states = max_states
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         if table.n_rows == 0:
             return self._empty_result(table, k)
+        budget = run.budget
         distinct = table.distinct_rows()
         if len(distinct) > self._max_distinct:
             raise ValueError(
@@ -135,6 +136,9 @@ class SmallMExactAnonymizer(Anonymizer):
             cached = memo.get(counts)
             if cached is not None:
                 return cached
+            # An exact DP has no feasible incumbent mid-flight, so budget
+            # expiry must raise rather than degrade.
+            budget.check("small_m_exact multiplicity DP")
             first = next(i for i, c in enumerate(counts) if c)
             best = _INF
             best_take: tuple[int, ...] | None = None
@@ -152,8 +156,10 @@ class SmallMExactAnonymizer(Anonymizer):
                 choice[counts] = best_take
             return best
 
-        opt = solve(counts0)
+        with run.phase("dp"):
+            opt = solve(counts0)
         assert opt != _INF, "n >= k always admits a grouping"
+        run.count("dp_states", len(memo))
 
         # Rebuild a concrete partition: hand out original row indices of
         # each distinct record in order.
@@ -177,6 +183,7 @@ class SmallMExactAnonymizer(Anonymizer):
             table, k, partition,
             {"opt": int(opt), "distinct_records": len(distinct),
              "dp_states": len(memo)},
+            run=run,
         )
         assert result.stars == opt
         return result

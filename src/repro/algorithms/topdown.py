@@ -83,27 +83,30 @@ class TopDownGreedyAnonymizer(Anonymizer):
 
     name = "topdown_greedy"
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
         n = table.n_rows
         if n == 0:
             return self._empty_result(table, k)
-        backend = self._backend_for(table)
+        backend = run.backend
         final: list[list[int]] = []
         stack: list[list[int]] = [list(range(n))]
         splits = 0
-        while stack:
-            members = stack.pop()
-            division = _bisect(backend, members, k)
-            if division is None:
-                final.append(members)
-            else:
-                splits += 1
-                stack.extend(division)
+        with run.phase("split"):
+            while stack:
+                members = stack.pop()
+                division = _bisect(backend, members, k)
+                if division is None:
+                    final.append(members)
+                else:
+                    splits += 1
+                    stack.extend(division)
+        run.count("splits", splits)
         k_max = max([2 * k - 1] + [len(g) for g in final])
         partition = Partition(
             [frozenset(g) for g in final], n, k, k_max=k_max
         )
         return self._result_from_partition(
-            table, k, partition, {"splits": splits, "groups": len(final)}
+            table, k, partition, {"splits": splits, "groups": len(final)},
+            run=run,
         )

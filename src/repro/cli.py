@@ -31,6 +31,7 @@ from repro.algorithms import (
 )
 from repro.core.anonymity import anonymity_level, suppressed_cell_count
 from repro.core.metrics import metric_report
+from repro.instrument import BudgetExceededError, format_trace
 from repro.io import read_csv, write_csv
 
 _ALGORITHMS: dict[str, type[Anonymizer]] = {
@@ -81,6 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
     anonymize.add_argument(
         "--no-header", action="store_true", help="input has no header row"
     )
+    _add_run_flags(anonymize)
 
     check = sub.add_parser("check", help="report anonymity level and stars")
     check.add_argument("input", help="input CSV path")
@@ -140,25 +142,58 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("-k", type=int, default=3)
     experiment.add_argument("--trials", type=int, default=10)
+    _add_run_flags(experiment)
     return parser
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared per-run flags: backend selection, deadline, tracing."""
+    parser.add_argument(
+        "--backend",
+        choices=["python", "numpy"],
+        default=None,
+        help="distance backend (default: the REPRO_BACKEND env variable)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per anonymization; iterative algorithms "
+            "return their best valid release on expiry, exact solvers "
+            "exit with status 2"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a structured run trace to stderr (also: REPRO_TRACE=1)",
+    )
 
 
 def _run_experiment(args) -> int:
     """The `experiment` command: rerun a paper experiment from scratch."""
     from repro.experiments import k_sweep, ratio_experiment, threshold_experiment
 
+    trace = True if args.trace else None
     if args.name.startswith("ratio-"):
         algorithm = (
             GreedyCoverAnonymizer() if args.name == "ratio-greedy"
             else CenterCoverAnonymizer()
         )
-        exp = ratio_experiment(algorithm, k=args.k, trials=args.trials)
+        exp = ratio_experiment(
+            algorithm, k=args.k, trials=args.trials,
+            backend=args.backend, timeout=args.timeout, trace=trace,
+        )
         print(f"{exp.algorithm}, k={exp.k}: "
               f"mean ratio {exp.mean_ratio:.3f}, max {exp.max_ratio:.3f}, "
               f"proven bound {exp.bound:.1f}")
         for row in exp.rows:
             print(f"  seed {row.seed}: OPT {row.opt}, cost {row.cost} "
                   f"({row.ratio:.2f}x)")
+        for run_trace in exp.traces:
+            print(format_trace(run_trace), file=sys.stderr)
         return 0 if exp.within_bound else 1
     if args.name.startswith("threshold-"):
         kind = args.name.split("-", 1)[1]
@@ -175,21 +210,39 @@ def _run_experiment(args) -> int:
     from repro.workloads import census_table, quasi_identifiers
 
     table = quasi_identifiers(census_table(120, seed=0))
-    for point in k_sweep(table):
+    for point in k_sweep(table, backend=args.backend,
+                         timeout=args.timeout, trace=trace):
         print(f"k={point.k}: {point.stars} stars, "
               f"precision {point.precision:.3f}, {point.classes} classes")
+        if point.trace is not None:
+            print(format_trace(point.trace), file=sys.stderr)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit status 2 means a ``--timeout`` expired inside an exact solver
+    (no feasible incumbent exists mid-flight, so nothing can be
+    released); iterative algorithms instead degrade gracefully and
+    report the deadline on stderr.
+    """
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     if args.command == "experiment":
         return _run_experiment(args)
     table = read_csv(args.input, header=not args.no_header)
 
     if args.command == "anonymize":
         algorithm = _ALGORITHMS[args.algorithm]()
+        trace = True if args.trace else None
         if args.ldiv is not None:
             from repro.privacy import LDiverseAnonymizer
 
@@ -197,7 +250,8 @@ def main(argv: list[str] | None = None) -> int:
             identifiers = table.project(list(range(table.degree - 1)))
             wrapped = LDiverseAnonymizer(args.ldiv, inner=algorithm)
             result = wrapped.anonymize_with_sensitive(
-                identifiers, args.k, sensitive
+                identifiers, args.k, sensitive,
+                backend=args.backend, timeout=args.timeout, trace=trace,
             )
             from repro.core.table import Table as _Table
 
@@ -215,7 +269,18 @@ def main(argv: list[str] | None = None) -> int:
                 extras=result.extras,
             )
         else:
-            result = algorithm.anonymize(table, args.k)
+            result = algorithm.anonymize(
+                table, args.k,
+                backend=args.backend, timeout=args.timeout, trace=trace,
+            )
+        if result.extras.get("deadline_hit"):
+            print(
+                "deadline hit: returning the best valid release found "
+                "within the budget",
+                file=sys.stderr,
+            )
+        if "trace" in result.extras:
+            print(format_trace(result.extras["trace"]), file=sys.stderr)
         output = result.anonymized.to_csv(header=not args.no_header)
         if args.output:
             write_csv(result.anonymized, args.output, header=not args.no_header)

@@ -162,8 +162,8 @@ def group_image_of(table, indices: Iterable[int], backend=None) -> Row:
 def pairwise_distance_matrix(table) -> list[list[int]]:
     """The full ``n x n`` distance matrix of a table's rows.
 
-    Plain Python lists; for heavy numeric workloads prefer
-    :func:`fast_pairwise_distance_matrix`.
+    Plain Python lists; for heavy numeric workloads prefer the backend
+    layer's cached ``get_backend(table).distance_matrix()``.
     """
     rows = table.rows
     n = len(rows)

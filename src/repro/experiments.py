@@ -7,9 +7,13 @@ rerun them from notebooks or scripts (and the CLI's ``experiment``
 command).  Each runner is deterministic given its seed.
 
 Every runner takes a ``backend=`` selector (``"python"`` / ``"numpy"``)
-that is applied to the algorithms it runs; left as ``None``, the
-process-wide default applies — i.e. the ``REPRO_BACKEND`` environment
-variable picks the metric implementation for every experiment.
+that is applied *per call* to the algorithms it runs — a caller-owned
+anonymizer instance is never reconfigured behind the caller's back.
+Left as ``None``, the process-wide default applies — i.e. the
+``REPRO_BACKEND`` environment variable picks the metric implementation
+for every experiment.  The anonymization runners additionally accept
+``timeout=`` (wall-clock seconds per call) and ``trace=`` (collect
+structured run traces; see :mod:`repro.instrument`).
 """
 
 from __future__ import annotations
@@ -55,13 +59,24 @@ class RatioExperiment:
     m: int
     bound: float
     rows: tuple[RatioRow, ...] = field(default_factory=tuple)
+    #: per-trial run traces (``RunTrace.to_dict()`` form) when the
+    #: experiment ran with ``trace=True``; empty otherwise.
+    traces: tuple[dict, ...] = field(default_factory=tuple)
 
     @property
     def max_ratio(self) -> float:
+        if not self.rows:
+            raise ValueError(
+                "max_ratio is undefined for an experiment with no rows"
+            )
         return max(row.ratio for row in self.rows)
 
     @property
     def mean_ratio(self) -> float:
+        if not self.rows:
+            raise ValueError(
+                "mean_ratio is undefined for an experiment with no rows"
+            )
         return sum(row.ratio for row in self.rows) / len(self.rows)
 
     @property
@@ -78,28 +93,42 @@ def ratio_experiment(
     trials: int = 20,
     base_seed: int = 0,
     backend: str | None = None,
+    timeout: float | None = None,
+    trace: bool | None = None,
 ) -> RatioExperiment:
     """Measured approximation ratios vs exact optima on random tables.
 
     Keep ``n <= ~12`` — every trial solves the instance exactly.
+
+    ``backend`` / ``timeout`` / ``trace`` are passed per call to the
+    algorithm (the caller's *algorithm* instance is never mutated).
+
+    :raises ValueError: if ``trials < 1`` (the ratio statistics are
+        undefined on an empty experiment).
     """
     from repro.algorithms.exact import optimal_anonymization
     from repro.theory import theorem_4_1_ratio, theorem_4_2_ratio
 
-    if backend is not None:
-        algorithm.backend = backend
+    if trials < 1:
+        raise ValueError("ratio_experiment needs trials >= 1")
     rows = []
+    traces = []
     for t in range(trials):
         table = _random_table(base_seed + t, n, m, sigma)
         opt, _ = optimal_anonymization(table, k, backend=backend)
-        cost = algorithm.anonymize(table, k).stars
-        rows.append(RatioRow(seed=base_seed + t, opt=opt, cost=cost))
+        result = algorithm.anonymize(
+            table, k, backend=backend, timeout=timeout, trace=trace
+        )
+        rows.append(RatioRow(seed=base_seed + t, opt=opt, cost=result.stars))
+        if "trace" in result.extras:
+            traces.append(result.extras["trace"])
     if algorithm.name == "greedy_cover":
         bound = theorem_4_1_ratio(k)
     else:
         bound = theorem_4_2_ratio(k, m)
     return RatioExperiment(
-        algorithm=algorithm.name, k=k, m=m, bound=bound, rows=tuple(rows)
+        algorithm=algorithm.name, k=k, m=m, bound=bound, rows=tuple(rows),
+        traces=tuple(traces),
     )
 
 
@@ -180,6 +209,8 @@ class SweepPoint:
     stars: int
     precision: float
     classes: int
+    #: run trace (``RunTrace.to_dict()`` form) when run with trace=True
+    trace: dict | None = None
 
 
 def k_sweep(
@@ -187,16 +218,22 @@ def k_sweep(
     ks: tuple[int, ...] = (2, 3, 4, 5, 6, 8),
     algorithm: Anonymizer | None = None,
     backend: str | None = None,
+    timeout: float | None = None,
+    trace: bool | None = None,
 ) -> list[SweepPoint]:
-    """Cost/utility across k — the E10 series on any table."""
+    """Cost/utility across k — the E10 series on any table.
+
+    ``backend`` / ``timeout`` / ``trace`` apply per call; a caller's
+    *algorithm* instance is never mutated.
+    """
     from repro.algorithms.center_cover import CenterCoverAnonymizer
 
     algorithm = algorithm if algorithm is not None else CenterCoverAnonymizer()
-    if backend is not None:
-        algorithm.backend = backend
     points = []
     for k in ks:
-        result = algorithm.anonymize(table, k)
+        result = algorithm.anonymize(
+            table, k, backend=backend, timeout=timeout, trace=trace
+        )
         report = metric_report(result.anonymized, k)
         points.append(
             SweepPoint(
@@ -204,6 +241,7 @@ def k_sweep(
                 stars=int(report["stars"]),
                 precision=float(report["precision"]),
                 classes=int(report["classes"]),
+                trace=result.extras.get("trace"),
             )
         )
     return points
@@ -214,8 +252,16 @@ def comparison(
     k: int,
     algorithms: dict[str, Callable[[], Anonymizer]] | None = None,
     backend: str | None = None,
+    timeout: float | None = None,
+    trace: bool | None = None,
+    traces_out: dict[str, dict] | None = None,
 ) -> dict[str, int]:
-    """Suppressed-cell counts per algorithm — one row of the E8 table."""
+    """Suppressed-cell counts per algorithm — one row of the E8 table.
+
+    ``backend`` / ``timeout`` / ``trace`` apply per call without
+    mutating the constructed anonymizers; pass a dict as *traces_out*
+    to collect each algorithm's run trace under its name.
+    """
     if algorithms is None:
         from repro.algorithms import (
             CenterCoverAnonymizer,
@@ -239,10 +285,12 @@ def comparison(
     costs = {}
     for name, factory in algorithms.items():
         algorithm = factory()
-        if backend is not None:
-            algorithm.backend = backend
-        result = algorithm.anonymize(table, k)
+        result = algorithm.anonymize(
+            table, k, backend=backend, timeout=timeout, trace=trace
+        )
         if not result.is_valid(table):
             raise AssertionError(f"{name} produced an invalid release")
         costs[name] = result.stars
+        if traces_out is not None and "trace" in result.extras:
+            traces_out[name] = result.extras["trace"]
     return costs

@@ -1,0 +1,400 @@
+"""Observability and robustness for anonymization runs.
+
+Two orthogonal concerns, one per-call context:
+
+* **Tracing** — a :class:`Run` collects structured events while an
+  :class:`~repro.algorithms.base.Anonymizer` works: named phase timers
+  (``cover``, ``reduce``, ``search``, ...), algorithm counters (rounds,
+  moves, nodes expanded), and the per-call deltas of the shared
+  :class:`~repro.core.backend.DistanceBackend` operation counters.  The
+  finished :class:`RunTrace` is attached to
+  ``AnonymizationResult.extras["trace"]`` as a plain JSON-serializable
+  dict.  Tracing is off by default (near-zero overhead: one timestamp
+  pair per call); switch it on per process with ``REPRO_TRACE=1``, per
+  anonymizer with ``trace=True``, or per call with
+  ``anonymize(..., trace=True)``.
+
+* **Deadlines** — a :class:`TimeBudget` carries a wall-clock allowance.
+  The iterative algorithms (local search, simulated annealing, branch
+  and bound) check it at loop granularity and degrade gracefully on
+  expiry: they stop searching and return the best valid k-anonymous
+  release found so far, with ``extras["deadline_hit"]`` set.  The exact
+  solvers, which have no feasible incumbent mid-flight, raise the typed
+  :class:`BudgetExceededError` instead.
+
+Both travel through the one :class:`Run` object the
+:class:`~repro.algorithms.base.Anonymizer` template method hands to
+every ``_anonymize`` implementation, so a budget works even with
+tracing off and vice versa.
+
+>>> budget = TimeBudget(None)      # unlimited
+>>> budget.expired()
+False
+>>> TimeBudget(0.0).expired()      # zero allowance: expired at first check
+True
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class BudgetExceededError(TimeoutError):
+    """A wall-clock budget expired and no feasible incumbent exists.
+
+    Raised by the exact solvers (subset DP, multiplicity-vector DP) when
+    their :class:`TimeBudget` runs out: unlike the metaheuristics they
+    hold no valid k-anonymous release mid-computation, so graceful
+    degradation is impossible and the caller must be told.
+    """
+
+
+class TimeBudget:
+    """A wall-clock allowance, checked at loop granularity.
+
+    :param seconds: allowance in seconds; ``None`` means unlimited.
+
+    The clock is *lazy*: it starts at the first check (or explicit
+    :meth:`start`), not at construction, so a budget created ahead of
+    time measures the work, not the setup.  The
+    :class:`~repro.algorithms.base.Anonymizer` template starts it on
+    entry to ``anonymize``.  Starting is idempotent, which lets a
+    wrapper algorithm share one deadline with the algorithms it calls;
+    :meth:`reset` re-arms a budget for reuse across calls.
+
+    >>> TimeBudget(10.0).expired()
+    False
+    >>> TimeBudget(0).remaining()
+    0.0
+    """
+
+    __slots__ = ("seconds", "_deadline")
+
+    def __init__(self, seconds: float | None = None):
+        if seconds is not None and seconds < 0:
+            raise ValueError("a time budget cannot be negative")
+        self.seconds = None if seconds is None else float(seconds)
+        self._deadline: float | None = None
+
+    @classmethod
+    def unlimited(cls) -> "TimeBudget":
+        """A budget that never expires."""
+        return cls(None)
+
+    @property
+    def limited(self) -> bool:
+        """True iff this budget can ever expire."""
+        return self.seconds is not None
+
+    def start(self) -> "TimeBudget":
+        """Arm the clock now (idempotent: a running clock is kept)."""
+        if self.seconds is not None and self._deadline is None:
+            self._deadline = time.monotonic() + self.seconds
+        return self
+
+    def reset(self) -> "TimeBudget":
+        """Disarm the clock so the next check restarts the allowance."""
+        self._deadline = None
+        return self
+
+    def expired(self) -> bool:
+        """True iff the allowance is spent.  O(1); safe in hot loops."""
+        if self.seconds is None:
+            return False
+        if self._deadline is None:
+            self.start()
+        return time.monotonic() >= self._deadline
+
+    def remaining(self) -> float | None:
+        """Seconds left (never negative), or ``None`` when unlimited."""
+        if self.seconds is None:
+            return None
+        if self._deadline is None:
+            self.start()
+        return max(0.0, self._deadline - time.monotonic())
+
+    def check(self, what: str = "computation") -> None:
+        """Raise :class:`BudgetExceededError` if the allowance is spent."""
+        if self.expired():
+            raise BudgetExceededError(
+                f"{what} exceeded its {self.seconds:g}s time budget"
+            )
+
+    def __repr__(self) -> str:
+        if self.seconds is None:
+            return "TimeBudget(unlimited)"
+        return f"TimeBudget({self.seconds:g}s)"
+
+
+def as_budget(value: "TimeBudget | float | int | None") -> TimeBudget:
+    """Coerce ``None`` / seconds / an existing budget into a TimeBudget.
+
+    Numbers yield a *fresh* budget (no state shared between calls);
+    an existing :class:`TimeBudget` instance is passed through so its
+    deadline can be shared deliberately.
+    """
+    if value is None:
+        return TimeBudget(None)
+    if isinstance(value, TimeBudget):
+        return value
+    return TimeBudget(float(value))
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def tracing_default() -> bool:
+    """Process-wide tracing default: the ``REPRO_TRACE`` env variable."""
+    return os.environ.get("REPRO_TRACE", "").strip().lower() in _TRUTHY
+
+
+@dataclass
+class RunTrace:
+    """The serializable record of one anonymization run.
+
+    Attached to ``AnonymizationResult.extras["trace"]`` via
+    :meth:`to_dict` (a plain dict, so it round-trips through
+    ``json.dumps``).
+    """
+
+    algorithm: str
+    k: int
+    n_rows: int
+    degree: int
+    backend: str
+    total_seconds: float
+    budget_seconds: float | None = None
+    deadline_hit: bool = False
+    #: phase timers: name -> {"seconds": float, "calls": int}
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: algorithm counters: rounds, moves, nodes expanded, ...
+    counters: dict[str, int] = field(default_factory=dict)
+    #: per-call deltas of DistanceBackend.counters (distance work done)
+    backend_counters: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain JSON-serializable dict (what lands in ``extras``)."""
+        return {
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "n_rows": self.n_rows,
+            "degree": self.degree,
+            "backend": self.backend,
+            "total_seconds": self.total_seconds,
+            "budget_seconds": self.budget_seconds,
+            "deadline_hit": self.deadline_hit,
+            "phases": {
+                name: dict(entry) for name, entry in self.phases.items()
+            },
+            "counters": dict(self.counters),
+            "backend_counters": dict(self.backend_counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunTrace":
+        """Rehydrate a trace from its :meth:`to_dict` form."""
+        return cls(**data)
+
+
+class _NullPhase:
+    """Shared no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _PhaseTimer:
+    """Accumulating phase timer (re-enterable per name)."""
+
+    __slots__ = ("_phases", "_name", "_t0")
+
+    def __init__(self, phases: dict, name: str):
+        self._phases = phases
+        self._name = name
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        elapsed = time.perf_counter() - self._t0
+        entry = self._phases.get(self._name)
+        if entry is None:
+            self._phases[self._name] = {"seconds": elapsed, "calls": 1}
+        else:
+            entry["seconds"] += elapsed
+            entry["calls"] += 1
+        return False
+
+
+class Run:
+    """Per-``anonymize``-call context: resolved backend, budget, tracing.
+
+    Created by the :class:`~repro.algorithms.base.Anonymizer` template
+    method and handed to every ``_anonymize`` implementation.  The
+    algorithm reads :attr:`backend` for metric work, polls
+    :attr:`budget` (``run.budget.expired()``) at loop granularity, and
+    reports what it did through :meth:`phase`, :meth:`count`, and
+    :meth:`mark_deadline_hit`.
+    """
+
+    __slots__ = (
+        "algorithm", "k", "backend", "budget", "enabled",
+        "_n_rows", "_degree", "_t0", "_baseline",
+        "_phases", "_counters", "_deadline_hit",
+    )
+
+    def __init__(
+        self,
+        algorithm: str,
+        k: int,
+        backend,
+        budget: TimeBudget,
+        enabled: bool,
+    ):
+        self.algorithm = algorithm
+        self.k = k
+        self.backend = backend
+        self.budget = budget
+        self.enabled = enabled
+        self._deadline_hit = False
+        self._phases: dict[str, dict[str, float]] = {}
+        self._counters: dict[str, int] = {}
+
+    @classmethod
+    def start(
+        cls,
+        algorithm: str,
+        k: int,
+        table,
+        backend,
+        budget: "TimeBudget | float | int | None" = None,
+        trace: bool | None = None,
+    ) -> "Run":
+        """Begin a run: arm the budget, snapshot the backend counters."""
+        run = cls(
+            algorithm=algorithm,
+            k=k,
+            backend=backend,
+            budget=as_budget(budget).start(),
+            enabled=tracing_default() if trace is None else bool(trace),
+        )
+        run._n_rows = table.n_rows
+        run._degree = table.degree
+        run._baseline = dict(backend.counters) if run.enabled else None
+        run._t0 = time.perf_counter()
+        return run
+
+    # -- what the algorithm reports ------------------------------------
+
+    def phase(self, name: str):
+        """Context manager timing one named phase (no-op when off)."""
+        if not self.enabled:
+            return _NULL_PHASE
+        return _PhaseTimer(self._phases, name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add *n* to a named counter (no-op when tracing is off)."""
+        if self.enabled:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def expired(self) -> bool:
+        """Shorthand for ``run.budget.expired()``."""
+        return self.budget.expired()
+
+    def mark_deadline_hit(self) -> None:
+        """Record that the budget cut this run short (always tracked)."""
+        self._deadline_hit = True
+
+    @property
+    def deadline_hit(self) -> bool:
+        return self._deadline_hit
+
+    # -- finishing -----------------------------------------------------
+
+    def build_trace(self) -> RunTrace:
+        """The trace so far (phases, counters, backend deltas)."""
+        baseline = self._baseline or {}
+        deltas = {
+            name: value - baseline.get(name, 0)
+            for name, value in self.backend.counters.items()
+        }
+        return RunTrace(
+            algorithm=self.algorithm,
+            k=self.k,
+            n_rows=self._n_rows,
+            degree=self._degree,
+            backend=self.backend.name,
+            total_seconds=time.perf_counter() - self._t0,
+            budget_seconds=self.budget.seconds,
+            deadline_hit=self._deadline_hit,
+            phases=self._phases,
+            counters=self._counters,
+            backend_counters=deltas,
+        )
+
+    def finish(self, result):
+        """Stamp deadline/trace information onto a finished result."""
+        if self._deadline_hit:
+            result.extras["deadline_hit"] = True
+        if self.enabled:
+            result.extras["trace"] = self.build_trace().to_dict()
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"Run({self.algorithm!r}, k={self.k}, "
+            f"backend={self.backend.name}, budget={self.budget!r}, "
+            f"tracing={'on' if self.enabled else 'off'})"
+        )
+
+
+def format_trace(trace: dict[str, Any]) -> str:
+    """Human-readable multi-line summary of a ``to_dict()``-form trace.
+
+    >>> print(format_trace({
+    ...     "algorithm": "center_cover", "k": 3, "n_rows": 10, "degree": 4,
+    ...     "backend": "python", "total_seconds": 0.0125,
+    ...     "budget_seconds": None, "deadline_hit": False,
+    ...     "phases": {"cover": {"seconds": 0.01, "calls": 1}},
+    ...     "counters": {}, "backend_counters": {"matrix_rows": 10},
+    ... }))
+    trace: center_cover k=3 on 10x4 [python] in 0.0125s
+      phase cover: 0.0100s (1 call)
+      backend matrix_rows: 10
+    """
+    lines = [
+        f"trace: {trace['algorithm']} k={trace['k']} on "
+        f"{trace['n_rows']}x{trace['degree']} [{trace['backend']}] "
+        f"in {trace['total_seconds']:.4f}s"
+    ]
+    if trace.get("budget_seconds") is not None:
+        hit = " (deadline hit)" if trace.get("deadline_hit") else ""
+        lines.append(f"  budget: {trace['budget_seconds']:g}s{hit}")
+    for name, entry in trace.get("phases", {}).items():
+        calls = int(entry["calls"])
+        plural = "call" if calls == 1 else "calls"
+        lines.append(
+            f"  phase {name}: {entry['seconds']:.4f}s ({calls} {plural})"
+        )
+    for name, value in trace.get("counters", {}).items():
+        lines.append(f"  {name}: {value}")
+    for name, value in trace.get("backend_counters", {}).items():
+        if value:
+            lines.append(f"  backend {name}: {value}")
+    return "\n".join(lines)

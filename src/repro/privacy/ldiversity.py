@@ -117,9 +117,11 @@ class LDiverseAnonymizer(Anonymizer):
         l-diverse).
     """
 
-    def __init__(self, l: int, inner: Anonymizer | None = None):  # noqa: E741
+    def __init__(self, l: int, inner: Anonymizer | None = None,  # noqa: E741
+                 backend=None, budget=None, trace=None):
         from repro.algorithms.center_cover import CenterCoverAnonymizer
 
+        super().__init__(backend=backend, budget=budget, trace=trace)
         if l < 1:
             raise ValueError("l must be a positive integer")
         self._l = l
@@ -131,9 +133,19 @@ class LDiverseAnonymizer(Anonymizer):
         table: Table,
         k: int,
         sensitive: Sequence[Hashable],
+        *,
+        backend=None,
+        timeout=None,
+        trace=None,
     ) -> AnonymizationResult:
         """k-anonymize *table* so that every class also carries >= l
-        distinct values of *sensitive*."""
+        distinct values of *sensitive*.
+
+        ``backend`` / ``timeout`` / ``trace`` are per-call overrides
+        forwarded to the inner anonymizer (falling back to this
+        instance's configuration), mirroring
+        :meth:`~repro.algorithms.base.Anonymizer.anonymize`.
+        """
         self._check_feasible(table, k)
         if len(sensitive) != table.n_rows:
             raise ValueError("one sensitive value per row required")
@@ -144,7 +156,12 @@ class LDiverseAnonymizer(Anonymizer):
                 f"only {len(set(sensitive))} distinct sensitive values; "
                 f"no {self._l}-diverse release exists"
             )
-        base = self._inner.anonymize(table, k)
+        base = self._inner.anonymize(
+            table, k,
+            backend=backend if backend is not None else self.backend,
+            timeout=timeout if timeout is not None else self.budget,
+            trace=trace if trace is not None else self.trace,
+        )
         if base.partition is None:
             raise ValueError(
                 f"{self._inner.name} is not partition-based; cannot repair"
@@ -193,7 +210,7 @@ class LDiverseAnonymizer(Anonymizer):
             },
         )
 
-    def anonymize(self, table: Table, k: int) -> AnonymizationResult:
+    def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         """Without a sensitive column, treat the *last* attribute as
         sensitive and anonymize the rest (a common CSV convention)."""
         if table.degree < 2:
@@ -202,4 +219,10 @@ class LDiverseAnonymizer(Anonymizer):
             )
         sensitive = table.column(table.degree - 1)
         identifiers = table.project(list(range(table.degree - 1)))
-        return self.anonymize_with_sensitive(identifiers, k, sensitive)
+        # run.backend is bound to the combined table; the inner anonymizer
+        # works on the projection and resolves its own, but shares the
+        # armed deadline and tracing decision.
+        return self.anonymize_with_sensitive(
+            identifiers, k, sensitive,
+            timeout=run.budget, trace=run.enabled,
+        )

@@ -1,0 +1,153 @@
+"""Deadline behavior: tiny budgets degrade gracefully, never invalidly.
+
+The acceptance contract: with a ~50 ms budget on a 200-row table, the
+metaheuristics and the branch-and-bound solver each return quickly, the
+release still passes ``result.is_valid(table)``, the cost is never
+worse than the seed algorithm's, and ``extras["deadline_hit"]`` is set.
+The exact solvers, which hold no feasible incumbent mid-flight, raise
+:class:`~repro.instrument.BudgetExceededError` instead.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BranchBoundAnonymizer,
+    CenterCoverAnonymizer,
+    ExactAnonymizer,
+    LocalSearchAnonymizer,
+    SimulatedAnnealingAnonymizer,
+)
+from repro.algorithms.exact import optimal_anonymization
+from repro.algorithms.local_search import improve_partition
+from repro.core.table import Table
+from repro.instrument import BudgetExceededError, TimeBudget
+
+from .conftest import random_table
+
+
+@pytest.fixture(scope="module")
+def big_table() -> Table:
+    rng = np.random.default_rng(7)
+    return random_table(rng, 200, 6, 4)
+
+
+@pytest.fixture(scope="module")
+def seed_stars(big_table) -> int:
+    # warm the shared backend's distance matrix so the timed runs below
+    # measure search work, not one-off cache construction
+    return CenterCoverAnonymizer().anonymize(big_table, 5).stars
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: LocalSearchAnonymizer(max_rounds=10_000),
+        lambda: SimulatedAnnealingAnonymizer(steps=10_000_000, seed=3),
+    ],
+    ids=["local_search", "annealing"],
+)
+def test_metaheuristics_degrade_gracefully(factory, big_table, seed_stars):
+    algorithm = factory()
+    t0 = time.monotonic()
+    result = algorithm.anonymize(big_table, 5, timeout=TimeBudget(0.05))
+    elapsed = time.monotonic() - t0
+    assert elapsed < 0.5
+    assert result.is_valid(big_table)
+    assert result.extras["deadline_hit"] is True
+    assert result.stars <= seed_stars
+
+
+def test_branch_bound_returns_incumbent_on_deadline(big_table, seed_stars):
+    t0 = time.monotonic()
+    result = BranchBoundAnonymizer().anonymize(
+        big_table, 5, timeout=TimeBudget(0.05)
+    )
+    elapsed = time.monotonic() - t0
+    assert elapsed < 0.5
+    assert result.is_valid(big_table)
+    assert result.extras["deadline_hit"] is True
+    assert result.extras["proven_optimal"] is False
+    assert "incumbent" in result.extras and "opt" not in result.extras
+    assert result.stars <= seed_stars
+
+
+def test_branch_bound_without_deadline_still_proves(rng):
+    table = random_table(rng, 9, 3, 2)
+    result = BranchBoundAnonymizer().anonymize(table, 3)
+    assert result.extras["proven_optimal"] is True
+    assert result.stars == result.extras["opt"]
+    assert "deadline_hit" not in result.extras
+
+
+def test_exact_solver_raises_on_tiny_budget(rng):
+    table = random_table(rng, 14, 4, 3)
+    with pytest.raises(BudgetExceededError):
+        ExactAnonymizer().anonymize(table, 3, timeout=1e-9)
+    # the function-level API raises too
+    with pytest.raises(BudgetExceededError):
+        optimal_anonymization(table, 3, budget=1e-9)
+
+
+def test_exact_solver_unaffected_by_generous_budget(rng):
+    table = random_table(rng, 8, 3, 2)
+    free = ExactAnonymizer().anonymize(table, 2)
+    timed = ExactAnonymizer().anonymize(table, 2, timeout=60.0)
+    assert timed.stars == free.stars == timed.extras["opt"]
+    assert "deadline_hit" not in timed.extras
+
+
+def test_small_m_exact_raises_on_tiny_budget():
+    from repro.algorithms import SmallMExactAnonymizer
+
+    table = Table([(i % 3, (i * 7) % 3, i % 2) for i in range(30)])
+    with pytest.raises(BudgetExceededError):
+        SmallMExactAnonymizer().anonymize(table, 3, timeout=1e-9)
+    # and succeeds untimed on the same instance
+    result = SmallMExactAnonymizer().anonymize(table, 3)
+    assert result.is_valid(table)
+
+
+def test_improve_partition_budget_stops_but_returns_valid(big_table):
+    base = CenterCoverAnonymizer().anonymize(big_table, 5)
+    improved, rounds = improve_partition(
+        big_table, base.partition, max_rounds=10_000, budget=0.02
+    )
+    assert improved.n_rows == big_table.n_rows
+    assert rounds >= 1
+    cost = sum(
+        len(g) for g in improved.groups
+    )  # structural sanity: all rows grouped
+    assert cost == big_table.n_rows
+
+
+def test_no_deadline_key_without_timeout(big_table):
+    result = LocalSearchAnonymizer(max_rounds=2).anonymize(big_table, 5)
+    assert "deadline_hit" not in result.extras
+
+
+def test_budget_is_not_reused_across_calls(rng):
+    """A numeric budget arms a fresh clock per call (no state leak)."""
+    table = random_table(rng, 30, 4, 3)
+    algorithm = LocalSearchAnonymizer(max_rounds=5, budget=0.5)
+    first = algorithm.anonymize(table, 2)
+    assert "deadline_hit" not in first.extras
+    # were the armed clock shared, it would now be spent
+    time.sleep(0.55)
+    second = algorithm.anonymize(table, 2)
+    assert "deadline_hit" not in second.extras
+
+
+def test_shared_budget_instance_shares_deadline(big_table):
+    """Passing a TimeBudget instance deliberately shares one deadline."""
+    shared = TimeBudget(0.05).start()
+    time.sleep(0.06)
+    result = SimulatedAnnealingAnonymizer(steps=10_000, seed=0).anonymize(
+        big_table, 5, timeout=shared
+    )
+    assert result.extras["deadline_hit"] is True
+    assert result.is_valid(big_table)

@@ -36,6 +36,26 @@ class TestRatioExperiment:
         b = ratio_experiment(CenterCoverAnonymizer(), k=2, n=7, trials=4)
         assert a.rows == b.rows
 
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError, match="trials"):
+            ratio_experiment(CenterCoverAnonymizer(), k=2, trials=0)
+
+    def test_empty_rows_raise_clearly(self):
+        from repro.experiments import RatioExperiment
+
+        empty = RatioExperiment(algorithm="x", k=2, m=3, bound=5.0)
+        with pytest.raises(ValueError, match="no rows"):
+            empty.mean_ratio
+        with pytest.raises(ValueError, match="no rows"):
+            empty.max_ratio
+
+    def test_trace_collection(self):
+        exp = ratio_experiment(
+            CenterCoverAnonymizer(), k=2, n=6, trials=2, trace=True
+        )
+        assert len(exp.traces) == 2
+        assert all(t["algorithm"] == "center_cover" for t in exp.traces)
+
 
 class TestThresholdExperiment:
     @pytest.mark.parametrize("kind", ["entries", "attributes"])
@@ -73,3 +93,42 @@ class TestSweepAndComparison:
             table, 2, {"only_center": CenterCoverAnonymizer}
         )
         assert list(costs) == ["only_center"]
+
+    def test_comparison_collects_traces(self):
+        table = uniform_table(12, 3, alphabet_size=3, seed=2)
+        traces: dict = {}
+        comparison(
+            table, 2, {"only_center": CenterCoverAnonymizer},
+            trace=True, traces_out=traces,
+        )
+        assert set(traces) == {"only_center"}
+        assert traces["only_center"]["n_rows"] == 12
+
+
+class TestRunnersNeverMutateAlgorithms:
+    """Regression: ``backend=`` used to be written onto the caller's
+    anonymizer instance, silently reconfiguring it for later calls."""
+
+    def test_ratio_experiment_leaves_backend_alone(self):
+        algorithm = CenterCoverAnonymizer()
+        assert algorithm.backend is None
+        ratio_experiment(algorithm, k=2, n=6, trials=2, backend="python")
+        assert algorithm.backend is None
+
+    def test_k_sweep_leaves_backend_alone(self):
+        table = uniform_table(20, 3, alphabet_size=3, seed=4)
+        algorithm = CenterCoverAnonymizer(backend="python")
+        k_sweep(table, ks=(2, 3), algorithm=algorithm, backend="numpy")
+        assert algorithm.backend == "python"
+
+    def test_comparison_leaves_factories_products_alone(self):
+        table = uniform_table(12, 3, alphabet_size=3, seed=5)
+        built = []
+
+        def factory():
+            algorithm = CenterCoverAnonymizer()
+            built.append(algorithm)
+            return algorithm
+
+        comparison(table, 2, {"center": factory}, backend="python")
+        assert built and all(a.backend is None for a in built)

@@ -1,13 +1,17 @@
-"""Tests for the vectorized distance matrix fast path."""
+"""Tests for the vectorized distance matrix fast path.
 
+These exercise the backend layer's cached ``distance_matrix()`` —
+the supported spelling — plus one test pinning the deprecation
+contract of the old ``fast_pairwise_distance_matrix`` shim.
+"""
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.alphabet import STAR
-from repro.core.distance import (
-    fast_pairwise_distance_matrix,
-    pairwise_distance_matrix,
-)
+from repro.core.backend import get_backend
+from repro.core.distance import pairwise_distance_matrix
 from repro.core.table import Table
 
 from .conftest import random_table
@@ -22,21 +26,21 @@ def test_fast_matches_reference(seed):
     n = int(rng.integers(0, 12))
     m = int(rng.integers(1, 5))
     table = random_table(rng, n, m, 4)
-    assert fast_pairwise_distance_matrix(table) == pairwise_distance_matrix(
+    assert get_backend(table).distance_matrix() == pairwise_distance_matrix(
         table
     )
 
 
 def test_starred_tables_fall_back_correctly():
     table = Table([(STAR, 1), (2, 1), (STAR, 3)])
-    assert fast_pairwise_distance_matrix(table) == pairwise_distance_matrix(
+    assert get_backend(table).distance_matrix() == pairwise_distance_matrix(
         table
     )
 
 
 def test_mixed_type_values():
     table = Table([("a", 1), ("b", 1), ("a", 2)])
-    fast = fast_pairwise_distance_matrix(table)
+    fast = get_backend(table).distance_matrix()
     assert fast == [[0, 1, 1], [1, 0, 2], [2, 2, 0]] or fast == (
         pairwise_distance_matrix(table)
     )
@@ -44,13 +48,22 @@ def test_mixed_type_values():
 
 
 def test_degenerate_shapes():
-    assert fast_pairwise_distance_matrix(Table([])) == []
-    assert fast_pairwise_distance_matrix(Table([(), ()])) == [[0, 0], [0, 0]]
-    assert fast_pairwise_distance_matrix(Table([(1,)])) == [[0]]
+    assert get_backend(Table([])).distance_matrix() == []
+    assert get_backend(Table([(), ()])).distance_matrix() == [[0, 0], [0, 0]]
+    assert get_backend(Table([(1,)])).distance_matrix() == [[0]]
 
 
 def test_returns_plain_python_ints():
     table = Table([(0,), (1,)])
-    matrix = fast_pairwise_distance_matrix(table)
+    matrix = get_backend(table).distance_matrix()
     assert type(matrix) is list
     assert type(matrix[0][1]) is int
+
+
+def test_deprecated_shim_warns_and_still_works():
+    from repro.core.distance import fast_pairwise_distance_matrix
+
+    table = Table([(0, 0), (0, 1)])
+    with pytest.deprecated_call():
+        matrix = fast_pairwise_distance_matrix(table)
+    assert matrix == pairwise_distance_matrix(table)
