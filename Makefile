@@ -1,7 +1,11 @@
 # Developer shortcuts.  The offline CI recipe is exactly:
 #   pip install -e . && pytest tests/ && pytest benchmarks/ --benchmark-only
 
-.PHONY: install test bench examples all
+.PHONY: install test bench examples sweep all
+
+# worker processes for `make sweep` (kanon experiment --jobs)
+JOBS ?= 2
+SWEEP_OUT ?= runs/ratio-center
 
 install:
 	pip install -e .
@@ -11,6 +15,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# resumable ratio sweep on JOBS worker processes; rerun to continue an
+# interrupted run (artifacts land in SWEEP_OUT)
+sweep:
+	python -m repro.cli experiment ratio-center --trials 20 \
+		--jobs $(JOBS) --out $(SWEEP_OUT) \
+		$(if $(wildcard $(SWEEP_OUT)/trials.jsonl),--resume,)
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done

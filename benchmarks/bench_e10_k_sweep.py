@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms.center_cover import CenterCoverAnonymizer
+from repro import registry
 from repro.core.metrics import metric_report
 from repro.workloads import census_table, quasi_identifiers
 
@@ -26,7 +26,7 @@ KS = [2, 3, 4, 5, 6, 8]
 @pytest.mark.parametrize("k", KS)
 def test_e10_cost_at_k(benchmark, k):
     table = quasi_identifiers(census_table(150, seed=0))
-    algorithm = CenterCoverAnonymizer()
+    algorithm = registry.create("center_cover")
     result = benchmark.pedantic(algorithm.anonymize, args=(table, k),
                                 rounds=1, iterations=1)
     assert result.is_valid(table)

@@ -12,13 +12,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms import (
-    CenterCoverAnonymizer,
-    GreedyCoverAnonymizer,
-    LocalSearchAnonymizer,
-    PairMatchingAnonymizer,
-    SimulatedAnnealingAnonymizer,
-)
+from repro import registry
+from repro.algorithms import LocalSearchAnonymizer
 from repro.algorithms.exact import optimal_anonymization
 from repro.core.table import Table
 
@@ -32,10 +27,12 @@ def _random_table(seed: int, n: int, m: int, sigma: int) -> Table:
 
 
 CONTENDERS = {
-    "center": lambda: CenterCoverAnonymizer(),
-    "greedy": lambda: GreedyCoverAnonymizer(),
-    "center+local": lambda: LocalSearchAnonymizer(CenterCoverAnonymizer()),
-    "center+anneal": lambda: SimulatedAnnealingAnonymizer(
+    "center": lambda: registry.create("center_cover"),
+    "greedy": lambda: registry.create("greedy_cover"),
+    "center+local": lambda: LocalSearchAnonymizer(
+        registry.create("center_cover")
+    ),
+    "center+anneal": lambda: registry.get("annealing").cls(
         steps=1500, seed=0
     ),
 }
@@ -86,7 +83,10 @@ def test_e13_pair_matching_polynomial_k2(benchmark, report):
     tables = [_random_table(100 + seed, 10, 4, 3) for seed in range(10)]
 
     def run():
-        return [PairMatchingAnonymizer().anonymize(t, 2).stars for t in tables]
+        return [
+            registry.create("pair_matching").anonymize(t, 2).stars
+            for t in tables
+        ]
 
     costs = benchmark.pedantic(run, rounds=1, iterations=1)
     exact_hits = 0

@@ -1,0 +1,98 @@
+"""E18 — the parallel experiment engine: speedup and bit-exactness.
+
+The trial executor fans independent trials out over worker processes
+(``jobs=``) while keeping results bit-identical to a serial run (per-
+trial seeds are derived from ``SeedSequence(base_seed, spawn_key=(t,))``
+— scheduling order can't leak into the data).  This experiment measures
+the wall-clock win on the E3/E10-style workloads and asserts the parity
+contract under timing pressure.
+
+The speedup gate needs real hardware parallelism and is skipped on
+single-core runners; the parity checks run everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import registry
+from repro.experiments import comparison, k_sweep, ratio_experiment
+from repro.workloads import census_table, quasi_identifiers
+
+from .conftest import fmt, quick_mode
+
+#: exact ground truth per trial makes each trial chunky enough that the
+#: pool's spawn overhead amortizes away
+RATIO_KWARGS = (
+    dict(k=2, n=9, m=4, sigma=3, trials=4)
+    if quick_mode()
+    else dict(k=2, n=11, m=4, sigma=3, trials=8)
+)
+
+
+def _timed(jobs: int):
+    algorithm = registry.create("center_cover")
+    started = time.perf_counter()
+    exp = ratio_experiment(algorithm, jobs=jobs, **RATIO_KWARGS)
+    return exp, time.perf_counter() - started
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="speedup needs >= 2 CPU cores",
+)
+def test_e18_jobs2_speedup(benchmark, report):
+    """jobs=2 must beat jobs=1 by >= 1.3x on a two-core (or better) box
+    while returning the exact same experiment."""
+    serial, serial_seconds = _timed(jobs=1)
+
+    def parallel_run():
+        return _timed(jobs=2)
+
+    parallel, parallel_seconds = benchmark.pedantic(
+        parallel_run, rounds=1, iterations=1
+    )
+    assert parallel == serial  # parity before performance
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info.update(
+        serial_seconds=serial_seconds,
+        parallel_seconds=parallel_seconds,
+        speedup=speedup,
+        cores=os.cpu_count(),
+    )
+    report.line(
+        f"E18 ratio sweep: jobs=1 {fmt(serial_seconds, 2)}s, "
+        f"jobs=2 {fmt(parallel_seconds, 2)}s -> {fmt(speedup, 2)}x "
+        f"on {os.cpu_count()} cores"
+    )
+    assert speedup >= 1.3
+
+
+def test_e18_parallel_parity(benchmark, report):
+    """The parity contract on every runner shape, timed under jobs=2.
+
+    Runs on any core count — correctness must not depend on the pool
+    actually speeding anything up.
+    """
+    table = quasi_identifiers(census_table(60 if quick_mode() else 120,
+                                           seed=0))
+    serial_sweep = k_sweep(table, ks=(2, 4, 6), jobs=1)
+    serial_costs = comparison(table, 3, jobs=1)
+
+    def parallel_run():
+        return k_sweep(table, ks=(2, 4, 6), jobs=2), comparison(
+            table, 3, jobs=2
+        )
+
+    parallel_sweep, parallel_costs = benchmark.pedantic(
+        parallel_run, rounds=1, iterations=1
+    )
+    assert parallel_sweep == serial_sweep
+    assert parallel_costs == serial_costs
+    report.line(
+        f"E18 parity: k_sweep and comparison bit-identical at jobs=2 "
+        f"(n={table.n_rows})"
+    )

@@ -11,10 +11,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import registry
 from repro.algorithms.exact import optimal_anonymization
-from repro.algorithms.greedy_cover import GreedyCoverAnonymizer
 from repro.core.table import Table
-from repro.theory import theorem_4_1_ratio
 
 from .conftest import fmt
 
@@ -29,7 +28,7 @@ def _random_table(seed: int, n: int, m: int, sigma: int) -> Table:
 def test_e3_ratio_vs_bound(benchmark, report, k):
     """Measured approximation ratios over 20 random instances."""
     tables = [_random_table(seed, 9, 4, 3) for seed in range(20)]
-    algorithm = GreedyCoverAnonymizer()
+    algorithm = registry.create("greedy_cover")
 
     def solve_all():
         return [algorithm.anonymize(t, k).stars for t in tables]
@@ -42,7 +41,7 @@ def test_e3_ratio_vs_bound(benchmark, report, k):
         ratio = 1.0 if opt == cost == 0 else cost / opt
         ratios.append(ratio)
         rows.append([seed, opt, cost, fmt(ratio, 2)])
-    bound = theorem_4_1_ratio(k)
+    bound = registry.proven_bound(algorithm, k, 4)
     assert all(r <= bound for r in ratios)
     benchmark.extra_info.update(
         k=k, bound=bound, max_ratio=max(ratios),
@@ -68,7 +67,7 @@ def test_e3_runtime_exponential_in_k(benchmark, k):
     orders of magnitude slower than k=2 at the same n.
     """
     table = _random_table(123, 12, 4, 3)
-    algorithm = GreedyCoverAnonymizer()
+    algorithm = registry.create("greedy_cover")
     result = benchmark(algorithm.anonymize, table, k)
     assert result.is_valid(table)
     benchmark.extra_info.update(k=k, n=table.n_rows)
@@ -78,7 +77,7 @@ def test_e3_greedy_vs_exact_on_planted(benchmark, report):
     """On planted instances (known OPT = 0) greedy must find cost 0."""
     from repro.workloads import planted_groups_table
 
-    algorithm = GreedyCoverAnonymizer()
+    algorithm = registry.create("greedy_cover")
     tables = [
         planted_groups_table(3, 3, 4, noise=0.0, seed=s) for s in range(5)
     ]

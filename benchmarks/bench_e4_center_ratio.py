@@ -13,10 +13,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms.center_cover import CenterCoverAnonymizer
+from repro import registry
 from repro.algorithms.exact import optimal_anonymization
 from repro.core.table import Table
-from repro.theory import theorem_4_2_ratio
 from repro.workloads import uniform_table
 
 from .conftest import fmt
@@ -31,7 +30,7 @@ def _random_table(seed: int, n: int, m: int, sigma: int) -> Table:
 @pytest.mark.parametrize("k,m", [(2, 3), (3, 3), (3, 6)])
 def test_e4_ratio_vs_bound(benchmark, report, k, m):
     tables = [_random_table(seed, 9, m, 3) for seed in range(20)]
-    algorithm = CenterCoverAnonymizer()
+    algorithm = registry.create("center_cover")
 
     def solve_all():
         return [algorithm.anonymize(t, k).stars for t in tables]
@@ -44,7 +43,7 @@ def test_e4_ratio_vs_bound(benchmark, report, k, m):
         ratio = 1.0 if opt == cost == 0 else cost / opt
         ratios.append(ratio)
         rows.append([seed, opt, cost, fmt(ratio, 2)])
-    bound = theorem_4_2_ratio(k, m)
+    bound = registry.proven_bound(algorithm, k, m)
     assert all(r <= bound for r in ratios)
     benchmark.extra_info.update(k=k, m=m, bound=bound, max_ratio=max(ratios))
     report.table(
@@ -63,7 +62,7 @@ def test_e4_ratio_vs_bound(benchmark, report, k, m):
 def test_e4_diameter_modes(benchmark, report, mode):
     """Cost comparison of the Lemma 4.2 surrogate vs true diameters."""
     table = uniform_table(60, 6, alphabet_size=4, seed=0)
-    algorithm = CenterCoverAnonymizer(diameter_mode=mode)
+    algorithm = registry.get("center_cover").cls(diameter_mode=mode)
     result = benchmark(algorithm.anonymize, table, 3)
     assert result.is_valid(table)
     benchmark.extra_info.update(mode=mode, stars=result.stars)
@@ -73,7 +72,7 @@ def test_e4_diameter_modes(benchmark, report, mode):
 def test_e4_beyond_exact_reach(benchmark, report):
     """n = 400: hopeless for the exact solvers, routine for Theorem 4.2."""
     table = uniform_table(400, 8, alphabet_size=4, seed=1)
-    algorithm = CenterCoverAnonymizer()
+    algorithm = registry.create("center_cover")
     result = benchmark.pedantic(algorithm.anonymize, args=(table, 5),
                                 rounds=1, iterations=1)
     assert result.is_valid(table)

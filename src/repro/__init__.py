@@ -23,6 +23,7 @@ Hardness reductions (Section 3)::
     from repro.hardness import AttributeSuppressionReduction
 """
 
+from repro import registry
 from repro.algorithms import (
     AnonymizationResult,
     Anonymizer,
@@ -99,6 +100,7 @@ __all__ = [
     "is_k_anonymous",
     "optimal_anonymization",
     "optimal_attribute_suppression",
+    "registry",
     "suppressed_cell_count",
     "theorem_4_1_ratio",
     "theorem_4_2_ratio",

@@ -44,13 +44,17 @@ from repro.algorithms.forest import MSTForestAnonymizer
 from repro.algorithms.greedy_cover import GreedyCoverAnonymizer, build_greedy_cover
 from repro.algorithms.kmember import KMemberAnonymizer
 from repro.algorithms.annealing import SimulatedAnnealingAnonymizer
+from repro.algorithms.incremental import (
+    IncrementalAnonymizer,
+    IncrementalBatchAnonymizer,
+)
 from repro.algorithms.local_search import LocalSearchAnonymizer, improve_partition
 from repro.algorithms.pair_matching import (
     PairMatchingAnonymizer,
     minimum_weight_pairing,
 )
 from repro.algorithms.mondrian import MondrianAnonymizer
-from repro.algorithms.reduce_cover import reduce_cover
+from repro.algorithms.reduce_cover import ReduceCoverAnonymizer, reduce_cover
 from repro.algorithms.small_m import SmallMExactAnonymizer
 from repro.algorithms.topdown import TopDownGreedyAnonymizer
 
@@ -63,6 +67,8 @@ __all__ = [
     "ExactAnonymizer",
     "GreedyChainAnonymizer",
     "GreedyCoverAnonymizer",
+    "IncrementalAnonymizer",
+    "IncrementalBatchAnonymizer",
     "InfeasibleAnonymizationError",
     "KMemberAnonymizer",
     "LocalSearchAnonymizer",
@@ -70,6 +76,7 @@ __all__ = [
     "MondrianAnonymizer",
     "PairMatchingAnonymizer",
     "RandomPartitionAnonymizer",
+    "ReduceCoverAnonymizer",
     "SimulatedAnnealingAnonymizer",
     "SmallMExactAnonymizer",
     "SortedChunkAnonymizer",

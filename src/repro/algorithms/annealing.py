@@ -25,8 +25,16 @@ import numpy as np
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
 
 
+@register(
+    "annealing",
+    kind="heuristic",
+    anytime=True,
+    aliases=("anneal",),
+    summary="seeded simulated annealing over an inner partition",
+)
 class SimulatedAnnealingAnonymizer(Anonymizer):
     """Anneal a partition produced by an inner anonymizer.
 

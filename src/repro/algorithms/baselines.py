@@ -16,6 +16,7 @@ from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.partition import Partition
 from repro.core.suppressor import Suppressor
 from repro.core.table import Table
+from repro.registry import register
 
 
 def chunk_indices(indices: Sequence[int], k: int) -> list[frozenset[int]]:
@@ -42,6 +43,12 @@ def chunk_indices(indices: Sequence[int], k: int) -> list[frozenset[int]]:
     return [frozenset(g) for g in groups]
 
 
+@register(
+    "random_partition",
+    kind="baseline",
+    aliases=("random",),
+    summary="shuffle + chunk; the geometry-blind baseline",
+)
 class RandomPartitionAnonymizer(Anonymizer):
     """Shuffle the rows, then chunk — the geometry-blind baseline."""
 
@@ -61,6 +68,12 @@ class RandomPartitionAnonymizer(Anonymizer):
         return self._result_from_partition(table, k, partition, run=run)
 
 
+@register(
+    "sorted_chunk",
+    kind="baseline",
+    aliases=("sorted",),
+    summary="lexicographic sort + chunk; cheap locality baseline",
+)
 class SortedChunkAnonymizer(Anonymizer):
     """Sort rows lexicographically, then chunk consecutive runs.
 
@@ -83,6 +96,11 @@ class SortedChunkAnonymizer(Anonymizer):
         return self._result_from_partition(table, k, partition, run=run)
 
 
+@register(
+    "suppress_everything",
+    kind="baseline",
+    summary="star every cell; the n*m sanity ceiling",
+)
 class SuppressEverythingAnonymizer(Anonymizer):
     """Star every cell: always k-anonymous (for n >= k), cost ``n * m``.
 

@@ -31,12 +31,22 @@ from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.algorithms.center_cover import CenterCoverAnonymizer
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
+from repro.theory import exact_bound
 
 
 class _OutOfTime(Exception):
     """Internal unwind signal: the budget expired mid-search."""
 
 
+@register(
+    "branch_bound",
+    kind="exact",
+    anytime=True,
+    bound=exact_bound,
+    bound_label="1 — provably optimal (anytime under a budget)",
+    summary="Lemma 4.1-pruned exact DFS; returns incumbent on deadline",
+)
 class BranchBoundAnonymizer(Anonymizer):
     """Exact solver; practical up to roughly n = 18 with small k.
 

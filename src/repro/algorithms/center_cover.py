@@ -33,7 +33,8 @@ from repro.algorithms.reduce_cover import reduce_and_shrink
 from repro.core.backend import get_backend
 from repro.core.partition import Cover
 from repro.core.table import Table
-
+from repro.registry import register
+from repro.theory import theorem_4_2_bound
 
 
 def build_ball_cover(
@@ -126,6 +127,14 @@ def build_ball_cover(
     return Cover(chosen, n, k, k_max=k_max)
 
 
+@register(
+    "center_cover",
+    kind="approx",
+    bound=theorem_4_2_bound,
+    bound_label="6k(1+ln m) — Theorem 4.2",
+    aliases=("center",),
+    summary="greedy ball cover + Reduce; strongly polynomial workhorse",
+)
 class CenterCoverAnonymizer(Anonymizer):
     """The full Theorem 4.2 pipeline: ball Cover -> Reduce -> suppress.
 

@@ -18,6 +18,7 @@ from repro.algorithms.baselines import chunk_indices
 from repro.core.backend import get_backend
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
 
 
 def nearest_neighbour_order(table: Table, backend=None) -> list[int]:
@@ -42,6 +43,12 @@ def nearest_neighbour_order(table: Table, backend=None) -> list[int]:
     return order
 
 
+@register(
+    "greedy_chain",
+    kind="heuristic",
+    aliases=("chain",),
+    summary="nearest-neighbour tour chunked into consecutive groups",
+)
 class GreedyChainAnonymizer(Anonymizer):
     """Nearest-neighbour tour + consecutive chunking.
 

@@ -19,6 +19,7 @@ from collections import Counter
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.suppressor import Suppressor
 from repro.core.table import Table
+from repro.registry import register
 
 
 def greedy_attribute_suppression(table: Table, k: int) -> frozenset[int]:
@@ -46,6 +47,11 @@ def greedy_attribute_suppression(table: Table, k: int) -> frozenset[int]:
         suppressed.add(victim)
 
 
+@register(
+    "datafly",
+    kind="heuristic",
+    summary="whole-column suppression plus outlier-row removal",
+)
 class DataflyAnonymizer(Anonymizer):
     """Datafly restricted to suppression, with outlier-row suppression.
 

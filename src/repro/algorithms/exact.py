@@ -22,6 +22,8 @@ from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.distance import disagreeing_coordinates
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
+from repro.theory import exact_bound
 
 _INF = float("inf")
 
@@ -112,6 +114,14 @@ def brute_force_optimal(table: Table, k: int) -> int:
     return int(best)
 
 
+@register(
+    "exact_dp",
+    kind="exact",
+    bound=exact_bound,
+    bound_label="1 — provably optimal",
+    aliases=("exact", "partition_dp"),
+    summary="subset-DP exact optimum (the partition-DP engine); n <= ~16",
+)
 class ExactAnonymizer(Anonymizer):
     """Anonymizer facade over :func:`optimal_anonymization`.
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.partition import Partition, split_into_small_groups
 from repro.core.table import Table
+from repro.registry import register
 
 
 def _minimum_spanning_tree(dist: list[list[int]]) -> list[list[int]]:
@@ -110,6 +111,12 @@ def _decompose(adjacency: list[list[int]], k: int) -> list[list[int]]:
     return components
 
 
+@register(
+    "mst_forest",
+    kind="heuristic",
+    aliases=("forest",),
+    summary="minimum-spanning-forest decomposition into [k, 2k-1] groups",
+)
 class MSTForestAnonymizer(Anonymizer):
     """MST decomposition into [k, 2k-1] groups, then suppression.
 

@@ -24,6 +24,8 @@ from repro.algorithms.reduce_cover import reduce_and_shrink
 from repro.core.backend import get_backend
 from repro.core.partition import Cover
 from repro.core.table import Table
+from repro.registry import register
+from repro.theory import theorem_4_1_bound
 
 
 def build_greedy_cover(
@@ -91,6 +93,14 @@ def build_greedy_cover(
     return cover
 
 
+@register(
+    "greedy_cover",
+    kind="approx",
+    bound=theorem_4_1_bound,
+    bound_label="3k(1+ln 2k) — Theorem 4.1",
+    aliases=("greedy",),
+    summary="greedy cover over all [k, 2k-1]-subsets; exponential in k",
+)
 class GreedyCoverAnonymizer(Anonymizer):
     """The full Theorem 4.1 pipeline: Cover -> Reduce -> suppress.
 

@@ -16,8 +16,14 @@ from __future__ import annotations
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
 
 
+@register(
+    "kmember",
+    kind="heuristic",
+    summary="greedy k-member clustering (furthest-first seeding)",
+)
 class KMemberAnonymizer(Anonymizer):
     """Greedy k-member clustering.
 

@@ -31,6 +31,7 @@ from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.backend import get_backend
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
 
 
 def improve_partition(
@@ -129,6 +130,13 @@ def improve_partition(
     )
 
 
+@register(
+    "local_search",
+    kind="heuristic",
+    anytime=True,
+    aliases=("local",),
+    summary="relocate+swap hill climbing over an inner partition",
+)
 class LocalSearchAnonymizer(Anonymizer):
     """Wrap any partition-based anonymizer with a hill-climbing pass.
 

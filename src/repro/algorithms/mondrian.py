@@ -17,6 +17,7 @@ from collections import Counter
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
 
 
 def _best_cut(table: Table, members: list[int], k: int
@@ -52,6 +53,11 @@ def _best_cut(table: Table, members: list[int], k: int
     return None
 
 
+@register(
+    "mondrian",
+    kind="heuristic",
+    summary="strict-median recursive cuts (LeFevre et al. style)",
+)
 class MondrianAnonymizer(Anonymizer):
     """Strict top-down Mondrian, suppression flavour.
 

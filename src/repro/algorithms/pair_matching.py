@@ -24,6 +24,7 @@ from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.backend import get_backend
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
 
 
 def minimum_weight_pairing(table: Table, backend=None) -> list[tuple[int, int]]:
@@ -54,6 +55,11 @@ def minimum_weight_pairing(table: Table, backend=None) -> list[tuple[int, int]]:
     return pairs
 
 
+@register(
+    "pair_matching",
+    kind="heuristic",
+    summary="Edmonds blossom matching; optimal among pairs-only at k=2",
+)
 class PairMatchingAnonymizer(Anonymizer):
     """Exact pairs-only 2-anonymity (k = 2 only).
 

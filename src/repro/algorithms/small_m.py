@@ -36,6 +36,8 @@ from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.backend import get_backend
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
+from repro.theory import exact_bound
 
 _INF = float("inf")
 
@@ -61,6 +63,14 @@ def _take_vectors(counts, first, k, k_max):
     yield from extend(first, [0] * first, 0)
 
 
+@register(
+    "small_m_exact",
+    kind="exact",
+    bound=exact_bound,
+    bound_label="1 — provably optimal",
+    aliases=("small_m",),
+    summary="multiplicity-vector exact DP; fast with few distinct rows",
+)
 class SmallMExactAnonymizer(Anonymizer):
     """Exact optimum via multiplicity-vector DP (the [8] simulation).
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.partition import Partition
 from repro.core.table import Table
+from repro.registry import register
 
 
 def _bisect(backend, members: list[int], k: int
@@ -72,6 +73,12 @@ def _bisect(backend, members: list[int], k: int
     return side_a, side_b
 
 
+@register(
+    "topdown_greedy",
+    kind="heuristic",
+    aliases=("topdown",),
+    summary="cost-driven top-down bisection (TDS-style)",
+)
 class TopDownGreedyAnonymizer(Anonymizer):
     """Cost-driven top-down bisection.
 

@@ -5,9 +5,15 @@ Subcommands
 
 ``anonymize``
     Read a CSV, k-anonymize with a chosen algorithm, write the result.
+``algorithms``
+    List every registered algorithm with its kind and proven bound.
 ``check``
     Report the anonymity level and star count of a (possibly already
     anonymized) CSV.
+
+The ``--algorithm`` choices (and the ``algorithms`` listing) come from
+the central capability registry (:mod:`repro.registry`) — the CLI holds
+no private name→class table of its own.
 """
 
 from __future__ import annotations
@@ -15,38 +21,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.algorithms import (
-    Anonymizer,
-    CenterCoverAnonymizer,
-    DataflyAnonymizer,
-    ExactAnonymizer,
-    GreedyChainAnonymizer,
-    GreedyCoverAnonymizer,
-    KMemberAnonymizer,
-    LocalSearchAnonymizer,
-    MSTForestAnonymizer,
-    MondrianAnonymizer,
-    RandomPartitionAnonymizer,
-    SortedChunkAnonymizer,
-)
+from repro import registry
 from repro.core.anonymity import anonymity_level, suppressed_cell_count
 from repro.core.metrics import metric_report
 from repro.instrument import BudgetExceededError, format_trace
 from repro.io import read_csv, write_csv
-
-_ALGORITHMS: dict[str, type[Anonymizer]] = {
-    "center": CenterCoverAnonymizer,
-    "greedy": GreedyCoverAnonymizer,
-    "exact": ExactAnonymizer,
-    "mondrian": MondrianAnonymizer,
-    "datafly": DataflyAnonymizer,
-    "kmember": KMemberAnonymizer,
-    "forest": MSTForestAnonymizer,
-    "random": RandomPartitionAnonymizer,
-    "sorted": SortedChunkAnonymizer,
-    "chain": GreedyChainAnonymizer,
-    "local": LocalSearchAnonymizer,
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,9 +43,13 @@ def _build_parser() -> argparse.ArgumentParser:
     anonymize.add_argument("-k", type=int, required=True, help="anonymity parameter")
     anonymize.add_argument(
         "--algorithm",
-        choices=sorted(_ALGORITHMS),
-        default="center",
-        help="algorithm (default: center — the Theorem 4.2 algorithm)",
+        choices=registry.names(include_aliases=True),
+        default="center_cover",
+        metavar="NAME",
+        help=(
+            "algorithm name or alias — see `kanon algorithms` for the "
+            "full list (default: center_cover, the Theorem 4.2 algorithm)"
+        ),
     )
     anonymize.add_argument("-o", "--output", help="output CSV path (default: stdout)")
     anonymize.add_argument(
@@ -130,6 +113,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-header", action="store_true", help="inputs have no header row"
     )
 
+    algorithms = sub.add_parser(
+        "algorithms",
+        help="list registered algorithms with kinds and proven bounds",
+    )
+    algorithms.add_argument(
+        "-k", type=int, default=3,
+        help="evaluate proven bounds at this k (default: 3)",
+    )
+    algorithms.add_argument(
+        "-m", type=int, default=4,
+        help="evaluate proven bounds at this attribute count (default: 4)",
+    )
+
     experiment = sub.add_parser(
         "experiment",
         help="rerun a paper experiment (no input file needed)",
@@ -142,6 +138,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("-k", type=int, default=3)
     experiment.add_argument("--trials", type=int, default=10)
+    experiment.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent trials on N worker processes (default: 1; "
+             "results are bit-identical to a serial run)",
+    )
+    experiment.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="record per-trial JSON artifacts into this run directory",
+    )
+    experiment.add_argument(
+        "--resume", action="store_true",
+        help="continue a previous --out run, skipping completed trials",
+    )
     _add_run_flags(experiment)
     return parser
 
@@ -172,46 +181,96 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _list_algorithms(args) -> int:
+    """The ``algorithms`` command: render the capability registry."""
+    infos = registry.all()
+    name_width = max(len(info.name) for info in infos)
+    kind_width = max(len(info.kind) for info in infos)
+    print(f"{'name':<{name_width}}  {'kind':<{kind_width}}  "
+          f"{'anytime':<7}  bound(k={args.k}, m={args.m})")
+    for info in infos:
+        bound = info.proven_bound(args.k, args.m)
+        label = "—" if bound is None else f"{bound:.2f}"
+        if info.bound_label:
+            label += f"  [{info.bound_label}]"
+        anytime = "yes" if info.anytime else "no"
+        print(f"{info.name:<{name_width}}  {info.kind:<{kind_width}}  "
+              f"{anytime:<7}  {label}")
+        if info.aliases:
+            print(f"{'':<{name_width}}  aliases: {', '.join(info.aliases)}")
+        if info.summary:
+            print(f"{'':<{name_width}}  {info.summary}")
+    return 0
+
+
+def _experiment_store(args, experiment: str, config: dict):
+    """The RunStore for ``--out`` (None when not requested)."""
+    if args.out is None:
+        if args.resume:
+            print("error: --resume requires --out", file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    from repro.artifacts import RunStore
+
+    return RunStore(args.out, experiment=experiment, config=config,
+                    resume=args.resume)
+
+
 def _run_experiment(args) -> int:
-    """The `experiment` command: rerun a paper experiment from scratch."""
-    from repro.experiments import k_sweep, ratio_experiment, threshold_experiment
+    """The `experiment` command: rerun a paper experiment from scratch.
+
+    ``--jobs N`` fans trials out over N worker processes (bit-identical
+    to a serial run); ``--out DIR`` records per-trial artifacts and
+    ``--resume`` continues an interrupted sweep without re-solving
+    finished trials.
+    """
+    from repro.experiments import k_sweep, ratio_experiment, threshold_sweep
 
     trace = True if args.trace else None
     if args.name.startswith("ratio-"):
-        algorithm = (
-            GreedyCoverAnonymizer() if args.name == "ratio-greedy"
-            else CenterCoverAnonymizer()
+        algorithm_name = (
+            "greedy_cover" if args.name == "ratio-greedy" else "center_cover"
         )
+        store = _experiment_store(args, "ratio", {
+            "algorithm": algorithm_name, "k": args.k,
+        })
         exp = ratio_experiment(
-            algorithm, k=args.k, trials=args.trials,
+            registry.create(algorithm_name), k=args.k, trials=args.trials,
             backend=args.backend, timeout=args.timeout, trace=trace,
+            jobs=args.jobs, store=store,
         )
+        bound = "none" if exp.bound is None else f"{exp.bound:.1f}"
         print(f"{exp.algorithm}, k={exp.k}: "
               f"mean ratio {exp.mean_ratio:.3f}, max {exp.max_ratio:.3f}, "
-              f"proven bound {exp.bound:.1f}")
+              f"proven bound {bound}")
         for row in exp.rows:
             print(f"  seed {row.seed}: OPT {row.opt}, cost {row.cost} "
                   f"({row.ratio:.2f}x)")
         for run_trace in exp.traces:
             print(format_trace(run_trace), file=sys.stderr)
-        return 0 if exp.within_bound else 1
+        return 0 if (not exp.has_bound or exp.within_bound) else 1
     if args.name.startswith("threshold-"):
         kind = args.name.split("-", 1)[1]
-        for with_matching in (True, False):
-            result = threshold_experiment(kind=kind,
-                                          with_matching=with_matching)
-            print(f"{kind}, matching={with_matching}: threshold "
+        store = _experiment_store(args, "threshold", {"kind": kind})
+        results = threshold_sweep(
+            kind=kind, cases=((True, 0), (False, 0)),
+            jobs=args.jobs, store=store,
+        )
+        for result in results:
+            print(f"{kind}, matching={result.has_matching}: threshold "
                   f"{result.threshold}, optimum {result.optimum}, "
                   f"consistent={result.consistent_with_theorem}")
-            if not result.consistent_with_theorem:
-                return 1
-        return 0
+        return 0 if all(r.consistent_with_theorem for r in results) else 1
     # k-sweep
     from repro.workloads import census_table, quasi_identifiers
 
     table = quasi_identifiers(census_table(120, seed=0))
+    store = _experiment_store(args, "k_sweep", {
+        "workload": "census-120-seed0",
+    })
     for point in k_sweep(table, backend=args.backend,
-                         timeout=args.timeout, trace=trace):
+                         timeout=args.timeout, trace=trace,
+                         jobs=args.jobs, store=store):
         print(f"k={point.k}: {point.stars} stars, "
               f"precision {point.precision:.3f}, {point.classes} classes")
         if point.trace is not None:
@@ -227,21 +286,28 @@ def main(argv: list[str] | None = None) -> int:
     released); iterative algorithms instead degrade gracefully and
     report the deadline on stderr.
     """
+    from repro.artifacts import ArtifactMismatchError
+
     args = _build_parser().parse_args(argv)
     try:
         return _dispatch(args)
     except BudgetExceededError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ArtifactMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _dispatch(args) -> int:
+    if args.command == "algorithms":
+        return _list_algorithms(args)
     if args.command == "experiment":
         return _run_experiment(args)
     table = read_csv(args.input, header=not args.no_header)
 
     if args.command == "anonymize":
-        algorithm = _ALGORITHMS[args.algorithm]()
+        algorithm = registry.create(args.algorithm)
         trace = True if args.trace else None
         if args.ldiv is not None:
             from repro.privacy import LDiverseAnonymizer

@@ -1,4 +1,4 @@
-"""Programmatic experiment runners.
+"""Programmatic experiment runners with a parallel trial executor.
 
 The pytest benchmark harness (``benchmarks/``) regenerates the paper's
 results under ``pytest-benchmark``; this module exposes the same
@@ -6,32 +6,145 @@ experiments as plain functions returning data structures, so users can
 rerun them from notebooks or scripts (and the CLI's ``experiment``
 command).  Each runner is deterministic given its seed.
 
-Every runner takes a ``backend=`` selector (``"python"`` / ``"numpy"``)
-that is applied *per call* to the algorithms it runs — a caller-owned
-anonymizer instance is never reconfigured behind the caller's back.
-Left as ``None``, the process-wide default applies — i.e. the
-``REPRO_BACKEND`` environment variable picks the metric implementation
-for every experiment.  The anonymization runners additionally accept
-``timeout=`` (wall-clock seconds per call) and ``trace=`` (collect
-structured run traces; see :mod:`repro.instrument`).
+Three orthogonal knobs thread through every runner:
+
+* ``backend=`` / ``timeout=`` / ``trace=`` are applied *per call* to the
+  algorithms — a caller-owned anonymizer instance is never reconfigured
+  (or even reused: every trial runs on a fresh deep copy, so stateful
+  algorithms like simulated annealing see identical RNG state no matter
+  how trials are scheduled).
+* ``jobs=`` runs independent trials on a ``ProcessPoolExecutor`` with
+  **spawn**-safe workers.  Per-trial seeds come from
+  ``np.random.SeedSequence(base_seed, spawn_key=(trial,))`` — the spawn
+  tree is indexed by trial, not by scheduling order, so ``jobs=1`` and
+  ``jobs=N`` produce bit-identical results.  Workers re-resolve the
+  distance backend in their own process (honouring ``REPRO_BACKEND``),
+  and a :class:`~repro.instrument.BudgetExceededError` raised by any
+  worker cancels the remaining trials and propagates.
+* ``store=`` (a :class:`repro.artifacts.RunStore`) makes a sweep
+  resumable: each finished trial appends a JSON record; on resume the
+  workload is regenerated from its seed, its hash is checked against
+  the record, and the stored result is reused without re-solving.
+
+Proven approximation bounds come from the algorithm registry
+(:mod:`repro.registry`), not from name string matching: an algorithm
+without a registered guarantee yields ``bound=None`` and
+``within_bound`` is undefined rather than silently borrowing
+Theorem 4.2's bound.
 """
 
 from __future__ import annotations
 
+import copy
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable
+from multiprocessing import get_context
+from typing import Any, Callable
 
 import numpy as np
 
+from repro import registry
 from repro.algorithms.base import Anonymizer
+from repro.artifacts import RunStore, table_hash
 from repro.core.metrics import metric_report
 from repro.core.table import Table
+from repro.instrument import summarize_traces
+
+
+# ----------------------------------------------------------------------
+# Seeded workload helpers (shared by fresh runs, workers, and resume)
+# ----------------------------------------------------------------------
+
+
+def trial_seed_sequence(base_seed: int, trial: int) -> np.random.SeedSequence:
+    """The per-trial seed: child *trial* of ``SeedSequence(base_seed)``.
+
+    Constructed directly via ``spawn_key`` so trial *t*'s stream depends
+    only on ``(base_seed, t)`` — never on how many trials run, in which
+    order, or in which process.  This is what makes serial, parallel,
+    and resumed sweeps bit-identical.
+    """
+    return np.random.SeedSequence(base_seed, spawn_key=(trial,))
+
+
+def ratio_table(
+    base_seed: int, trial: int, n: int, m: int, sigma: int
+) -> Table:
+    """Trial *trial*'s random table for the ratio experiments."""
+    rng = np.random.default_rng(trial_seed_sequence(base_seed, trial))
+    data = rng.integers(0, sigma, size=(n, m))
+    return Table([tuple(int(v) for v in row) for row in data])
 
 
 def _random_table(seed: int, n: int, m: int, sigma: int) -> Table:
+    """Plain seeded random table (kept for the benchmarks)."""
     rng = np.random.default_rng(seed)
     data = rng.integers(0, sigma, size=(n, m))
     return Table([tuple(int(v) for v in row) for row in data])
+
+
+# ----------------------------------------------------------------------
+# The parallel trial executor
+# ----------------------------------------------------------------------
+
+
+def _worker_init(backend_default: str | None) -> None:
+    """Per-worker initialization under the spawn start method.
+
+    The parent's ``REPRO_BACKEND`` choice is re-exported explicitly so
+    the worker's lazily-resolved default backend matches the parent's
+    even if the environment diverged between spawn and first use.
+    """
+    if backend_default:
+        os.environ["REPRO_BACKEND"] = backend_default
+
+
+def _run_tasks(fn: Callable[[Any], Any], tasks: list, jobs: int) -> list:
+    """Run ``[fn(t) for t in tasks]``, optionally on a process pool.
+
+    ``jobs=1`` (or a single task) executes inline; otherwise a
+    spawn-context ``ProcessPoolExecutor`` fans the tasks out.  Results
+    always come back in task order.  The first worker exception cancels
+    every not-yet-started task, shuts the pool down, and re-raises in
+    the caller — a :class:`~repro.instrument.BudgetExceededError` in one
+    trial surfaces exactly like it would serially, without orphaning
+    worker processes.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be a positive integer")
+    if jobs == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    results: list = [None] * len(tasks)
+    context = get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)),
+        mp_context=context,
+        initializer=_worker_init,
+        initargs=(os.environ.get("REPRO_BACKEND") or None,),
+    ) as pool:
+        futures = {
+            pool.submit(fn, task): index for index, task in enumerate(tasks)
+        }
+        try:
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    return results
+
+
+def _fresh_copy(algorithm: Anonymizer) -> Anonymizer:
+    """A per-trial private copy of *algorithm*.
+
+    Used inside the worker function on both the serial and the parallel
+    path, so every trial starts from the caller's exact construction
+    state (RNG included) regardless of scheduling.
+    """
+    return copy.deepcopy(algorithm)
 
 
 # ----------------------------------------------------------------------
@@ -57,7 +170,9 @@ class RatioExperiment:
     algorithm: str
     k: int
     m: int
-    bound: float
+    #: proven approximation guarantee at (k, m) from the registry, or
+    #: ``None`` for algorithms without one.
+    bound: float | None
     rows: tuple[RatioRow, ...] = field(default_factory=tuple)
     #: per-trial run traces (``RunTrace.to_dict()`` form) when the
     #: experiment ran with ``trace=True``; empty otherwise.
@@ -80,8 +195,66 @@ class RatioExperiment:
         return sum(row.ratio for row in self.rows) / len(self.rows)
 
     @property
+    def has_bound(self) -> bool:
+        """True iff the algorithm carries a proven guarantee."""
+        return self.bound is not None
+
+    @property
     def within_bound(self) -> bool:
+        """Whether every measured ratio respects the proven bound.
+
+        :raises ValueError: for algorithms without a proven guarantee —
+            there is no bound to be within; check :attr:`has_bound`.
+        """
+        if self.bound is None:
+            raise ValueError(
+                f"{self.algorithm} has no proven approximation bound; "
+                "within_bound is undefined (check has_bound first)"
+            )
         return self.max_ratio <= self.bound
+
+
+@dataclass(frozen=True)
+class _RatioTask:
+    algorithm: Anonymizer
+    k: int
+    n: int
+    m: int
+    sigma: int
+    base_seed: int
+    trial: int
+    backend: str | None
+    timeout: float | None
+    trace: bool | None
+
+
+def _ratio_trial(task: _RatioTask) -> dict[str, Any]:
+    """One ratio trial: generate, solve exactly, run the algorithm."""
+    from repro.algorithms.exact import optimal_anonymization
+
+    table = ratio_table(task.base_seed, task.trial, task.n, task.m,
+                        task.sigma)
+    algorithm = _fresh_copy(task.algorithm)
+    started = time.perf_counter()
+    opt, _ = optimal_anonymization(table, task.k, backend=task.backend)
+    opt_seconds = time.perf_counter() - started
+    result = algorithm.anonymize(
+        table, task.k, backend=task.backend, timeout=task.timeout,
+        trace=task.trace,
+    )
+    return {
+        "trial": task.trial,
+        "seed": task.base_seed + task.trial,
+        "algorithm": algorithm.name,
+        "k": task.k,
+        "opt": opt,
+        "cost": result.stars,
+        "opt_seconds": opt_seconds,
+        "elapsed_seconds": time.perf_counter() - started,
+        "instance_hash": table_hash(table),
+        "deadline_hit": bool(result.extras.get("deadline_hit")),
+        "trace": result.extras.get("trace"),
+    }
 
 
 def ratio_experiment(
@@ -95,40 +268,65 @@ def ratio_experiment(
     backend: str | None = None,
     timeout: float | None = None,
     trace: bool | None = None,
+    jobs: int = 1,
+    store: RunStore | None = None,
 ) -> RatioExperiment:
     """Measured approximation ratios vs exact optima on random tables.
 
     Keep ``n <= ~12`` — every trial solves the instance exactly.
 
-    ``backend`` / ``timeout`` / ``trace`` are passed per call to the
-    algorithm (the caller's *algorithm* instance is never mutated).
+    ``backend`` / ``timeout`` / ``trace`` are passed per call to a fresh
+    copy of the algorithm (the caller's *algorithm* instance is never
+    mutated).  ``jobs`` fans trials out over processes; ``store`` makes
+    the sweep resumable (completed trials are verified against their
+    recorded instance hash, then reused).
 
     :raises ValueError: if ``trials < 1`` (the ratio statistics are
         undefined on an empty experiment).
     """
-    from repro.algorithms.exact import optimal_anonymization
-    from repro.theory import theorem_4_1_ratio, theorem_4_2_ratio
-
     if trials < 1:
         raise ValueError("ratio_experiment needs trials >= 1")
-    rows = []
-    traces = []
+    bound = registry.proven_bound(algorithm, k, m)
+
+    rows: list[RatioRow | None] = [None] * trials
+    traces: dict[int, dict] = {}
+    pending: list[int] = []
     for t in range(trials):
-        table = _random_table(base_seed + t, n, m, sigma)
-        opt, _ = optimal_anonymization(table, k, backend=backend)
-        result = algorithm.anonymize(
-            table, k, backend=backend, timeout=timeout, trace=trace
-        )
-        rows.append(RatioRow(seed=base_seed + t, opt=opt, cost=result.stars))
-        if "trace" in result.extras:
-            traces.append(result.extras["trace"])
-    if algorithm.name == "greedy_cover":
-        bound = theorem_4_1_ratio(k)
-    else:
-        bound = theorem_4_2_ratio(k, m)
+        key = f"trial-{t:04d}"
+        if store is not None and store.done(key):
+            table = ratio_table(base_seed, t, n, m, sigma)
+            store.check_instance(key, table_hash(table))
+            record = store.get(key)
+            rows[t] = RatioRow(seed=record["seed"], opt=record["opt"],
+                               cost=record["cost"])
+            continue
+        pending.append(t)
+
+    tasks = [
+        _RatioTask(algorithm=algorithm, k=k, n=n, m=m, sigma=sigma,
+                   base_seed=base_seed, trial=t, backend=backend,
+                   timeout=timeout, trace=trace)
+        for t in pending
+    ]
+    for t, outcome in zip(pending, _run_tasks(_ratio_trial, tasks, jobs)):
+        rows[t] = RatioRow(seed=outcome["seed"], opt=outcome["opt"],
+                           cost=outcome["cost"])
+        if outcome["trace"] is not None:
+            traces[t] = outcome["trace"]
+        if store is not None:
+            store.record(
+                f"trial-{t:04d}",
+                **{name: value for name, value in outcome.items()
+                   if name != "trace"},
+                trace_summary=summarize_traces(
+                    [outcome["trace"]] if outcome["trace"] else []
+                ),
+            )
+
     return RatioExperiment(
-        algorithm=algorithm.name, k=k, m=m, bound=bound, rows=tuple(rows),
-        traces=tuple(traces),
+        algorithm=algorithm.name, k=k, m=m, bound=bound,
+        rows=tuple(rows),  # type: ignore[arg-type]
+        traces=tuple(trace for _, trace in sorted(traces.items())),
     )
 
 
@@ -145,6 +343,8 @@ class ThresholdResult:
     threshold: int
     optimum: int
     has_matching: bool
+    #: generator seed of this instance (identifies it within a sweep)
+    seed: int = 0
 
     @property
     def hits_threshold(self) -> bool:
@@ -156,46 +356,145 @@ class ThresholdResult:
         return self.hits_threshold == self.has_matching
 
 
-def threshold_experiment(
-    kind: str = "entries",
-    n_groups: int = 2,
-    extra_edges: int = 2,
-    with_matching: bool = True,
-    seed: int = 0,
-) -> ThresholdResult:
-    """Run one reduction instance end to end (exact solve included)."""
-    from repro.algorithms.exact import (
-        optimal_anonymization,
-        optimal_attribute_suppression,
-    )
-    from repro.hardness.matching import has_perfect_matching
+def threshold_instance(
+    kind: str,
+    n_groups: int,
+    extra_edges: int,
+    with_matching: bool,
+    seed: int,
+):
+    """Seeded workload helper: build one reduction instance.
+
+    Shared by fresh runs, pool workers, and resume verification, so a
+    resumed sweep regenerates byte-identical instances.
+    """
     from repro.workloads import (
         attribute_reduction_instance,
         entry_reduction_instance,
     )
 
     if kind == "entries":
-        red = entry_reduction_instance(
+        return entry_reduction_instance(
             n_groups, k=3, extra_edges=extra_edges,
             with_matching=with_matching, seed=seed,
         )
-        optimum, _ = optimal_anonymization(red.table, 3)
-    elif kind == "attributes":
-        red = attribute_reduction_instance(
+    if kind == "attributes":
+        return attribute_reduction_instance(
             n_groups, k=3, extra_edges=extra_edges,
             with_matching=with_matching, seed=seed,
         )
-        optimum, _ = optimal_attribute_suppression(red.table, 3)
-    else:
-        raise ValueError(f"unknown reduction kind {kind!r}")
-    return ThresholdResult(
-        kind=kind,
-        n=red.table.n_rows,
-        m=red.table.degree,
-        threshold=red.threshold,
-        optimum=optimum,
-        has_matching=has_perfect_matching(red.graph),
+    raise ValueError(f"unknown reduction kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class _ThresholdTask:
+    kind: str
+    n_groups: int
+    extra_edges: int
+    with_matching: bool
+    seed: int
+
+
+def _threshold_trial(task: _ThresholdTask) -> dict[str, Any]:
+    """One reduction instance end to end (exact solve included)."""
+    from repro.algorithms.exact import (
+        optimal_anonymization,
+        optimal_attribute_suppression,
     )
+    from repro.hardness.matching import has_perfect_matching
+
+    red = threshold_instance(task.kind, task.n_groups, task.extra_edges,
+                             task.with_matching, task.seed)
+    started = time.perf_counter()
+    if task.kind == "entries":
+        optimum, _ = optimal_anonymization(red.table, 3)
+    else:
+        optimum, _ = optimal_attribute_suppression(red.table, 3)
+    return {
+        "kind": task.kind,
+        "seed": task.seed,
+        "with_matching": task.with_matching,
+        "n": red.table.n_rows,
+        "m": red.table.degree,
+        "threshold": red.threshold,
+        "optimum": optimum,
+        "has_matching": has_perfect_matching(red.graph),
+        "elapsed_seconds": time.perf_counter() - started,
+        "instance_hash": table_hash(red.table),
+    }
+
+
+def _threshold_result(record: dict[str, Any]) -> ThresholdResult:
+    return ThresholdResult(
+        kind=record["kind"],
+        n=record["n"],
+        m=record["m"],
+        threshold=record["threshold"],
+        optimum=record["optimum"],
+        has_matching=record["has_matching"],
+        seed=record["seed"],
+    )
+
+
+def threshold_experiment(
+    kind: str = "entries",
+    n_groups: int = 2,
+    extra_edges: int = 2,
+    with_matching: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    store: RunStore | None = None,
+) -> ThresholdResult:
+    """Run one reduction instance end to end (exact solve included)."""
+    return threshold_sweep(
+        kind=kind, n_groups=n_groups, extra_edges=extra_edges,
+        cases=((with_matching, seed),), jobs=jobs, store=store,
+    )[0]
+
+
+def threshold_sweep(
+    kind: str = "entries",
+    n_groups: int = 2,
+    extra_edges: int = 2,
+    cases: tuple[tuple[bool, int], ...] = ((True, 0), (False, 0)),
+    jobs: int = 1,
+    store: RunStore | None = None,
+) -> list[ThresholdResult]:
+    """Many reduction instances — the E1/E2 grid, parallel and resumable.
+
+    :param cases: ``(with_matching, seed)`` pairs, one instance each.
+    """
+    if kind not in ("entries", "attributes"):
+        raise ValueError(f"unknown reduction kind {kind!r}")
+    results: list[ThresholdResult | None] = [None] * len(cases)
+    pending: list[int] = []
+    for index, (with_matching, seed) in enumerate(cases):
+        key = f"{kind}-g{n_groups}-x{extra_edges}-m{int(with_matching)}-s{seed}"
+        if store is not None and store.done(key):
+            red = threshold_instance(kind, n_groups, extra_edges,
+                                     with_matching, seed)
+            store.check_instance(key, table_hash(red.table))
+            results[index] = _threshold_result(store.get(key))
+            continue
+        pending.append(index)
+
+    tasks = [
+        _ThresholdTask(kind=kind, n_groups=n_groups,
+                       extra_edges=extra_edges,
+                       with_matching=cases[index][0], seed=cases[index][1])
+        for index in pending
+    ]
+    for index, outcome in zip(pending,
+                              _run_tasks(_threshold_trial, tasks, jobs)):
+        results[index] = _threshold_result(outcome)
+        if store is not None:
+            with_matching, seed = cases[index]
+            store.record(
+                f"{kind}-g{n_groups}-x{extra_edges}"
+                f"-m{int(with_matching)}-s{seed}",
+                **outcome,
+            )
+    return results  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +512,36 @@ class SweepPoint:
     trace: dict | None = None
 
 
+@dataclass(frozen=True)
+class _SweepTask:
+    table: Table
+    k: int
+    algorithm: Anonymizer
+    backend: str | None
+    timeout: float | None
+    trace: bool | None
+
+
+def _sweep_point(task: _SweepTask) -> dict[str, Any]:
+    algorithm = _fresh_copy(task.algorithm)
+    started = time.perf_counter()
+    result = algorithm.anonymize(
+        task.table, task.k, backend=task.backend, timeout=task.timeout,
+        trace=task.trace,
+    )
+    report = metric_report(result.anonymized, task.k)
+    return {
+        "k": task.k,
+        "algorithm": algorithm.name,
+        "stars": int(report["stars"]),
+        "precision": float(report["precision"]),
+        "classes": int(report["classes"]),
+        "elapsed_seconds": time.perf_counter() - started,
+        "instance_hash": table_hash(task.table),
+        "trace": result.extras.get("trace"),
+    }
+
+
 def k_sweep(
     table: Table,
     ks: tuple[int, ...] = (2, 3, 4, 5, 6, 8),
@@ -220,31 +549,93 @@ def k_sweep(
     backend: str | None = None,
     timeout: float | None = None,
     trace: bool | None = None,
+    jobs: int = 1,
+    store: RunStore | None = None,
 ) -> list[SweepPoint]:
     """Cost/utility across k — the E10 series on any table.
 
-    ``backend`` / ``timeout`` / ``trace`` apply per call; a caller's
-    *algorithm* instance is never mutated.
+    ``backend`` / ``timeout`` / ``trace`` apply per call to a fresh copy
+    of the algorithm; the caller's instance is never mutated.  ``jobs``
+    runs the k cells concurrently; with a ``store`` each cell records
+    the table's hash, and a resumed sweep verifies it before reusing
+    the cell.
     """
     from repro.algorithms.center_cover import CenterCoverAnonymizer
 
     algorithm = algorithm if algorithm is not None else CenterCoverAnonymizer()
-    points = []
-    for k in ks:
-        result = algorithm.anonymize(
-            table, k, backend=backend, timeout=timeout, trace=trace
-        )
-        report = metric_report(result.anonymized, k)
-        points.append(
-            SweepPoint(
-                k=k,
-                stars=int(report["stars"]),
-                precision=float(report["precision"]),
-                classes=int(report["classes"]),
-                trace=result.extras.get("trace"),
+    points: list[SweepPoint | None] = [None] * len(ks)
+    pending: list[int] = []
+    for index, k in enumerate(ks):
+        key = f"k-{k}"
+        if store is not None and store.done(key):
+            store.check_instance(key, table_hash(table))
+            record = store.get(key)
+            points[index] = SweepPoint(
+                k=record["k"], stars=record["stars"],
+                precision=record["precision"], classes=record["classes"],
             )
+            continue
+        pending.append(index)
+
+    tasks = [
+        _SweepTask(table=table, k=ks[index], algorithm=algorithm,
+                   backend=backend, timeout=timeout, trace=trace)
+        for index in pending
+    ]
+    for index, outcome in zip(pending, _run_tasks(_sweep_point, tasks, jobs)):
+        points[index] = SweepPoint(
+            k=outcome["k"], stars=outcome["stars"],
+            precision=outcome["precision"], classes=outcome["classes"],
+            trace=outcome["trace"],
         )
-    return points
+        if store is not None:
+            store.record(
+                f"k-{ks[index]}",
+                **{name: value for name, value in outcome.items()
+                   if name != "trace"},
+                trace_summary=summarize_traces(
+                    [outcome["trace"]] if outcome["trace"] else []
+                ),
+            )
+    return points  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class _ComparisonTask:
+    table: Table
+    k: int
+    name: str
+    factory: Callable[[], Anonymizer]
+    backend: str | None
+    timeout: float | None
+    trace: bool | None
+
+
+def _comparison_cell(task: _ComparisonTask) -> dict[str, Any]:
+    algorithm = task.factory()
+    started = time.perf_counter()
+    result = algorithm.anonymize(
+        task.table, task.k, backend=task.backend, timeout=task.timeout,
+        trace=task.trace,
+    )
+    if not result.is_valid(task.table):
+        raise AssertionError(f"{task.name} produced an invalid release")
+    return {
+        "name": task.name,
+        "algorithm": algorithm.name,
+        "k": task.k,
+        "cost": result.stars,
+        "elapsed_seconds": time.perf_counter() - started,
+        "instance_hash": table_hash(task.table),
+        "trace": result.extras.get("trace"),
+    }
+
+
+#: default E8 comparison line-up (registry names)
+DEFAULT_COMPARISON_ALGORITHMS: tuple[str, ...] = (
+    "center_cover", "mondrian", "kmember", "mst_forest", "datafly",
+    "sorted_chunk", "random_partition",
+)
 
 
 def comparison(
@@ -255,42 +646,53 @@ def comparison(
     timeout: float | None = None,
     trace: bool | None = None,
     traces_out: dict[str, dict] | None = None,
+    jobs: int = 1,
+    store: RunStore | None = None,
 ) -> dict[str, int]:
     """Suppressed-cell counts per algorithm — one row of the E8 table.
 
+    The default line-up is resolved through the registry
+    (:data:`DEFAULT_COMPARISON_ALGORITHMS`); pass a ``{name: factory}``
+    dict to override it (factories must be picklable for ``jobs > 1``).
     ``backend`` / ``timeout`` / ``trace`` apply per call without
     mutating the constructed anonymizers; pass a dict as *traces_out*
     to collect each algorithm's run trace under its name.
     """
     if algorithms is None:
-        from repro.algorithms import (
-            CenterCoverAnonymizer,
-            DataflyAnonymizer,
-            KMemberAnonymizer,
-            MondrianAnonymizer,
-            MSTForestAnonymizer,
-            RandomPartitionAnonymizer,
-            SortedChunkAnonymizer,
-        )
-
         algorithms = {
-            "center_cover": CenterCoverAnonymizer,
-            "mondrian": MondrianAnonymizer,
-            "kmember": KMemberAnonymizer,
-            "mst_forest": MSTForestAnonymizer,
-            "datafly": DataflyAnonymizer,
-            "sorted_chunk": SortedChunkAnonymizer,
-            "random": lambda: RandomPartitionAnonymizer(seed=0),
+            name: registry.get(name).cls
+            for name in DEFAULT_COMPARISON_ALGORITHMS
         }
-    costs = {}
-    for name, factory in algorithms.items():
-        algorithm = factory()
-        result = algorithm.anonymize(
-            table, k, backend=backend, timeout=timeout, trace=trace
-        )
-        if not result.is_valid(table):
-            raise AssertionError(f"{name} produced an invalid release")
-        costs[name] = result.stars
-        if traces_out is not None and "trace" in result.extras:
-            traces_out[name] = result.extras["trace"]
-    return costs
+    names = list(algorithms)
+    costs: dict[str, int] = {}
+    pending: list[str] = []
+    for name in names:
+        key = f"algorithm-{name}"
+        if store is not None and store.done(key):
+            store.check_instance(key, table_hash(table))
+            costs[name] = store.get(key)["cost"]
+            continue
+        pending.append(name)
+
+    tasks = [
+        _ComparisonTask(table=table, k=k, name=name,
+                        factory=algorithms[name], backend=backend,
+                        timeout=timeout, trace=trace)
+        for name in pending
+    ]
+    for name, outcome in zip(pending,
+                             _run_tasks(_comparison_cell, tasks, jobs)):
+        costs[name] = outcome["cost"]
+        if traces_out is not None and outcome["trace"] is not None:
+            traces_out[name] = outcome["trace"]
+        if store is not None:
+            store.record(
+                f"algorithm-{name}",
+                **{key: value for key, value in outcome.items()
+                   if key != "trace"},
+                trace_summary=summarize_traces(
+                    [outcome["trace"]] if outcome["trace"] else []
+                ),
+            )
+    # report in the caller's order regardless of completion order
+    return {name: costs[name] for name in names}

@@ -364,6 +364,51 @@ class Run:
         )
 
 
+def summarize_traces(traces) -> dict[str, Any] | None:
+    """Aggregate ``to_dict()``-form traces into one compact summary.
+
+    Used by the run-artifact store and the parallel experiment runners:
+    per-worker traces merge into total wall-clock seconds, summed
+    algorithm/backend counters, and a deadline-hit count.  Returns
+    ``None`` for an empty input so callers can store the absence of
+    tracing as JSON ``null``.
+
+    >>> summarize_traces([]) is None
+    True
+    >>> summary = summarize_traces([
+    ...     {"total_seconds": 0.5, "deadline_hit": False,
+    ...      "counters": {"rounds": 2}, "backend_counters": {"dist": 10}},
+    ...     {"total_seconds": 0.25, "deadline_hit": True,
+    ...      "counters": {"rounds": 3}, "backend_counters": {"dist": 5}},
+    ... ])
+    >>> summary["runs"], summary["total_seconds"], summary["deadline_hits"]
+    (2, 0.75, 1)
+    >>> summary["counters"]["rounds"], summary["backend_counters"]["dist"]
+    (5, 15)
+    """
+    traces = list(traces)
+    if not traces:
+        return None
+    counters: dict[str, int] = {}
+    backend_counters: dict[str, int] = {}
+    total = 0.0
+    deadline_hits = 0
+    for trace in traces:
+        total += float(trace.get("total_seconds", 0.0))
+        deadline_hits += bool(trace.get("deadline_hit"))
+        for name, value in trace.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in trace.get("backend_counters", {}).items():
+            backend_counters[name] = backend_counters.get(name, 0) + int(value)
+    return {
+        "runs": len(traces),
+        "total_seconds": total,
+        "deadline_hits": deadline_hits,
+        "counters": counters,
+        "backend_counters": backend_counters,
+    }
+
+
 def format_trace(trace: dict[str, Any]) -> str:
     """Human-readable multi-line summary of a ``to_dict()``-form trace.
 

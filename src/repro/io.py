@@ -1,8 +1,12 @@
-"""File IO: CSV round-trips for relations (``*`` marks suppression)."""
+"""File IO: CSV round-trips for relations (``*`` marks suppression),
+plus the JSON / JSON-lines primitives the run-artifact store builds on
+(:mod:`repro.artifacts`)."""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any, Iterator
 
 from repro.core.table import Table
 
@@ -27,3 +31,53 @@ def write_csv(
     *star_token*."""
     with open(path, "w", encoding="utf-8", newline="") as handle:
         handle.write(table.to_csv(header=header, star_token=star_token))
+
+
+# ----------------------------------------------------------------------
+# JSON / JSON-lines primitives (run artifacts)
+# ----------------------------------------------------------------------
+
+
+def read_json(path: str | Path) -> Any:
+    """Load one JSON document."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_json(path: str | Path, payload: Any) -> None:
+    """Write one JSON document (sorted keys, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def append_jsonl(path: str | Path, record: Any) -> None:
+    """Append one record to a JSON-lines file and flush it to disk.
+
+    Each record is a single line, so a crash mid-sweep loses at most the
+    trial being written, never earlier ones.
+    """
+    line = json.dumps(record, sort_keys=True)
+    if "\n" in line:  # pragma: no cover - json never emits raw newlines
+        raise ValueError("JSONL records must serialize to a single line")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+
+
+def read_jsonl(path: str | Path) -> Iterator[Any]:
+    """Yield records from a JSON-lines file, skipping blank lines.
+
+    A truncated final line (crash mid-append) is tolerated and skipped
+    with the records before it intact.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                # a torn final write; everything before it stands
+                continue

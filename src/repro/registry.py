@@ -1,0 +1,213 @@
+"""Central capability registry for anonymization algorithms.
+
+Every concrete :class:`~repro.algorithms.base.Anonymizer` subclass
+self-registers here (via the :func:`register` class decorator applied at
+definition site) with machine-readable metadata:
+
+* a stable canonical **name** (``greedy_cover``, ``center_cover``, ...)
+  plus CLI-friendly **aliases** (``greedy``, ``center``, ...);
+* its **kind** — ``"exact"`` (provably optimal), ``"approx"`` (proven
+  approximation ratio), ``"heuristic"`` (no guarantee), or
+  ``"baseline"`` (comparison strawman);
+* whether it is **anytime** (degrades gracefully under a
+  :class:`~repro.instrument.TimeBudget` instead of raising);
+* its **proven bound** as a callable ``(k, m) -> float`` taken from
+  :mod:`repro.theory` (``None`` when no guarantee exists), plus a
+  human-readable ``bound_label``;
+* the **cost models** it optimizes (currently ``"stars"`` throughout).
+
+The registry is the *single* source of the name→class mapping: the CLI's
+``--algorithm`` choices, the ``kanon algorithms`` listing, the
+experiment runners' bound dispatch, and the benchmarks all resolve
+algorithms through :func:`get` / :func:`create` instead of maintaining
+private dicts.
+
+>>> from repro import registry
+>>> registry.get("center").name          # aliases resolve
+'center_cover'
+>>> registry.get("center_cover").kind
+'approx'
+>>> registry.create("mondrian").anonymize  # doctest: +ELLIPSIS
+<bound method ...>
+"""
+
+from __future__ import annotations
+
+import builtins
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.base import Anonymizer
+
+#: proven-bound callable signature: ``bound(k, m) -> float``
+BoundFn = Callable[[int, int], float]
+
+_KINDS = ("exact", "approx", "heuristic", "baseline")
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registered metadata for one anonymization algorithm.
+
+    :ivar name: canonical registry name (stable across releases).
+    :ivar cls: the :class:`Anonymizer` subclass.
+    :ivar kind: ``"exact"`` / ``"approx"`` / ``"heuristic"`` /
+        ``"baseline"``.
+    :ivar anytime: True iff the algorithm degrades gracefully when its
+        time budget expires (returns its best valid release so far).
+    :ivar bound: proven approximation guarantee as ``(k, m) -> float``,
+        or ``None`` when the algorithm carries no guarantee.  Exact
+        solvers use the constant ``1.0``.
+    :ivar bound_label: human-readable form of *bound* for listings.
+    :ivar cost_models: objective functions the algorithm optimizes.
+    :ivar aliases: accepted alternative names (CLI shorthands).
+    :ivar summary: one-line description for ``kanon algorithms``.
+    :ivar factory: zero-argument-callable default constructor.
+    """
+
+    name: str
+    cls: type
+    kind: str
+    anytime: bool = False
+    bound: BoundFn | None = None
+    bound_label: str | None = None
+    cost_models: tuple[str, ...] = ("stars",)
+    aliases: tuple[str, ...] = ()
+    summary: str = ""
+    factory: Callable[[], "Anonymizer"] | None = None
+
+    def make(self) -> "Anonymizer":
+        """A fresh default-configured instance."""
+        return (self.factory or self.cls)()
+
+    def proven_bound(self, k: int, m: int) -> float | None:
+        """The guarantee at ``(k, m)``, or None without one."""
+        return None if self.bound is None else self.bound(k, m)
+
+    @property
+    def all_names(self) -> tuple[str, ...]:
+        return (self.name, *self.aliases)
+
+
+_BY_NAME: dict[str, AlgorithmInfo] = {}
+_BY_ALIAS: dict[str, str] = {}
+_BY_CLASS: dict[type, AlgorithmInfo] = {}
+
+
+def register(
+    name: str,
+    *,
+    kind: str,
+    summary: str,
+    anytime: bool = False,
+    bound: BoundFn | None = None,
+    bound_label: str | None = None,
+    cost_models: tuple[str, ...] = ("stars",),
+    aliases: tuple[str, ...] = (),
+    factory: Callable[[], "Anonymizer"] | None = None,
+):
+    """Class decorator: enter an :class:`Anonymizer` subclass into the
+    registry under *name* (plus *aliases*).
+
+    Raises :class:`ValueError` on duplicate names/aliases or an unknown
+    *kind* — registration bugs should fail at import time, not at first
+    lookup.
+    """
+    if kind not in _KINDS:
+        raise ValueError(f"unknown algorithm kind {kind!r}; expected "
+                         f"one of {_KINDS}")
+
+    def decorate(cls):
+        info = AlgorithmInfo(
+            name=name, cls=cls, kind=kind, anytime=anytime, bound=bound,
+            bound_label=bound_label, cost_models=tuple(cost_models),
+            aliases=tuple(aliases), summary=summary, factory=factory,
+        )
+        for candidate in info.all_names:
+            if candidate in _BY_NAME or candidate in _BY_ALIAS:
+                raise ValueError(
+                    f"algorithm name {candidate!r} registered twice"
+                )
+        _BY_NAME[name] = info
+        for alias in info.aliases:
+            _BY_ALIAS[alias] = name
+        _BY_CLASS[cls] = info
+        cls.registry_name = name
+        return cls
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    """Import the algorithms package so every module self-registers."""
+    import repro.algorithms  # noqa: F401  (import triggers registration)
+
+
+def all() -> tuple[AlgorithmInfo, ...]:  # noqa: A001 - deliberate API name
+    """Every registered algorithm, sorted by canonical name."""
+    _ensure_loaded()
+    return tuple(sorted(_BY_NAME.values(), key=lambda info: info.name))
+
+
+#: alias for callers that shadow the ``all`` builtin
+all_algorithms = all
+
+
+def names(include_aliases: bool = False) -> tuple[str, ...]:
+    """Registered canonical names (optionally with aliases), sorted."""
+    _ensure_loaded()
+    out = builtins.list(_BY_NAME)
+    if include_aliases:
+        out.extend(_BY_ALIAS)
+    return tuple(sorted(out))
+
+
+def get(name: str) -> AlgorithmInfo:
+    """Look up by canonical name or alias.
+
+    :raises KeyError: for an unknown name (the message lists valid ones).
+    """
+    _ensure_loaded()
+    canonical = _BY_ALIAS.get(name, name)
+    info = _BY_NAME.get(canonical)
+    if info is None:
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered names: "
+            f"{', '.join(names(include_aliases=True))}"
+        )
+    return info
+
+
+def create(name: str) -> "Anonymizer":
+    """A fresh default-configured instance of the named algorithm."""
+    return get(name).make()
+
+
+def info_for(algorithm) -> AlgorithmInfo | None:
+    """Metadata for an algorithm *instance* (or class), else ``None``.
+
+    Matches by exact class first, then walks the MRO so app-level
+    subclasses inherit their parent's registration.  Lookup is by type,
+    not by ``algorithm.name`` — wrapper algorithms (local search,
+    annealing) rename their instances after their inner algorithm
+    (``"center_cover+local"``), which is a display name, not an
+    identity.
+    """
+    _ensure_loaded()
+    cls = algorithm if isinstance(algorithm, type) else type(algorithm)
+    for base in cls.__mro__:
+        info = _BY_CLASS.get(base)
+        if info is not None:
+            return info
+    return None
+
+
+def proven_bound(algorithm, k: int, m: int) -> float | None:
+    """The proven approximation bound for an algorithm instance/class/
+    name at ``(k, m)``, or ``None`` when it has no guarantee."""
+    if isinstance(algorithm, str):
+        info = get(algorithm)
+    else:
+        info = info_for(algorithm)
+    return None if info is None else info.proven_bound(k, m)

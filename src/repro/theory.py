@@ -56,6 +56,33 @@ def theorem_4_2_ratio(k: int, m: int) -> float:
     return 6.0 * k * (1.0 + math.log(m))
 
 
+# ----------------------------------------------------------------------
+# Uniform-signature bound callables for the algorithm registry
+# ----------------------------------------------------------------------
+
+
+def theorem_4_1_bound(k: int, m: int) -> float:
+    """Registry form of :func:`theorem_4_1_ratio` (*m* is unused — the
+    Theorem 4.1 guarantee depends only on k)."""
+    return theorem_4_1_ratio(k)
+
+
+def theorem_4_2_bound(k: int, m: int) -> float:
+    """Registry form of :func:`theorem_4_2_ratio`."""
+    return theorem_4_2_ratio(k, m)
+
+
+def exact_bound(k: int, m: int) -> float:
+    """The trivial guarantee of a provably optimal solver.
+
+    >>> exact_bound(3, 4)
+    1.0
+    """
+    if k < 1 or m < 1:
+        raise ValueError("k and m must be positive")
+    return 1.0
+
+
 def diameter_lower_bound(table: Table, cover: Cover) -> int:
     """Lemma 4.1 lower bound: ``OPT(V) >= k * d(Pi)`` for any
     (k, 2k-1)-partition with minimum diameter sum — applied to the given

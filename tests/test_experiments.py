@@ -56,6 +56,29 @@ class TestRatioExperiment:
         assert len(exp.traces) == 2
         assert all(t["algorithm"] == "center_cover" for t in exp.traces)
 
+    def test_bounds_come_from_registry(self):
+        """Regression: the bound used to fall through to Theorem 4.2 for
+        every non-greedy algorithm, crediting heuristics with a
+        guarantee they don't have."""
+        from repro.algorithms import ExactAnonymizer, MondrianAnonymizer
+        from repro.theory import theorem_4_1_ratio, theorem_4_2_ratio
+
+        greedy = ratio_experiment(GreedyCoverAnonymizer(), k=2, n=6,
+                                  trials=1)
+        assert greedy.bound == theorem_4_1_ratio(2)
+        center = ratio_experiment(CenterCoverAnonymizer(), k=2, n=6,
+                                  trials=1)
+        assert center.bound == theorem_4_2_ratio(2, center.m)
+        exact = ratio_experiment(ExactAnonymizer(), k=2, n=6, trials=1)
+        assert exact.bound == 1.0 and exact.within_bound
+
+        heuristic = ratio_experiment(MondrianAnonymizer(), k=2, n=6,
+                                     trials=1)
+        assert heuristic.bound is None
+        assert not heuristic.has_bound
+        with pytest.raises(ValueError, match="no proven"):
+            heuristic.within_bound
+
 
 class TestThresholdExperiment:
     @pytest.mark.parametrize("kind", ["entries", "attributes"])
@@ -83,9 +106,9 @@ class TestSweepAndComparison:
     def test_comparison_default_algorithms(self):
         table = uniform_table(24, 4, alphabet_size=3, seed=1)
         costs = comparison(table, 3)
-        assert set(costs) >= {"center_cover", "mondrian", "random"}
+        assert set(costs) >= {"center_cover", "mondrian", "random_partition"}
         assert all(cost >= 0 for cost in costs.values())
-        assert costs["center_cover"] <= costs["random"]
+        assert costs["center_cover"] <= costs["random_partition"]
 
     def test_comparison_custom_algorithms(self):
         table = uniform_table(12, 3, alphabet_size=3, seed=2)

@@ -1,0 +1,179 @@
+"""Tests for the central algorithm capability registry."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro.algorithms as algorithms_pkg
+from repro import registry
+from repro.algorithms import (
+    CenterCoverAnonymizer,
+    GreedyCoverAnonymizer,
+    LocalSearchAnonymizer,
+    MondrianAnonymizer,
+)
+from repro.algorithms.base import Anonymizer
+
+
+def _concrete_algorithm_classes() -> set[type]:
+    """Every concrete Anonymizer subclass defined in repro.algorithms."""
+    found = set()
+    for mod_info in pkgutil.iter_modules(algorithms_pkg.__path__):
+        module = importlib.import_module(
+            f"repro.algorithms.{mod_info.name}"
+        )
+        for _, obj in inspect.getmembers(module, inspect.isclass):
+            if (
+                issubclass(obj, Anonymizer)
+                and not inspect.isabstract(obj)
+                and obj.__module__.startswith("repro.algorithms")
+            ):
+                found.add(obj)
+    return found
+
+
+class TestCoverage:
+    def test_every_concrete_subclass_is_registered(self):
+        """The registry IS the algorithm catalogue: a package scan finds
+        no concrete Anonymizer subclass missing from it, and nothing
+        registered that the package doesn't define."""
+        concrete = _concrete_algorithm_classes()
+        registered = {info.cls for info in registry.all()}
+        assert concrete - registered == set()
+        assert registered - concrete == set()
+
+    def test_no_private_name_maps_outside_registry(self):
+        """Regression: the CLI used to keep its own name→class dict."""
+        from repro import cli
+
+        assert not hasattr(cli, "_ALGORITHMS")
+
+    def test_expected_names_present(self):
+        names = registry.names()
+        for expected in (
+            "center_cover", "greedy_cover", "exact_dp", "branch_bound",
+            "small_m_exact", "mondrian", "datafly", "kmember",
+            "mst_forest", "greedy_chain", "topdown_greedy",
+            "pair_matching", "local_search", "annealing",
+            "random_partition", "sorted_chunk", "suppress_everything",
+            "incremental", "reduce_cover",
+        ):
+            assert expected in names
+
+
+class TestLookup:
+    def test_alias_resolution(self):
+        assert registry.get("center").name == "center_cover"
+        assert registry.get("greedy").name == "greedy_cover"
+        assert registry.get("exact").name == "exact_dp"
+        assert registry.get("partition_dp").name == "exact_dp"
+
+    def test_unknown_name_lists_valid_ones(self):
+        with pytest.raises(KeyError, match="center_cover"):
+            registry.get("nonsense")
+
+    def test_create_returns_fresh_instances(self):
+        a = registry.create("mondrian")
+        b = registry.create("mondrian")
+        assert isinstance(a, MondrianAnonymizer)
+        assert a is not b
+
+    def test_info_for_instance_and_class(self):
+        assert registry.info_for(CenterCoverAnonymizer).name == "center_cover"
+        assert registry.info_for(CenterCoverAnonymizer()).name == "center_cover"
+        assert registry.info_for(object()) is None
+
+    def test_info_for_wrapper_ignores_display_name(self):
+        """Wrapper algorithms rename instances after their inner
+        algorithm ("center_cover+local"); lookup goes by type."""
+        wrapper = LocalSearchAnonymizer(inner=CenterCoverAnonymizer())
+        info = registry.info_for(wrapper)
+        assert info is not None
+        assert info.name == "local_search"
+
+    def test_registry_name_attribute(self):
+        assert CenterCoverAnonymizer.registry_name == "center_cover"
+
+
+class TestBounds:
+    def test_approx_bounds_match_theory(self):
+        from repro.theory import theorem_4_1_ratio, theorem_4_2_ratio
+
+        assert registry.proven_bound(
+            GreedyCoverAnonymizer(), 3, 4
+        ) == theorem_4_1_ratio(3)
+        assert registry.proven_bound(
+            CenterCoverAnonymizer(), 3, 4
+        ) == theorem_4_2_ratio(3, 4)
+
+    def test_exact_solvers_bound_one(self):
+        assert registry.proven_bound("exact_dp", 5, 7) == 1.0
+        assert registry.proven_bound("branch_bound", 2, 3) == 1.0
+        assert registry.proven_bound("small_m_exact", 4, 2) == 1.0
+
+    def test_heuristics_have_no_bound(self):
+        assert registry.proven_bound("mondrian", 3, 4) is None
+        assert registry.proven_bound(MondrianAnonymizer(), 3, 4) is None
+        assert registry.proven_bound("random_partition", 3, 4) is None
+
+    def test_kinds_are_consistent_with_bounds(self):
+        for info in registry.all():
+            if info.kind == "exact":
+                assert info.proven_bound(3, 4) == 1.0
+            elif info.kind == "approx":
+                assert info.proven_bound(3, 4) > 1.0
+            else:  # heuristic / baseline carry no guarantee
+                assert info.bound is None
+
+
+class TestRegistrationValidation:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            registry.register(
+                "center_cover", kind="heuristic", summary="dup"
+            )(MondrianAnonymizer)
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            registry.register(
+                "brand_new_name", kind="heuristic", summary="dup",
+                aliases=("center",),
+            )(MondrianAnonymizer)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            registry.register("whatever", kind="magic", summary="x")
+
+
+class TestCLIIntegration:
+    """Every registered name (and alias) works end to end in the CLI."""
+
+    @pytest.fixture()
+    def csv_path(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n1,3\n2,2\n2,3\n", encoding="utf-8")
+        return str(path)
+
+    def test_every_registered_name_accepted(self, csv_path, tmp_path, capsys):
+        from repro.cli import main
+
+        for name in registry.names(include_aliases=True):
+            out = tmp_path / f"{name}.csv"
+            code = main([
+                "anonymize", csv_path, "-k", "2",
+                "--algorithm", name, "-o", str(out),
+            ])
+            assert code == 0, f"--algorithm {name} failed"
+            assert out.exists()
+        capsys.readouterr()
+
+    def test_algorithms_subcommand_lists_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for info in registry.all():
+            assert info.name in out
+        assert "Theorem 4.2" in out
