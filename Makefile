@@ -1,11 +1,14 @@
 # Developer shortcuts.  The offline CI recipe is exactly:
 #   pip install -e . && pytest tests/ && pytest benchmarks/ --benchmark-only
 
-.PHONY: install test bench examples sweep all
+.PHONY: install test lint bench bench-compare serve examples sweep all
 
 # worker processes for `make sweep` (kanon experiment --jobs)
 JOBS ?= 2
 SWEEP_OUT ?= runs/ratio-center
+# `make serve` knobs (kanon serve)
+PORT ?= 7683
+CACHE_DIR ?= runs/service-cache
 
 install:
 	pip install -e .
@@ -13,8 +16,30 @@ install:
 test:
 	pytest tests/
 
+# same gate CI runs (needs the CI-only toolchain: pip install -e '.[lint]')
+lint:
+	ruff check src tests benchmarks
+	mypy src/repro
+
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# regression guard against the committed baselines (quick mode, numpy
+# backend — the profile the baselines were recorded under); refresh a
+# baseline by appending `-- --update` semantics via compare_bench directly
+bench-compare:
+	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e9_runtime.py \
+		--benchmark-json=bench-e9.json
+	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e18_parallel_speedup.py \
+		--benchmark-json=bench-e18.json
+	python benchmarks/compare_bench.py bench-e9.json \
+		--baseline benchmarks/baselines/BENCH_e9.json
+	python benchmarks/compare_bench.py bench-e18.json \
+		--baseline benchmarks/baselines/BENCH_e18.json
+
+# anonymization service with a persistent on-disk solution cache
+serve:
+	python -m repro.cli serve --port $(PORT) --cache-dir $(CACHE_DIR)
 
 # resumable ratio sweep on JOBS worker processes; rerun to continue an
 # interrupted run (artifacts land in SWEEP_OUT)

@@ -75,6 +75,40 @@ def table_hash(table: Table) -> str:
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
+def instance_key(
+    table: Table,
+    k: int,
+    algorithm: str,
+    backend: str,
+) -> str:
+    """Content-addressed identity of one anonymization *instance*.
+
+    Combines the table's :func:`table_hash` with ``k``, the algorithm's
+    canonical name, and the distance-backend name — the four inputs that
+    determine a solver's output.  The backend is part of the key on
+    purpose: the two backends are parity-tested, but a cache must never
+    *assume* bit-identical results across implementations, so entries
+    computed under different backends stay separate.
+
+    Used by the service-layer solution cache (:mod:`repro.service.cache`)
+    and stable across processes and platforms.
+
+    >>> from repro.core.table import Table
+    >>> t = Table([(1, 2), (1, 2), (3, 4)], attributes=("x", "y"))
+    >>> a = instance_key(t, 2, "center_cover", "python")
+    >>> a == instance_key(t, 2, "center_cover", "python")
+    True
+    >>> a != instance_key(t, 2, "center_cover", "numpy")
+    True
+    >>> len(a)
+    32
+    """
+    payload = repr(
+        (table_hash(table), int(k), str(algorithm), str(backend))
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:32]
+
+
 def _canonical(config: dict[str, Any]) -> dict[str, Any]:
     """The JSON-round-tripped form of *config* (what lands on disk)."""
     return json.loads(json.dumps(config, sort_keys=True))

@@ -126,6 +126,90 @@ def _build_parser() -> argparse.ArgumentParser:
         help="evaluate proven bounds at this attribute count (default: 4)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the anonymization service (JSON lines over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: 7683; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per dispatched batch (default: 1)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="most requests dispatched per batch (default: 16)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.005, metavar="SECONDS",
+        help="how long to coalesce concurrent arrivals (default: 0.005)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, metavar="N",
+        help="in-memory solution-cache entries (default: 256)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="enable the on-disk cache tier in this directory",
+    )
+    serve.add_argument(
+        "--max-timeout", type=float, default=None, metavar="SECONDS",
+        help="admission cap: reject requests asking for more budget",
+    )
+    serve.add_argument(
+        "--backend", choices=["python", "numpy"], default=None,
+        help="distance backend for all solves (default: REPRO_BACKEND)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="send a table to a running `kanon serve` instance",
+    )
+    submit.add_argument(
+        "input", nargs="?", default=None,
+        help="input CSV path (omit with --stats / --shutdown / --ping)",
+    )
+    submit.add_argument("-k", type=int, default=None,
+                        help="anonymity parameter")
+    submit.add_argument(
+        "--algorithm", default="center_cover", metavar="NAME",
+        help="algorithm name or alias (default: center_cover)",
+    )
+    submit.add_argument("-o", "--output",
+                        help="output CSV path (default: stdout)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=None)
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-clock budget on the server",
+    )
+    submit.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the server's solution cache for this request",
+    )
+    submit.add_argument(
+        "--no-header", action="store_true", help="input has no header row"
+    )
+    submit.add_argument(
+        "--trace", action="store_true",
+        help="print the server-side run trace to stderr",
+    )
+    submit.add_argument(
+        "--stats", action="store_true",
+        help="print the server's cache/batch counters and exit",
+    )
+    submit.add_argument(
+        "--ping", action="store_true",
+        help="health-check the server and exit",
+    )
+    submit.add_argument(
+        "--shutdown", action="store_true",
+        help="stop the server and exit",
+    )
+
     experiment = sub.add_parser(
         "experiment",
         help="rerun a paper experiment (no input file needed)",
@@ -299,11 +383,109 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
 
+def _serve(args) -> int:
+    """The ``serve`` command: run the service until shut down."""
+    from repro.service import DEFAULT_PORT, AnonymizationService, serve
+
+    service = AnonymizationService(
+        max_entries=args.cache_size,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        backend=args.backend,
+        max_timeout=args.max_timeout,
+    )
+    port = DEFAULT_PORT if args.port is None else args.port
+    try:
+        serve(service, host=args.host, port=port, log=sys.stderr)
+    except KeyboardInterrupt:
+        print("kanon service interrupted", file=sys.stderr)
+    return 0
+
+
+def _submit(args) -> int:
+    """The ``submit`` command: one request to a running service."""
+    from repro.service import DEFAULT_PORT, ServiceClient, ServiceError
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    client = ServiceClient(args.host, port)
+    try:
+        if args.ping:
+            response = client.ping()
+            print(f"ok (protocol {response['protocol']})")
+            return 0
+        if args.stats:
+            stats = client.stats()
+            cache = stats["cache"]
+            print(f"uptime: {stats['uptime_seconds']:.1f}s  "
+                  f"backend: {stats['backend']}  jobs: {stats['jobs']}")
+            print(f"requests: {stats['requests']}  "
+                  f"rejected: {stats['rejected']}  "
+                  f"coalesced: {stats['coalesced']}")
+            print(f"cache: {cache['hits']} hits "
+                  f"({cache['memory_hits']} memory, {cache['disk_hits']} "
+                  f"disk), {cache['misses']} misses, "
+                  f"{cache['evictions']} evictions, "
+                  f"{cache['entries']}/{cache['max_entries']} resident")
+            batches = stats["batches"]
+            print(f"batches: {batches['count']} dispatched, "
+                  f"max size {batches['max_size']}, "
+                  f"mean size {batches['mean_size']:.2f}")
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("server stopped", file=sys.stderr)
+            return 0
+        if args.input is None or args.k is None:
+            print("error: submit needs an input CSV and -k (or one of "
+                  "--stats / --ping / --shutdown)", file=sys.stderr)
+            return 2
+        table = read_csv(args.input, header=not args.no_header)
+        response = client.anonymize(
+            table, args.k,
+            algorithm=args.algorithm,
+            header=not args.no_header,
+            timeout=args.timeout,
+            use_cache=not args.no_cache,
+            trace=args.trace,
+        )
+        if response.get("deadline_hit"):
+            print("deadline hit: the server returned its best valid "
+                  "release within the budget", file=sys.stderr)
+        if args.trace and response.get("trace"):
+            print(format_trace(response["trace"]), file=sys.stderr)
+        solve = response.get("solve_seconds")
+        timing = "" if solve is None else f" in {solve:.3f}s"
+        print(f"cache: {response['cache']}  "
+              f"({response['algorithm']}, k={response['k']}, "
+              f"{response['stars']} stars{timing})", file=sys.stderr)
+        if args.output:
+            write_csv(response["table"], args.output,
+                      header=not args.no_header)
+        else:
+            sys.stdout.write(response["csv"])
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2 if exc.code == "budget-exceeded" else 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach the service at {args.host}:{port} "
+              f"({exc}); is `kanon serve` running?", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
 def _dispatch(args) -> int:
     if args.command == "algorithms":
         return _list_algorithms(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "submit":
+        return _submit(args)
     table = read_csv(args.input, header=not args.no_header)
 
     if args.command == "anonymize":

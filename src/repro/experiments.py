@@ -101,16 +101,20 @@ def _worker_init(backend_default: str | None) -> None:
         os.environ["REPRO_BACKEND"] = backend_default
 
 
-def _run_tasks(fn: Callable[[Any], Any], tasks: list, jobs: int) -> list:
+def run_tasks(fn: Callable[[Any], Any], tasks: list, jobs: int) -> list:
     """Run ``[fn(t) for t in tasks]``, optionally on a process pool.
 
     ``jobs=1`` (or a single task) executes inline; otherwise a
-    spawn-context ``ProcessPoolExecutor`` fans the tasks out.  Results
-    always come back in task order.  The first worker exception cancels
-    every not-yet-started task, shuts the pool down, and re-raises in
-    the caller — a :class:`~repro.instrument.BudgetExceededError` in one
-    trial surfaces exactly like it would serially, without orphaning
-    worker processes.
+    spawn-context ``ProcessPoolExecutor`` fans the tasks out (*fn* and
+    every task must be picklable).  Results always come back in task
+    order.  The first worker exception cancels every not-yet-started
+    task, shuts the pool down, and re-raises in the caller — a
+    :class:`~repro.instrument.BudgetExceededError` in one trial surfaces
+    exactly like it would serially, without orphaning worker processes.
+
+    This is the one fan-out primitive in the codebase: the experiment
+    runners dispatch trials through it and the anonymization service
+    (:mod:`repro.service.server`) dispatches request batches through it.
     """
     if jobs < 1:
         raise ValueError("jobs must be a positive integer")
@@ -308,7 +312,7 @@ def ratio_experiment(
                    timeout=timeout, trace=trace)
         for t in pending
     ]
-    for t, outcome in zip(pending, _run_tasks(_ratio_trial, tasks, jobs)):
+    for t, outcome in zip(pending, run_tasks(_ratio_trial, tasks, jobs)):
         rows[t] = RatioRow(seed=outcome["seed"], opt=outcome["opt"],
                            cost=outcome["cost"])
         if outcome["trace"] is not None:
@@ -485,7 +489,7 @@ def threshold_sweep(
         for index in pending
     ]
     for index, outcome in zip(pending,
-                              _run_tasks(_threshold_trial, tasks, jobs)):
+                              run_tasks(_threshold_trial, tasks, jobs)):
         results[index] = _threshold_result(outcome)
         if store is not None:
             with_matching, seed = cases[index]
@@ -582,7 +586,7 @@ def k_sweep(
                    backend=backend, timeout=timeout, trace=trace)
         for index in pending
     ]
-    for index, outcome in zip(pending, _run_tasks(_sweep_point, tasks, jobs)):
+    for index, outcome in zip(pending, run_tasks(_sweep_point, tasks, jobs)):
         points[index] = SweepPoint(
             k=outcome["k"], stars=outcome["stars"],
             precision=outcome["precision"], classes=outcome["classes"],
@@ -681,7 +685,7 @@ def comparison(
         for name in pending
     ]
     for name, outcome in zip(pending,
-                             _run_tasks(_comparison_cell, tasks, jobs)):
+                             run_tasks(_comparison_cell, tasks, jobs)):
         costs[name] = outcome["cost"]
         if traces_out is not None and outcome["trace"] is not None:
             traces_out[name] = outcome["trace"]

@@ -367,9 +367,10 @@ class Run:
 def summarize_traces(traces) -> dict[str, Any] | None:
     """Aggregate ``to_dict()``-form traces into one compact summary.
 
-    Used by the run-artifact store and the parallel experiment runners:
-    per-worker traces merge into total wall-clock seconds, summed
-    algorithm/backend counters, and a deadline-hit count.  Returns
+    Used by the run-artifact store, the parallel experiment runners, and
+    the anonymization service's ``stats`` endpoint: per-run traces merge
+    into total wall-clock seconds, summed algorithm/backend counters,
+    accumulated per-phase timings, and a deadline-hit count.  Returns
     ``None`` for an empty input so callers can store the absence of
     tracing as JSON ``null``.
 
@@ -377,20 +378,25 @@ def summarize_traces(traces) -> dict[str, Any] | None:
     True
     >>> summary = summarize_traces([
     ...     {"total_seconds": 0.5, "deadline_hit": False,
+    ...      "phases": {"cover": {"seconds": 0.4, "calls": 1}},
     ...      "counters": {"rounds": 2}, "backend_counters": {"dist": 10}},
     ...     {"total_seconds": 0.25, "deadline_hit": True,
+    ...      "phases": {"cover": {"seconds": 0.2, "calls": 2}},
     ...      "counters": {"rounds": 3}, "backend_counters": {"dist": 5}},
     ... ])
     >>> summary["runs"], summary["total_seconds"], summary["deadline_hits"]
     (2, 0.75, 1)
     >>> summary["counters"]["rounds"], summary["backend_counters"]["dist"]
     (5, 15)
+    >>> summary["phases"]["cover"]
+    {'seconds': 0.6000000000000001, 'calls': 3}
     """
     traces = list(traces)
     if not traces:
         return None
     counters: dict[str, int] = {}
     backend_counters: dict[str, int] = {}
+    phases: dict[str, dict[str, float]] = {}
     total = 0.0
     deadline_hits = 0
     for trace in traces:
@@ -400,10 +406,15 @@ def summarize_traces(traces) -> dict[str, Any] | None:
             counters[name] = counters.get(name, 0) + int(value)
         for name, value in trace.get("backend_counters", {}).items():
             backend_counters[name] = backend_counters.get(name, 0) + int(value)
+        for name, entry in trace.get("phases", {}).items():
+            merged = phases.setdefault(name, {"seconds": 0.0, "calls": 0})
+            merged["seconds"] += float(entry.get("seconds", 0.0))
+            merged["calls"] += int(entry.get("calls", 0))
     return {
         "runs": len(traces),
         "total_seconds": total,
         "deadline_hits": deadline_hits,
+        "phases": phases,
         "counters": counters,
         "backend_counters": backend_counters,
     }

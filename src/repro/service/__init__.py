@@ -1,0 +1,31 @@
+"""Request/response anonymization service: cache, server, client.
+
+The front door for serving anonymization at scale: a stdlib-only
+JSON-over-TCP server (:mod:`repro.service.server`) with per-request
+admission control, request batching through the process-parallel
+executor, and a two-tier content-addressed solution cache
+(:mod:`repro.service.cache`).  ``kanon serve`` / ``kanon submit`` are
+the CLI entry points; :class:`ServiceClient` is the programmatic one.
+See ``docs/service.md`` for the protocol.
+"""
+
+from repro.service.cache import CacheStats, SolutionCache
+from repro.service.client import ServiceClient
+from repro.service.server import (
+    DEFAULT_PORT,
+    AnonymizationService,
+    ServiceError,
+    ServiceServer,
+    serve,
+)
+
+__all__ = [
+    "AnonymizationService",
+    "CacheStats",
+    "DEFAULT_PORT",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SolutionCache",
+    "serve",
+]

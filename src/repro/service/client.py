@@ -1,0 +1,152 @@
+"""Blocking client for the anonymization service.
+
+Speaks the newline-delimited-JSON protocol of
+:mod:`repro.service.server` over one persistent TCP connection.  Used
+by the ``kanon submit`` CLI verb, the service tests, and the E19
+throughput benchmark; third-party callers only need a socket and
+``json`` to interoperate.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.core.table import Table
+from repro.service.server import DEFAULT_PORT, ServiceError
+
+
+class ServiceClient:
+    """One connection to a running anonymization service.
+
+    :param host: server address.
+    :param port: server port.
+    :param timeout: socket timeout in seconds for connect and replies
+        (raise it for long solver budgets; ``None`` blocks forever).
+
+    The connection opens lazily on the first request and is reused
+    across calls; the client is also a context manager.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float | None = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object, return the raw response object."""
+        self._connect()
+        assert self._file is not None
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError(
+                f"service at {self.host}:{self.port} closed the connection"
+            )
+        return json.loads(line)
+
+    def _checked(self, payload: dict[str, Any]) -> dict[str, Any]:
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("code", "internal"),
+                response.get("error", "service error"),
+            )
+        return response
+
+    # -- the verbs -----------------------------------------------------
+
+    def anonymize(
+        self,
+        table: "Table | str",
+        k: int,
+        *,
+        algorithm: str = "center_cover",
+        header: bool = True,
+        timeout: float | None = None,
+        use_cache: bool = True,
+        trace: bool = False,
+    ) -> dict[str, Any]:
+        """Anonymize a :class:`Table` (or CSV text) on the server.
+
+        Returns the response object; ``response["table"]`` is the
+        released :class:`Table` parsed back from the wire, alongside
+        ``stars``, ``cache`` (hit / coalesced / miss / bypass), and
+        ``solve_seconds``.
+
+        :raises ServiceError: on any rejected request (bad input,
+            unknown algorithm, blown budget, infeasible instance).
+        """
+        csv = table.to_csv(header=header) if isinstance(table, Table) else table
+        response = self._checked({
+            "op": "anonymize",
+            "csv": csv,
+            "header": header,
+            "k": k,
+            "algorithm": algorithm,
+            "timeout": timeout,
+            "use_cache": use_cache,
+            "trace": trace,
+        })
+        response["table"] = Table.from_csv(response["csv"], header=header)
+        return response
+
+    def stats(self) -> dict[str, Any]:
+        """Server counters: cache hits/misses/evictions, batches, traces."""
+        return self._checked({"op": "stats"})
+
+    def ping(self) -> dict[str, Any]:
+        """Health check (also reports the protocol version)."""
+        return self._checked({"op": "ping"})
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to stop after acknowledging."""
+        try:
+            return self._checked({"op": "shutdown"})
+        finally:
+            self.close()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (reopens lazily on the next request)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "connected" if self._sock is not None else "idle"
+        return f"ServiceClient({self.host}:{self.port}, {state})"

@@ -1,0 +1,644 @@
+"""The anonymization service: batching asyncio front door for solvers.
+
+Architecture (stdlib only — JSON lines over TCP):
+
+* :class:`AnonymizationService` is the transport-free core.  It
+  validates requests, resolves algorithms through the capability
+  registry, enforces per-request :class:`~repro.instrument.TimeBudget`
+  admission control, consults the two-tier
+  :class:`~repro.service.cache.SolutionCache`, coalesces identical
+  in-flight instances, and groups cache misses into **batches** that a
+  dispatcher hands to the PR 3 process-parallel trial executor
+  (:func:`repro.experiments.run_tasks`).
+* :func:`serve` / :class:`ServiceServer` wrap the core in an asyncio
+  TCP server speaking newline-delimited JSON (one request object per
+  line, one response object per line, many per connection).
+* :class:`~repro.service.client.ServiceClient` (and the ``kanon
+  submit`` CLI verb) is the matching caller.
+
+Request objects
+---------------
+
+``{"op": "anonymize", "csv": "...", "k": 3}`` plus optional
+``algorithm`` (name or alias, default ``center_cover``), ``header``
+(default true), ``timeout`` (seconds), ``use_cache`` (default true) and
+``trace``.  Tables travel as CSV text — the same representation the CLI
+reads and writes, with ``*`` marking suppressed cells.
+
+``{"op": "stats"}`` returns cache / batch / trace counters;
+``{"op": "ping"}`` health-checks; ``{"op": "shutdown"}`` stops the
+server after responding.
+
+Responses carry ``ok`` plus either the solution (``csv``, ``stars``,
+``algorithm``, ``k``, ``cache`` ∈ {``hit``, ``coalesced``, ``miss``,
+``bypass``}) or ``error`` and a machine-readable ``code``
+(``bad-request``, ``unknown-algorithm``, ``budget-exceeded``,
+``infeasible``, ``internal``).
+
+Caching semantics: results that hit their deadline
+(``extras["deadline_hit"]``) are returned but **never cached** — a
+budget-truncated release reflects that request's budget, not the
+instance.  Budgets are armed at admission, so time spent queued counts
+against the request and an already-expired job is rejected instead of
+dispatched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import registry
+from repro.algorithms.base import InfeasibleAnonymizationError
+from repro.artifacts import instance_key
+from repro.core.backend import default_backend_name
+from repro.core.table import Table
+from repro.experiments import run_tasks
+from repro.instrument import BudgetExceededError, TimeBudget, summarize_traces
+from repro.service.cache import SolutionCache
+
+#: default TCP port (chosen as an unassigned registered port)
+DEFAULT_PORT = 7683
+
+#: protocol revision, reported by ``ping`` and ``stats``
+PROTOCOL_VERSION = 1
+
+
+class ServiceError(Exception):
+    """A request the service rejected, carrying a machine-readable code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+# ----------------------------------------------------------------------
+# The solver task (runs in pool workers — must stay picklable)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SolveTask:
+    csv: str
+    header: bool
+    k: int
+    algorithm: str
+    backend: str
+    timeout: float | None
+    trace: bool
+
+
+def _solve_task(task: _SolveTask) -> dict[str, Any]:
+    """Solve one instance; always returns a JSON-ready dict.
+
+    Errors come back as ``{"error": ..., "code": ...}`` records instead
+    of raising — one poisoned request inside a batch must not cancel its
+    batchmates (the executor cancels the pool on a raised exception).
+    """
+    started = time.perf_counter()
+    try:
+        table = Table.from_csv(task.csv, header=task.header)
+        algorithm = registry.create(task.algorithm)
+        result = algorithm.anonymize(
+            table, task.k, backend=task.backend, timeout=task.timeout,
+            trace=task.trace,
+        )
+    except BudgetExceededError as exc:
+        return {"error": str(exc), "code": "budget-exceeded"}
+    except InfeasibleAnonymizationError as exc:
+        return {"error": str(exc), "code": "infeasible"}
+    except Exception as exc:  # noqa: BLE001 - worker boundary
+        return {"error": f"{type(exc).__name__}: {exc}", "code": "internal"}
+    return {
+        "csv": result.anonymized.to_csv(header=task.header),
+        "stars": result.stars,
+        "algorithm": task.algorithm,
+        "k": task.k,
+        "backend": task.backend,
+        "deadline_hit": bool(result.extras.get("deadline_hit")),
+        "solve_seconds": time.perf_counter() - started,
+        "trace": result.extras.get("trace"),
+    }
+
+
+# ----------------------------------------------------------------------
+# The transport-free service core
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    """One admitted anonymize request waiting for its batch."""
+
+    key: str
+    task: _SolveTask
+    budget: TimeBudget
+    future: asyncio.Future = field(repr=False)
+
+
+class AnonymizationService:
+    """Validation, admission control, caching, coalescing, batching.
+
+    :param cache: solution cache (a default in-memory one if omitted);
+        ``max_entries`` / ``cache_dir`` configure the default.
+    :param jobs: worker processes per dispatched batch (1 = solve
+        in-line on the dispatcher thread).
+    :param max_batch: most jobs dispatched per batch.
+    :param batch_window: seconds the dispatcher waits to coalesce
+        concurrent arrivals into one batch (0 disables the wait).
+    :param backend: distance backend for all solves (default: the
+        process default, i.e. ``REPRO_BACKEND``).
+    :param default_timeout: budget applied to requests that send none.
+    :param max_timeout: admission cap — requests asking for more are
+        rejected up front rather than allowed to occupy workers.
+    """
+
+    def __init__(
+        self,
+        cache: SolutionCache | None = None,
+        *,
+        max_entries: int = 256,
+        cache_dir: str | None = None,
+        jobs: int = 1,
+        max_batch: int = 16,
+        batch_window: float = 0.005,
+        backend: str | None = None,
+        default_timeout: float | None = None,
+        max_timeout: float | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be a positive integer")
+        if max_batch < 1:
+            raise ValueError("max_batch must be a positive integer")
+        self.cache = cache if cache is not None else SolutionCache(
+            max_entries=max_entries, directory=cache_dir,
+        )
+        self.jobs = jobs
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.backend = backend or default_backend_name()
+        self.default_timeout = default_timeout
+        self.max_timeout = max_timeout
+        self.started_at = time.time()
+        self.requests: dict[str, int] = {}
+        self.coalesced = 0
+        self.rejected = 0
+        self.batches: list[int] = []
+        self.traces: list[dict[str, Any]] = []
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: asyncio.Queue[_Job] | None = None
+        self._dispatcher: asyncio.Task | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the batch dispatcher (idempotent)."""
+        if self._dispatcher is None:
+            self._queue = asyncio.Queue()
+            self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop the dispatcher; queued jobs are failed, not abandoned."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._queue is not None:
+            while not self._queue.empty():
+                job = self._queue.get_nowait()
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceError("internal", "service shut down")
+                    )
+            self._queue = None
+
+    # -- request handling ----------------------------------------------
+
+    async def handle(self, request: Any) -> dict[str, Any]:
+        """Serve one request object; never raises on bad input."""
+        if not isinstance(request, dict):
+            return _error("bad-request", "request must be a JSON object")
+        op = request.get("op", "anonymize")
+        self.requests[op] = self.requests.get(op, 0) + 1
+        try:
+            if op == "anonymize":
+                return await self._handle_anonymize(request)
+            if op == "stats":
+                return {"ok": True, "op": "stats", **self.stats()}
+            if op == "ping":
+                return {"ok": True, "op": "ping",
+                        "protocol": PROTOCOL_VERSION}
+            if op == "shutdown":
+                return {"ok": True, "op": "shutdown"}
+            raise ServiceError("bad-request", f"unknown op {op!r}")
+        except ServiceError as exc:
+            self.rejected += 1
+            return _error(exc.code, str(exc))
+
+    async def _handle_anonymize(self, request: dict) -> dict[str, Any]:
+        job = self._admit(request)
+        use_cache = bool(request.get("use_cache", True))
+
+        if use_cache:
+            cached = self.cache.get(job.key)
+            if cached is not None:
+                return _solution(cached, cache="hit")
+            inflight = self._inflight.get(job.key)
+            if inflight is not None:
+                # identical instance already being solved: wait for it
+                self.coalesced += 1
+                outcome = await asyncio.shield(inflight)
+                return self._finish(job, dict(outcome), cache="coalesced")
+
+        await self.start()
+        assert self._queue is not None
+        if use_cache:
+            self._inflight[job.key] = job.future
+        self._queue.put_nowait(job)
+        try:
+            outcome = await job.future
+        finally:
+            if self._inflight.get(job.key) is job.future:
+                del self._inflight[job.key]
+        return self._finish(
+            job, dict(outcome), cache="miss" if use_cache else "bypass"
+        )
+
+    def _admit(self, request: dict) -> _Job:
+        """Validate one anonymize request; raises :class:`ServiceError`.
+
+        The budget is armed *here*: queueing delay counts against the
+        request, and the dispatcher drops jobs whose budget expired
+        before they reached a worker.
+        """
+        csv = request.get("csv")
+        if not isinstance(csv, str) or not csv.strip():
+            raise ServiceError(
+                "bad-request", "anonymize needs a non-empty 'csv' string"
+            )
+        k = request.get("k")
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ServiceError(
+                "bad-request", "'k' must be a positive integer"
+            )
+        name = request.get("algorithm", "center_cover")
+        try:
+            algorithm = registry.get(name).name
+        except KeyError:
+            raise ServiceError(
+                "unknown-algorithm",
+                f"unknown algorithm {name!r}; see `kanon algorithms`",
+            ) from None
+        timeout = request.get("timeout", self.default_timeout)
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    "bad-request", "'timeout' must be a number of seconds"
+                ) from None
+            if timeout < 0:
+                raise ServiceError(
+                    "bad-request", "'timeout' cannot be negative"
+                )
+            if self.max_timeout is not None and timeout > self.max_timeout:
+                raise ServiceError(
+                    "bad-request",
+                    f"timeout {timeout:g}s exceeds the server cap of "
+                    f"{self.max_timeout:g}s",
+                )
+        elif self.max_timeout is not None:
+            timeout = self.max_timeout
+        header = bool(request.get("header", True))
+        try:
+            table = Table.from_csv(csv, header=header)
+        except ValueError as exc:
+            raise ServiceError("bad-request", f"bad csv: {exc}") from None
+        task = _SolveTask(
+            csv=csv, header=header, k=k, algorithm=algorithm,
+            backend=self.backend, timeout=timeout,
+            trace=bool(request.get("trace", False)),
+        )
+        return _Job(
+            key=instance_key(table, k, algorithm, self.backend),
+            task=task,
+            budget=TimeBudget(timeout).start(),
+            future=asyncio.get_running_loop().create_future(),
+        )
+
+    def _finish(
+        self, job: _Job, outcome: dict[str, Any], cache: str
+    ) -> dict[str, Any]:
+        """Turn a solver outcome into a response; cache and trace it."""
+        if "error" in outcome:
+            self.rejected += 1
+            return _error(outcome["code"], outcome["error"])
+        trace = outcome.pop("trace", None)
+        if trace is not None:
+            self.traces.append(trace)
+        if cache == "miss" and not outcome.get("deadline_hit"):
+            # deadline-degraded releases reflect the budget, not the
+            # instance — never let them answer future requests
+            self.cache.put(job.key, outcome)
+        response = _solution(outcome, cache=cache)
+        if trace is not None:
+            response["trace"] = trace
+        return response
+
+    # -- the batch dispatcher ------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            batch = [await self._queue.get()]
+            deadline = time.monotonic() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 and self._queue.empty():
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(
+                            self._queue.get(), max(0.0, remaining)
+                        )
+                    )
+                except asyncio.TimeoutError:
+                    break
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Job]) -> None:
+        """Dispatch one batch to the trial executor (in a thread)."""
+        ready: list[_Job] = []
+        for job in batch:
+            if job.future.done():
+                continue  # caller went away (connection dropped)
+            if job.budget.expired():
+                # admission control: the budget ran out in the queue
+                job.future.set_result({
+                    "error": (
+                        f"request spent its {job.budget.seconds:g}s "
+                        f"budget queued before dispatch"
+                    ),
+                    "code": "budget-exceeded",
+                })
+                continue
+            ready.append(job)
+        if not ready:
+            return
+        self.batches.append(len(ready))
+        # duplicate keys inside one batch solve once
+        unique: dict[str, _SolveTask] = {}
+        for job in ready:
+            task = job.task
+            if job.budget.limited:
+                task = _SolveTask(
+                    csv=task.csv, header=task.header, k=task.k,
+                    algorithm=task.algorithm, backend=task.backend,
+                    timeout=job.budget.remaining(), trace=task.trace,
+                )
+            unique.setdefault(job.key, task)
+        keys = list(unique)
+        try:
+            outcomes = await asyncio.to_thread(
+                run_tasks, _solve_task, [unique[key] for key in keys],
+                min(self.jobs, len(keys)),
+            )
+        except Exception as exc:  # noqa: BLE001 - executor boundary
+            for job in ready:
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceError("internal", str(exc))
+                    )
+            return
+        by_key = dict(zip(keys, outcomes))
+        for job in ready:
+            if not job.future.done():
+                job.future.set_result(by_key[job.key])
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for the ``stats`` endpoint (JSON-ready)."""
+        sizes = self.batches
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "max_batch": self.max_batch,
+            "batch_window": self.batch_window,
+            "requests": dict(self.requests),
+            "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "cache": self.cache.as_dict(),
+            "batches": {
+                "count": len(sizes),
+                "max_size": max(sizes) if sizes else 0,
+                "mean_size": sum(sizes) / len(sizes) if sizes else 0.0,
+            },
+            "traces": summarize_traces(self.traces),
+        }
+
+
+def _error(code: str, message: str) -> dict[str, Any]:
+    return {"ok": False, "code": code, "error": message}
+
+
+def _solution(outcome: dict[str, Any], cache: str) -> dict[str, Any]:
+    return {
+        "ok": True,
+        "op": "anonymize",
+        "cache": cache,
+        "csv": outcome["csv"],
+        "stars": outcome["stars"],
+        "algorithm": outcome["algorithm"],
+        "k": outcome["k"],
+        "backend": outcome["backend"],
+        "deadline_hit": outcome.get("deadline_hit", False),
+        "solve_seconds": outcome.get("solve_seconds"),
+    }
+
+
+# ----------------------------------------------------------------------
+# The TCP front end (newline-delimited JSON)
+# ----------------------------------------------------------------------
+
+#: refuse request lines beyond this size (64 MiB) instead of buffering
+#: unbounded input from one connection
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+async def _handle_connection(
+    service: AnonymizationService,
+    stop: asyncio.Event,
+    connections: set,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    connections.add(writer)
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionResetError, ValueError):
+                break  # reset, or a request line beyond MAX_LINE_BYTES
+            if not line:
+                break
+            if not line.strip():
+                continue
+            request: Any = None
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response = _error("bad-request", f"bad JSON: {exc}")
+            else:
+                response = await service.handle(request)
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+            if (
+                isinstance(request, dict)
+                and request.get("op") == "shutdown"
+                and response.get("ok")
+            ):
+                stop.set()
+                break
+    except asyncio.CancelledError:
+        pass  # server teardown closed this connection mid-read
+    finally:
+        connections.discard(writer)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def serve_async(
+    service: AnonymizationService | None = None,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    ready: "threading.Event | None" = None,
+    bound: list | None = None,
+    log=None,
+    **service_options: Any,
+) -> None:
+    """Run the TCP server until a ``shutdown`` request arrives.
+
+    ``ready`` / ``bound`` let an embedding thread learn the bound
+    address (pass ``port=0`` for an ephemeral port); *log* is a text
+    stream for one-line startup/shutdown notices.
+    """
+    service = service or AnonymizationService(**service_options)
+    stop = asyncio.Event()
+    connections: set = set()
+    await service.start()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(service, stop, connections, r, w),
+        host, port, limit=MAX_LINE_BYTES,
+    )
+    address = server.sockets[0].getsockname()[:2]
+    if bound is not None:
+        bound.extend(address)
+    if ready is not None:
+        ready.set()
+    if log is not None:
+        print(
+            f"kanon service listening on {address[0]}:{address[1]} "
+            f"(backend={service.backend}, jobs={service.jobs}, "
+            f"cache={service.cache.max_entries} entries)",
+            file=log, flush=True,
+        )
+    async with server:
+        await stop.wait()
+        # drop lingering idle connections so their reader tasks end
+        # cleanly before the loop is torn down
+        for open_writer in list(connections):
+            open_writer.close()
+        await asyncio.sleep(0)
+    await service.stop()
+    if log is not None:
+        print("kanon service stopped", file=log, flush=True)
+
+
+def serve(
+    service: AnonymizationService | None = None,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    **options: Any,
+) -> None:
+    """Blocking entry point: serve until shut down (``kanon serve``)."""
+    asyncio.run(serve_async(service, host, port, **options))
+
+
+class ServiceServer:
+    """An in-process server on a background thread (tests, notebooks).
+
+    >>> from repro.service import ServiceClient, ServiceServer
+    >>> server = ServiceServer()
+    >>> host, port = server.start()
+    >>> client = ServiceClient(host, port)
+    >>> client.ping()["ok"]
+    True
+    >>> server.stop()
+    """
+
+    def __init__(
+        self,
+        service: AnonymizationService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service or AnonymizationService()
+        self._host = host
+        self._port = port
+        self._thread: threading.Thread | None = None
+        self.address: tuple[str, int] | None = None
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        """Start serving; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            assert self.address is not None
+            return self.address
+        ready = threading.Event()
+        bound: list = []
+        self._thread = threading.Thread(
+            target=serve,
+            args=(self.service, self._host, self._port),
+            kwargs={"ready": ready, "bound": bound},
+            daemon=True,
+        )
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("service thread failed to start")
+        self.address = (bound[0], bound[1])
+        return self.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request shutdown over the wire and join the thread."""
+        if self._thread is None:
+            return
+        from repro.service.client import ServiceClient
+
+        assert self.address is not None
+        try:
+            ServiceClient(*self.address).shutdown()
+        except OSError:
+            pass  # already gone
+        self._thread.join(timeout)
+        self._thread = None
+        self.address = None
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,183 @@
+"""The two-tier solution cache and its content-addressed keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts import instance_key, table_hash
+from repro.core.table import Table
+from repro.service.cache import SolutionCache
+
+
+def _table():
+    return Table([(1, 2), (1, 2), (3, 4)], attributes=("x", "y"))
+
+
+# ----------------------------------------------------------------------
+# Key correctness: the key must separate everything that can change
+# the solution
+# ----------------------------------------------------------------------
+
+
+class TestInstanceKey:
+    def test_deterministic_across_equal_tables(self):
+        a = instance_key(_table(), 2, "center_cover", "python")
+        b = instance_key(_table(), 2, "center_cover", "python")
+        assert a == b
+
+    def test_single_cell_difference_changes_key(self):
+        base = _table()
+        changed = Table(
+            [(1, 2), (1, 5), (3, 4)], attributes=("x", "y")
+        )
+        assert instance_key(base, 2, "center_cover", "python") != \
+            instance_key(changed, 2, "center_cover", "python")
+
+    def test_column_order_changes_key(self):
+        base = _table()
+        swapped = base.project(["y", "x"])
+        assert table_hash(base) != table_hash(swapped)
+        assert instance_key(base, 2, "center_cover", "python") != \
+            instance_key(swapped, 2, "center_cover", "python")
+
+    def test_attribute_names_change_key(self):
+        renamed = Table(_table().rows, attributes=("u", "v"))
+        assert instance_key(_table(), 2, "center_cover", "python") != \
+            instance_key(renamed, 2, "center_cover", "python")
+
+    def test_k_and_algorithm_change_key(self):
+        table = _table()
+        base = instance_key(table, 2, "center_cover", "python")
+        assert base != instance_key(table, 3, "center_cover", "python")
+        assert base != instance_key(table, 2, "mondrian", "python")
+
+    def test_backends_never_share_entries(self):
+        """Identical tables under python vs numpy must key differently.
+
+        The backends are parity-tested, but the cache contract is that
+        entries are only shared when results are *known* bit-identical —
+        which the key guarantees by construction: it always separates
+        backends, so a cross-backend hit is impossible.
+        """
+        table = _table()
+        assert instance_key(table, 2, "center_cover", "python") != \
+            instance_key(table, 2, "center_cover", "numpy")
+
+    def test_row_order_changes_table_hash(self):
+        # tables are ordered multisets; reordering is a different relation
+        reordered = Table(
+            [(3, 4), (1, 2), (1, 2)], attributes=("x", "y")
+        )
+        assert table_hash(_table()) != table_hash(reordered)
+
+
+# ----------------------------------------------------------------------
+# The LRU memory tier
+# ----------------------------------------------------------------------
+
+
+class TestMemoryTier:
+    def test_put_get_roundtrip(self):
+        cache = SolutionCache(max_entries=4)
+        cache.put("a" * 32, {"stars": 7})
+        assert cache.get("a" * 32) == {"stars": 7}
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.stores == 1
+
+    def test_miss_is_counted(self):
+        cache = SolutionCache()
+        assert cache.get("f" * 32) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_lru_eviction_order_and_counter(self):
+        cache = SolutionCache(max_entries=2)
+        cache.put("a" * 32, {"v": 1})
+        cache.put("b" * 32, {"v": 2})
+        assert cache.get("a" * 32) is not None  # refresh "a"
+        cache.put("c" * 32, {"v": 3})  # evicts "b", the LRU entry
+        assert cache.stats.evictions == 1
+        assert cache.get("b" * 32) is None
+        assert cache.get("a" * 32) is not None
+        assert cache.get("c" * 32) is not None
+        assert len(cache) == 2
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SolutionCache(max_entries=0)
+
+    def test_clear_keeps_counters(self):
+        cache = SolutionCache()
+        cache.put("a" * 32, {"v": 1})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.stores == 1
+
+
+# ----------------------------------------------------------------------
+# The disk tier
+# ----------------------------------------------------------------------
+
+
+class TestDiskTier:
+    def test_survives_a_new_cache_instance(self, tmp_path):
+        first = SolutionCache(max_entries=4, directory=tmp_path)
+        first.put("a" * 32, {"stars": 3})
+        fresh = SolutionCache(max_entries=4, directory=tmp_path)
+        assert fresh.get("a" * 32) == {"stars": 3}
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.memory_hits == 0
+        # promoted into memory: the second read never touches disk
+        assert fresh.get("a" * 32) == {"stars": 3}
+        assert fresh.stats.memory_hits == 1
+
+    def test_memory_eviction_falls_back_to_disk(self, tmp_path):
+        cache = SolutionCache(max_entries=1, directory=tmp_path)
+        cache.put("a" * 32, {"v": 1})
+        cache.put("b" * 32, {"v": 2})  # evicts "a" from memory only
+        assert cache.stats.evictions == 1
+        assert cache.get("a" * 32) == {"v": 1}
+        assert cache.stats.disk_hits == 1
+
+    def test_contains_probes_both_tiers_without_counting(self, tmp_path):
+        cache = SolutionCache(max_entries=1, directory=tmp_path)
+        cache.put("a" * 32, {"v": 1})
+        cache.put("b" * 32, {"v": 2})
+        assert ("a" * 32) in cache  # on disk only
+        assert ("b" * 32) in cache  # in memory
+        assert ("c" * 32) not in cache
+        assert cache.stats.lookups == 0
+
+    def test_rejects_non_digest_keys(self, tmp_path):
+        cache = SolutionCache(directory=tmp_path)
+        with pytest.raises(ValueError):
+            cache.put("../escape", {"v": 1})
+        with pytest.raises(ValueError):
+            cache.get("not a digest")
+
+    def test_no_directory_means_memory_only(self):
+        cache = SolutionCache(max_entries=1)
+        cache.put("a" * 32, {"v": 1})
+        cache.put("b" * 32, {"v": 2})
+        assert cache.get("a" * 32) is None  # evicted, nowhere to fall back
+        assert cache.stats.misses == 1
+
+
+# ----------------------------------------------------------------------
+# Stats plumbing
+# ----------------------------------------------------------------------
+
+
+def test_as_dict_snapshot(tmp_path):
+    cache = SolutionCache(max_entries=8, directory=tmp_path)
+    cache.put("a" * 32, {"v": 1})
+    cache.get("a" * 32)
+    cache.get("b" * 32)
+    snapshot = cache.as_dict()
+    assert snapshot["hits"] == 1
+    assert snapshot["misses"] == 1
+    assert snapshot["evictions"] == 0
+    assert snapshot["entries"] == 1
+    assert snapshot["max_entries"] == 8
+    assert snapshot["disk"] == str(tmp_path)
+    assert snapshot["hit_rate"] == 0.5
