@@ -163,6 +163,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["python", "numpy"], default=None,
         help="distance backend for all solves (default: REPRO_BACKEND)",
     )
+    serve.add_argument(
+        "--per-batch-pool", action="store_true",
+        help="spawn a fresh worker pool per batch instead of keeping "
+             "one alive across batches (the pre-v2 behaviour)",
+    )
+    serve.add_argument(
+        "--max-tasks-per-child", type=int, default=None, metavar="N",
+        help="recycle persistent-pool workers after ~N tasks each",
+    )
+    serve.add_argument(
+        "--inject-faults", action="store_true",
+        help="honour per-request 'fault' fields (chaos testing only; "
+             "also: REPRO_SERVICE_FAULTS=1)",
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -196,6 +210,16 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--trace", action="store_true",
         help="print the server-side run trace to stderr",
+    )
+    submit.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="reconnect-and-retry attempts on connection errors "
+             "(idempotent requests only; default: 2)",
+    )
+    submit.add_argument(
+        "--fault", default=None, metavar="MODE",
+        help="ask a chaos-enabled server to misbehave: kill-worker, "
+             "delay:SECONDS, or drop-connection",
     )
     submit.add_argument(
         "--stats", action="store_true",
@@ -395,6 +419,9 @@ def _serve(args) -> int:
         batch_window=args.batch_window,
         backend=args.backend,
         max_timeout=args.max_timeout,
+        persistent_pool=not args.per_batch_pool,
+        max_tasks_per_child=args.max_tasks_per_child,
+        fault_injection=True if args.inject_faults else None,
     )
     port = DEFAULT_PORT if args.port is None else args.port
     try:
@@ -409,7 +436,7 @@ def _submit(args) -> int:
     from repro.service import DEFAULT_PORT, ServiceClient, ServiceError
 
     port = DEFAULT_PORT if args.port is None else args.port
-    client = ServiceClient(args.host, port)
+    client = ServiceClient(args.host, port, retries=max(0, args.retries))
     try:
         if args.ping:
             response = client.ping()
@@ -432,6 +459,16 @@ def _submit(args) -> int:
             print(f"batches: {batches['count']} dispatched, "
                   f"max size {batches['max_size']}, "
                   f"mean size {batches['mean_size']:.2f}")
+            pool = stats.get("pool")
+            if pool:
+                extras = ""
+                if pool.get("mode") == "persistent":
+                    extras = (f", {pool['batches']} batches, "
+                              f"{pool['tasks']} tasks, "
+                              f"{pool['rebuilds']} rebuilds, "
+                              f"{pool['recycled']} recycles")
+                print(f"pool: {pool['mode']} "
+                      f"({pool['workers']} workers{extras})")
             return 0
         if args.shutdown:
             client.shutdown()
@@ -449,6 +486,7 @@ def _submit(args) -> int:
             timeout=args.timeout,
             use_cache=not args.no_cache,
             trace=args.trace,
+            fault=args.fault,
         )
         if response.get("deadline_hit"):
             print("deadline hit: the server returned its best valid "
@@ -467,7 +505,7 @@ def _submit(args) -> int:
             sys.stdout.write(response["csv"])
         return 0
     except ServiceError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
         return 2 if exc.code == "budget-exceeded" else 1
     except (ConnectionError, OSError) as exc:
         print(f"error: cannot reach the service at {args.host}:{port} "

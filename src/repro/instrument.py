@@ -37,6 +37,7 @@ True
 from __future__ import annotations
 
 import os
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -127,6 +128,55 @@ class TimeBudget:
         if self.seconds is None:
             return "TimeBudget(unlimited)"
         return f"TimeBudget({self.seconds:g}s)"
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """An exponential backoff schedule with jitter for retry loops.
+
+    :meth:`delay` for attempt *a* grows geometrically from *base* by
+    *factor*, saturates at *maximum*, and is then scattered downward by
+    up to ``jitter`` (a fraction of the raw delay, drawn uniformly) so
+    a fleet of clients retrying after one server hiccup doesn't
+    reconnect in lockstep.  Pass a seeded :class:`random.Random` for
+    deterministic schedules in tests.
+
+    Used by :class:`repro.service.client.ServiceClient` between
+    reconnect attempts; transport-agnostic on purpose.
+
+    >>> schedule = Backoff(base=0.1, factor=2.0, maximum=1.0, jitter=0.0)
+    >>> [round(schedule.delay(a), 3) for a in range(5)]
+    [0.1, 0.2, 0.4, 0.8, 1.0]
+    >>> jittered = Backoff(base=0.1, maximum=1.0, jitter=0.5)
+    >>> all(0.05 <= jittered.delay(0, random.Random(s)) <= 0.1
+    ...     for s in range(20))
+    True
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    maximum: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("base delay cannot be negative")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1 (delays may not shrink)")
+        if self.maximum < self.base:
+            raise ValueError("maximum cannot undercut the base delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter is a fraction in [0, 1]")
+
+    def delay(self, attempt: int, rng: "random.Random | None" = None) -> float:
+        """Seconds to sleep before retry *attempt* (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt is a 0-based retry index")
+        raw = min(self.maximum, self.base * self.factor ** attempt)
+        if not self.jitter:
+            return raw
+        draw = (rng or random).random()
+        return raw * (1.0 - self.jitter * draw)
 
 
 def as_budget(value: "TimeBudget | float | int | None") -> TimeBudget:

@@ -5,6 +5,8 @@ plus the JSON / JSON-lines primitives the run-artifact store builds on
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -44,11 +46,36 @@ def read_json(path: str | Path) -> Any:
         return json.load(handle)
 
 
-def write_json(path: str | Path, payload: Any) -> None:
-    """Write one JSON document (sorted keys, trailing newline)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, sort_keys=True, indent=2)
-        handle.write("\n")
+def write_json(path: str | Path, payload: Any, *, atomic: bool = False) -> None:
+    """Write one JSON document (sorted keys, trailing newline).
+
+    ``atomic=True`` writes to a temporary sibling file and
+    ``os.replace``-s it into place, so a concurrent reader (or a reader
+    after a crash mid-write) observes either the previous complete
+    document or the new complete document — never a torn one.  The
+    solution cache's disk tier depends on this.
+    """
+    if not atomic:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        return
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=path.parent,
+        prefix=path.name + ".", suffix=".tmp", delete=False,
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def append_jsonl(path: str | Path, record: Any) -> None:

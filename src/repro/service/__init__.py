@@ -13,6 +13,7 @@ from repro.service.cache import CacheStats, SolutionCache
 from repro.service.client import ServiceClient
 from repro.service.server import (
     DEFAULT_PORT,
+    PROTOCOL_VERSION,
     AnonymizationService,
     ServiceError,
     ServiceServer,
@@ -23,6 +24,7 @@ __all__ = [
     "AnonymizationService",
     "CacheStats",
     "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",

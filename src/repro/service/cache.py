@@ -27,9 +27,15 @@ Cache-key semantics worth spelling out:
   budget, not of the instance.  The service layer enforces this; the
   cache itself stores whatever it is given.
 
-Counters (hits / memory hits / disk hits / misses / evictions / stores)
-are live on :attr:`SolutionCache.stats` and surface through the
+Counters (hits / memory hits / disk hits / misses / evictions / stores /
+corrupt) are live on :attr:`SolutionCache.stats` and surface through the
 service's ``stats`` endpoint.
+
+Disk-tier robustness: stores are atomic (tmp-then-rename via
+:func:`repro.io.write_json`), and an entry that can't be parsed back —
+a torn write from a crash predating atomicity, manual truncation, disk
+corruption — is quarantined to ``<key>.json.corrupt`` and treated as a
+miss, so one bad file can never poison its key or crash a lookup.
 
 >>> cache = SolutionCache(max_entries=2)
 >>> cache.put("a", {"stars": 4})
@@ -71,6 +77,8 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     stores: int = 0
+    #: unreadable disk entries quarantined and served as misses
+    corrupt: int = 0
 
     @property
     def hits(self) -> int:
@@ -94,6 +102,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "stores": self.stores,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
         }
 
@@ -139,7 +148,10 @@ class SolutionCache:
         """The cached solution for *key*, or ``None`` on a miss.
 
         Memory first, then disk; a disk hit is promoted into the memory
-        LRU so repeated traffic stays off the filesystem.
+        LRU so repeated traffic stays off the filesystem.  An
+        unreadable disk entry (torn write, truncation, wrong shape) is
+        **quarantined and counted as a miss** — a bad file must never
+        poison its key, let alone crash the caller.
         """
         entry = self._memory.get(key)
         if entry is not None:
@@ -148,19 +160,47 @@ class SolutionCache:
             return entry
         path = self._disk_path(key)
         if path is not None and path.exists():
-            entry = read_json(path)
+            try:
+                entry = read_json(path)
+                if not isinstance(entry, dict):
+                    raise ValueError(
+                        f"cache entry is {type(entry).__name__}, "
+                        "not a JSON object"
+                    )
+            except (ValueError, OSError):
+                # json.JSONDecodeError and UnicodeDecodeError are both
+                # ValueError subclasses; OSError covers vanished files
+                self._quarantine(path)
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                return None
             self.stats.disk_hits += 1
             self._admit(key, entry)
             return entry
         self.stats.misses += 1
         return None
 
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a bad entry aside (``<key>.json.corrupt``) or drop it."""
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # racing unlink/rename: the entry is gone either way
+
     def put(self, key: str, value: dict[str, Any]) -> None:
-        """Store a solution under *key* in both tiers."""
+        """Store a solution under *key* in both tiers.
+
+        The disk write is atomic (tmp-then-rename), so a crash mid-put
+        leaves the previous entry — or nothing — never a torn file.
+        """
         path = self._disk_path(key)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
-            write_json(path, value)
+            write_json(path, value, atomic=True)
         self._admit(key, value)
         self.stats.stores += 1
 

@@ -2,18 +2,38 @@
 
 Speaks the newline-delimited-JSON protocol of
 :mod:`repro.service.server` over one persistent TCP connection.  Used
-by the ``kanon submit`` CLI verb, the service tests, and the E19
-throughput benchmark; third-party callers only need a socket and
-``json`` to interoperate.
+by the ``kanon submit`` CLI verb, the service tests, and the E19/E20
+benchmarks; third-party callers only need a socket and ``json`` to
+interoperate.
+
+Robustness (protocol v2):
+
+* every request carries an auto-incrementing ``id``; responses are
+  matched by it, so a line left over from an earlier timed-out request
+  is **discarded** instead of being mistaken for the current reply.
+* a dead connection (reset, closed, failed write) is closed
+  immediately — satellite of PR 5: the next call reconnects instead of
+  failing forever on a half-dead socket.
+* idempotent verbs (``anonymize``, ``ping``, ``stats``) retry through
+  :class:`~repro.instrument.Backoff` with exponential delay and jitter;
+  ``shutdown`` never retries (a retry could kill a freshly restarted
+  server).
+
+The counters on :attr:`ServiceClient.counters` (requests / retries /
+reconnects / timeouts / stale lines discarded) make those behaviours
+observable in tests and chaos runs.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any
 
 from repro.core.table import Table
+from repro.instrument import Backoff
 from repro.service.server import DEFAULT_PORT, ServiceError
 
 
@@ -24,6 +44,13 @@ class ServiceClient:
     :param port: server port.
     :param timeout: socket timeout in seconds for connect and replies
         (raise it for long solver budgets; ``None`` blocks forever).
+    :param retries: reconnect-and-resend attempts (beyond the first)
+        for **idempotent** requests that hit a connection error or
+        timeout.  0 disables retrying; the dead socket is still closed
+        so the next call reconnects.
+    :param backoff: delay policy between retries (default
+        ``Backoff()``: 50 ms doubling to 2 s, with jitter).
+    :param rng: random source for the jitter (seed it in tests).
 
     The connection opens lazily on the first request and is reused
     across calls; the client is also a context manager.
@@ -34,12 +61,29 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: float | None = 60.0,
+        *,
+        retries: int = 2,
+        backoff: Backoff | None = None,
+        rng: random.Random | None = None,
     ):
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff if backoff is not None else Backoff()
+        self._rng = rng
         self._sock: socket.socket | None = None
-        self._file = None
+        self._buffer = bytearray()
+        self._next_id = 0
+        self.counters: dict[str, int] = {
+            "requests": 0,
+            "retries": 0,
+            "reconnects": 0,
+            "timeouts": 0,
+            "stale_lines_discarded": 0,
+        }
 
     # -- plumbing ------------------------------------------------------
 
@@ -48,23 +92,122 @@ class ServiceClient:
             self._sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
             )
-            self._file = self._sock.makefile("rwb")
+            self._buffer.clear()
+            self.counters["reconnects"] += 1
 
-    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Send one request object, return the raw response object."""
+    def _read_line(self) -> bytes:
+        """One newline-terminated line from the socket.
+
+        A manual buffer instead of ``socket.makefile`` so that a read
+        timeout leaves the connection in a consistent state — the bytes
+        received so far stay buffered, and the late response can be
+        recognised (and discarded by ``id``) on the next request.
+        """
+        assert self._sock is not None
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                return line
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    f"service at {self.host}:{self.port} closed the "
+                    "connection"
+                )
+            self._buffer.extend(chunk)
+
+    def _exchange(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One send/receive round-trip, matching the response by id.
+
+        Raises ``ConnectionError`` (after closing the dead socket) on
+        anything that warrants a reconnect; raises ``socket.timeout``
+        (``TimeoutError``) with the connection *kept* when the server is
+        simply slow — the stale reply will be discarded by id later.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        payload = {**payload, "id": request_id}
         self._connect()
-        assert self._file is not None
-        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
+        assert self._sock is not None
+        self._sock.settimeout(self.timeout)
+        try:
+            self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        except socket.timeout:
+            # a send timeout leaves an unknown number of bytes on the
+            # wire: the connection is unusable, not merely slow
+            self.close()
+            self.counters["timeouts"] += 1
             raise ConnectionError(
-                f"service at {self.host}:{self.port} closed the connection"
-            )
-        return json.loads(line)
+                f"timed out sending to {self.host}:{self.port}"
+            ) from None
+        except OSError as exc:
+            self.close()
+            raise ConnectionError(
+                f"lost connection to {self.host}:{self.port}: {exc}"
+            ) from exc
+        while True:
+            try:
+                line = self._read_line()
+            except socket.timeout:
+                self.counters["timeouts"] += 1
+                raise
+            except ConnectionError:
+                self.close()
+                raise
+            except OSError as exc:
+                self.close()
+                raise ConnectionError(
+                    f"lost connection to {self.host}:{self.port}: {exc}"
+                ) from exc
+            try:
+                response = json.loads(line)
+                if not isinstance(response, dict):
+                    raise ValueError("response is not a JSON object")
+            except ValueError:
+                # a garbled line means framing is lost for good
+                self.close()
+                raise ConnectionError(
+                    f"service at {self.host}:{self.port} sent a "
+                    "malformed response line"
+                ) from None
+            if response.get("id") == request_id:
+                return response
+            if "id" not in response:
+                # a v1 server echoes nothing; pairing is positional
+                return response
+            # a late answer to an earlier timed-out request: drop it
+            # and keep reading for ours
+            self.counters["stale_lines_discarded"] += 1
 
-    def _checked(self, payload: dict[str, Any]) -> dict[str, Any]:
-        response = self.request(payload)
+    def request(
+        self, payload: dict[str, Any], *, idempotent: bool = True
+    ) -> dict[str, Any]:
+        """Send one request object, return the raw response object.
+
+        Connection errors and send timeouts are retried (reconnect,
+        backoff with jitter, fresh request id) up to ``retries`` times —
+        but only when *idempotent*; a non-idempotent request fails on
+        the first error.  Read timeouts raise ``TimeoutError`` with the
+        connection kept open (the late reply is discarded by id later).
+        """
+        self.counters["requests"] += 1
+        attempts = (self.retries if idempotent else 0) + 1
+        for attempt in range(attempts):
+            try:
+                return self._exchange(payload)
+            except ConnectionError:
+                if attempt + 1 >= attempts:
+                    raise
+                self.counters["retries"] += 1
+                time.sleep(self.backoff.delay(attempt, rng=self._rng))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _checked(
+        self, payload: dict[str, Any], *, idempotent: bool = True
+    ) -> dict[str, Any]:
+        response = self.request(payload, idempotent=idempotent)
         if not response.get("ok"):
             raise ServiceError(
                 response.get("code", "internal"),
@@ -84,6 +227,7 @@ class ServiceClient:
         timeout: float | None = None,
         use_cache: bool = True,
         trace: bool = False,
+        fault: str | None = None,
     ) -> dict[str, Any]:
         """Anonymize a :class:`Table` (or CSV text) on the server.
 
@@ -92,11 +236,15 @@ class ServiceClient:
         ``stars``, ``cache`` (hit / coalesced / miss / bypass), and
         ``solve_seconds``.
 
+        *fault* asks a chaos-enabled server to misbehave on purpose
+        (``kill-worker``, ``delay:SECONDS``, ``drop-connection``);
+        servers without fault injection reject it.
+
         :raises ServiceError: on any rejected request (bad input,
             unknown algorithm, blown budget, infeasible instance).
         """
         csv = table.to_csv(header=header) if isinstance(table, Table) else table
-        response = self._checked({
+        payload = {
             "op": "anonymize",
             "csv": csv,
             "header": header,
@@ -105,12 +253,15 @@ class ServiceClient:
             "timeout": timeout,
             "use_cache": use_cache,
             "trace": trace,
-        })
+        }
+        if fault is not None:
+            payload["fault"] = fault
+        response = self._checked(payload)
         response["table"] = Table.from_csv(response["csv"], header=header)
         return response
 
     def stats(self) -> dict[str, Any]:
-        """Server counters: cache hits/misses/evictions, batches, traces."""
+        """Server counters: cache hits/misses/evictions, batches, pool."""
         return self._checked({"op": "stats"})
 
     def ping(self) -> dict[str, Any]:
@@ -118,9 +269,9 @@ class ServiceClient:
         return self._checked({"op": "ping"})
 
     def shutdown(self) -> dict[str, Any]:
-        """Ask the server to stop after acknowledging."""
+        """Ask the server to stop after acknowledging (never retried)."""
         try:
-            return self._checked({"op": "shutdown"})
+            return self._checked({"op": "shutdown"}, idempotent=False)
         finally:
             self.close()
 
@@ -128,18 +279,13 @@ class ServiceClient:
 
     def close(self) -> None:
         """Close the connection (reopens lazily on the next request)."""
-        if self._file is not None:
-            try:
-                self._file.close()
-            except OSError:
-                pass
-            self._file = None
         if self._sock is not None:
             try:
                 self._sock.close()
             except OSError:
                 pass
             self._sock = None
+        self._buffer.clear()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -149,4 +295,7 @@ class ServiceClient:
 
     def __repr__(self) -> str:
         state = "connected" if self._sock is not None else "idle"
-        return f"ServiceClient({self.host}:{self.port}, {state})"
+        return (
+            f"ServiceClient({self.host}:{self.port}, {state}, "
+            f"retries={self.retries})"
+        )

@@ -25,7 +25,7 @@ Request objects
 ``trace``.  Tables travel as CSV text — the same representation the CLI
 reads and writes, with ``*`` marking suppressed cells.
 
-``{"op": "stats"}`` returns cache / batch / trace counters;
+``{"op": "stats"}`` returns cache / batch / pool / trace counters;
 ``{"op": "ping"}`` health-checks; ``{"op": "shutdown"}`` stops the
 server after responding.
 
@@ -35,18 +35,38 @@ Responses carry ``ok`` plus either the solution (``csv``, ``stars``,
 (``bad-request``, ``unknown-algorithm``, ``budget-exceeded``,
 ``infeasible``, ``internal``).
 
+Protocol v2 (requests without these fields behave exactly like v1):
+
+* **request correlation** — a request may carry an ``id`` (any JSON
+  value); every response to it, success or error, echoes that ``id``
+  verbatim.  A client whose socket timed out mid-request can therefore
+  discard the late response by its stale ``id`` instead of permanently
+  desyncing request/response pairing on the connection.
+* **fault injection** — when (and only when) the service was started
+  with it enabled, a request may carry a ``fault`` field
+  (``kill-worker``, ``delay:SECONDS``, ``drop-connection``) that makes
+  the server misbehave on purpose; see :class:`AnonymizationService`.
+
 Caching semantics: results that hit their deadline
 (``extras["deadline_hit"]``) are returned but **never cached** — a
 budget-truncated release reflects that request's budget, not the
 instance.  Budgets are armed at admission, so time spent queued counts
 against the request and an already-expired job is rejected instead of
 dispatched.
+
+Worker-pool semantics: with ``jobs > 1`` the service owns a persistent
+:class:`repro.experiments.WorkerPool` across batches (spawn once, solve
+many), recycling workers after ``max_tasks_per_child``-many tasks each
+and surviving worker crashes — a killed worker fails only its batch
+(code ``internal``) and the pool rebuilds for the next one.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import multiprocessing
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -57,15 +77,22 @@ from repro.algorithms.base import InfeasibleAnonymizationError
 from repro.artifacts import instance_key
 from repro.core.backend import default_backend_name
 from repro.core.table import Table
-from repro.experiments import run_tasks
+from repro.experiments import WorkerPool, run_tasks
 from repro.instrument import BudgetExceededError, TimeBudget, summarize_traces
 from repro.service.cache import SolutionCache
 
 #: default TCP port (chosen as an unassigned registered port)
 DEFAULT_PORT = 7683
 
-#: protocol revision, reported by ``ping`` and ``stats``
-PROTOCOL_VERSION = 1
+#: protocol revision, reported by ``ping`` and ``stats``.  v2 adds
+#: request-``id`` echoing (and, opt-in, fault injection); v1 requests
+#: — no ``id`` field — are served unchanged.
+PROTOCOL_VERSION = 2
+
+#: environment switch for fault injection (constructor overrides)
+FAULTS_ENV = "REPRO_SERVICE_FAULTS"
+
+_TRUTHY = ("1", "true", "yes", "on")
 
 
 class ServiceError(Exception):
@@ -90,6 +117,9 @@ class _SolveTask:
     backend: str
     timeout: float | None
     trace: bool
+    #: fault-injection marker (only ever set when the service was
+    #: started with fault injection enabled)
+    fault: str | None = None
 
 
 def _solve_task(task: _SolveTask) -> dict[str, Any]:
@@ -101,6 +131,13 @@ def _solve_task(task: _SolveTask) -> dict[str, Any]:
     """
     started = time.perf_counter()
     try:
+        if task.fault == "kill-worker":
+            if multiprocessing.parent_process() is not None:
+                # a real pool worker: die the hard way, mid-batch, so
+                # the owner sees a BrokenProcessPool (chaos testing)
+                os._exit(1)  # pragma: no cover - runs in a spawned worker
+            # inline mode has no worker to kill; fail like a crash would
+            raise RuntimeError("fault injection: kill-worker")
         table = Table.from_csv(task.csv, header=task.header)
         algorithm = registry.create(task.algorithm)
         result = algorithm.anonymize(
@@ -155,6 +192,17 @@ class AnonymizationService:
     :param default_timeout: budget applied to requests that send none.
     :param max_timeout: admission cap — requests asking for more are
         rejected up front rather than allowed to occupy workers.
+    :param persistent_pool: with ``jobs > 1``, own one
+        :class:`~repro.experiments.WorkerPool` across batches (the
+        default) instead of spawning a throwaway executor per batch.
+        A worker crash fails only its batch (code ``internal``); the
+        pool rebuilds for the next one.
+    :param max_tasks_per_child: recycle the persistent pool's workers
+        after roughly this many tasks each (``None``: never).
+    :param fault_injection: honour per-request ``fault`` fields
+        (``kill-worker``, ``delay:SECONDS``, ``drop-connection``) —
+        chaos-testing only, never enable in production.  ``None`` reads
+        the ``REPRO_SERVICE_FAULTS`` environment variable.
     """
 
     def __init__(
@@ -169,6 +217,9 @@ class AnonymizationService:
         backend: str | None = None,
         default_timeout: float | None = None,
         max_timeout: float | None = None,
+        persistent_pool: bool = True,
+        max_tasks_per_child: int | None = None,
+        fault_injection: bool | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be a positive integer")
@@ -183,6 +234,15 @@ class AnonymizationService:
         self.backend = backend or default_backend_name()
         self.default_timeout = default_timeout
         self.max_timeout = max_timeout
+        if fault_injection is None:
+            fault_injection = (
+                os.environ.get(FAULTS_ENV, "").strip().lower() in _TRUTHY
+            )
+        self.fault_injection = bool(fault_injection)
+        self._pool = (
+            WorkerPool(jobs, max_tasks_per_child=max_tasks_per_child)
+            if persistent_pool and jobs > 1 else None
+        )
         self.started_at = time.time()
         self.requests: dict[str, int] = {}
         self.coalesced = 0
@@ -218,33 +278,109 @@ class AnonymizationService:
                         ServiceError("internal", "service shut down")
                     )
             self._queue = None
+        if self._pool is not None:
+            # workers are shut down but the pool object stays: a
+            # restarted service (start() is idempotent) respawns lazily
+            await asyncio.to_thread(self._pool.close)
 
     # -- request handling ----------------------------------------------
 
     async def handle(self, request: Any) -> dict[str, Any]:
-        """Serve one request object; never raises on bad input."""
+        """Serve one request object; never raises on bad input.
+
+        Protocol v2: a request-supplied ``id`` is echoed verbatim on
+        the response, success or error, so clients can correlate
+        responses with requests across timeouts.  v1 requests (no
+        ``id``) get exactly the v1 response shape.
+        """
         if not isinstance(request, dict):
             return _error("bad-request", "request must be a JSON object")
         op = request.get("op", "anonymize")
         self.requests[op] = self.requests.get(op, 0) + 1
         try:
-            if op == "anonymize":
-                return await self._handle_anonymize(request)
-            if op == "stats":
-                return {"ok": True, "op": "stats", **self.stats()}
-            if op == "ping":
-                return {"ok": True, "op": "ping",
-                        "protocol": PROTOCOL_VERSION}
-            if op == "shutdown":
-                return {"ok": True, "op": "shutdown"}
-            raise ServiceError("bad-request", f"unknown op {op!r}")
+            response = await self._handle_op(op, request)
         except ServiceError as exc:
             self.rejected += 1
-            return _error(exc.code, str(exc))
+            response = _error(exc.code, str(exc))
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    async def _handle_op(self, op: str, request: dict) -> dict[str, Any]:
+        self._check_fault(request)
+        if op == "anonymize":
+            return await self._handle_anonymize(request)
+        if op == "stats":
+            return {"ok": True, "op": "stats", **self.stats()}
+        if op == "ping":
+            return {"ok": True, "op": "ping",
+                    "protocol": PROTOCOL_VERSION}
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        raise ServiceError("bad-request", f"unknown op {op!r}")
+
+    # -- fault injection (chaos testing) -------------------------------
+
+    def _check_fault(self, request: dict) -> None:
+        """Reject ``fault`` fields unless injection is switched on."""
+        fault = request.get("fault")
+        if fault is None:
+            return
+        if not self.fault_injection:
+            raise ServiceError(
+                "bad-request",
+                "fault injection is not enabled on this server "
+                "(start it with --inject-faults / fault_injection=True)",
+            )
+        self._parse_fault(fault)  # validates; raises on unknown kinds
+
+    @staticmethod
+    def _parse_fault(fault: Any) -> tuple[str, float | None]:
+        if fault == "kill-worker":
+            return ("kill-worker", None)
+        if fault == "drop-connection":
+            return ("drop-connection", None)
+        if isinstance(fault, str) and fault.startswith("delay:"):
+            try:
+                seconds = float(fault.split(":", 1)[1])
+            except ValueError:
+                seconds = -1.0
+            if seconds >= 0:
+                return ("delay", seconds)
+        raise ServiceError(
+            "bad-request",
+            f"unknown fault {fault!r}; expected kill-worker, "
+            "delay:SECONDS, or drop-connection",
+        )
+
+    def connection_fault(self, request: Any) -> tuple[str, float | None] | None:
+        """The connection-level fault a request asks for, if any.
+
+        Consulted by the TCP front end *after* the response is built:
+        ``("delay", seconds)`` postpones the write, ``("drop-connection",
+        None)`` closes without answering.  Quietly ``None`` whenever
+        injection is off or the field is absent/invalid (the request
+        handler has already rejected those).
+        """
+        if not self.fault_injection or not isinstance(request, dict):
+            return None
+        fault = request.get("fault")
+        if fault is None:
+            return None
+        try:
+            kind, seconds = self._parse_fault(fault)
+        except ServiceError:
+            return None
+        if kind in ("delay", "drop-connection"):
+            return (kind, seconds)
+        return None
 
     async def _handle_anonymize(self, request: dict) -> dict[str, Any]:
         job = self._admit(request)
         use_cache = bool(request.get("use_cache", True))
+        if job.task.fault is not None:
+            # a fault-injected request must reach the solver to matter
+            use_cache = False
 
         if use_cache:
             cached = self.cache.get(job.key)
@@ -253,8 +389,19 @@ class AnonymizationService:
             inflight = self._inflight.get(job.key)
             if inflight is not None:
                 # identical instance already being solved: wait for it
+                # — but only within THIS request's remaining budget,
+                # not the leader's (which may be unlimited)
                 self.coalesced += 1
-                outcome = await asyncio.shield(inflight)
+                try:
+                    outcome = await asyncio.wait_for(
+                        asyncio.shield(inflight), job.budget.remaining()
+                    )
+                except asyncio.TimeoutError:
+                    raise ServiceError(
+                        "budget-exceeded",
+                        f"request spent its {job.budget.seconds:g}s "
+                        "budget waiting on an identical in-flight solve",
+                    ) from None
                 return self._finish(job, dict(outcome), cache="coalesced")
 
         await self.start()
@@ -321,10 +468,14 @@ class AnonymizationService:
             table = Table.from_csv(csv, header=header)
         except ValueError as exc:
             raise ServiceError("bad-request", f"bad csv: {exc}") from None
+        fault = request.get("fault")
         task = _SolveTask(
             csv=csv, header=header, k=k, algorithm=algorithm,
             backend=self.backend, timeout=timeout,
             trace=bool(request.get("trace", False)),
+            fault="kill-worker" if (
+                self.fault_injection and fault == "kill-worker"
+            ) else None,
         )
         return _Job(
             key=instance_key(table, k, algorithm, self.backend),
@@ -341,7 +492,9 @@ class AnonymizationService:
             self.rejected += 1
             return _error(outcome["code"], outcome["error"])
         trace = outcome.pop("trace", None)
-        if trace is not None:
+        if trace is not None and cache in ("miss", "bypass"):
+            # one solve, one recorded trace — coalesced followers share
+            # the leader's solve and must not re-append its trace
             self.traces.append(trace)
         if cache == "miss" and not outcome.get("deadline_hit"):
             # deadline-degraded releases reflect the budget, not the
@@ -393,22 +546,11 @@ class AnonymizationService:
         if not ready:
             return
         self.batches.append(len(ready))
-        # duplicate keys inside one batch solve once
-        unique: dict[str, _SolveTask] = {}
-        for job in ready:
-            task = job.task
-            if job.budget.limited:
-                task = _SolveTask(
-                    csv=task.csv, header=task.header, k=task.k,
-                    algorithm=task.algorithm, backend=task.backend,
-                    timeout=job.budget.remaining(), trace=task.trace,
-                )
-            unique.setdefault(job.key, task)
-        keys = list(unique)
+        keys, tasks = self._merge_jobs(ready)
         try:
             outcomes = await asyncio.to_thread(
-                run_tasks, _solve_task, [unique[key] for key in keys],
-                min(self.jobs, len(keys)),
+                run_tasks, _solve_task, tasks,
+                min(self.jobs, len(keys)), pool=self._pool,
             )
         except Exception as exc:  # noqa: BLE001 - executor boundary
             for job in ready:
@@ -421,6 +563,42 @@ class AnonymizationService:
         for job in ready:
             if not job.future.done():
                 job.future.set_result(by_key[job.key])
+
+    @staticmethod
+    def _merge_jobs(ready: list[_Job]) -> tuple[list[str], list[_SolveTask]]:
+        """Deduplicate a batch by instance key, one task per key.
+
+        Key-sharers solve once, under the **loosest** budget in the
+        group — unlimited if any sharer is unlimited, else the largest
+        remaining allowance.  (Solving under the first arrival's budget
+        would let a stranger's tight deadline fail, or
+        deadline-degrade, everyone else's identical request.)  Tracing
+        and fault markers are likewise merged with "any sharer asked"
+        semantics.
+        """
+        groups: dict[str, list[_Job]] = {}
+        for job in ready:
+            groups.setdefault(job.key, []).append(job)
+        keys = list(groups)
+        tasks: list[_SolveTask] = []
+        for key in keys:
+            sharers = groups[key]
+            base = sharers[0].task
+            if any(not job.budget.limited for job in sharers):
+                timeout = None
+            else:
+                timeout = max(job.budget.remaining() for job in sharers)
+            tasks.append(_SolveTask(
+                csv=base.csv, header=base.header, k=base.k,
+                algorithm=base.algorithm, backend=base.backend,
+                timeout=timeout,
+                trace=any(job.task.trace for job in sharers),
+                fault=next(
+                    (job.task.fault for job in sharers if job.task.fault),
+                    None,
+                ),
+            ))
+        return keys, tasks
 
     # -- introspection -------------------------------------------------
 
@@ -442,6 +620,10 @@ class AnonymizationService:
                 "count": len(sizes),
                 "max_size": max(sizes) if sizes else 0,
                 "mean_size": sum(sizes) / len(sizes) if sizes else 0.0,
+            },
+            "pool": self._pool.stats() if self._pool is not None else {
+                "mode": "per-batch" if self.jobs > 1 else "inline",
+                "workers": self.jobs,
             },
             "traces": summarize_traces(self.traces),
         }
@@ -500,6 +682,13 @@ async def _handle_connection(
                 response = _error("bad-request", f"bad JSON: {exc}")
             else:
                 response = await service.handle(request)
+            fault = service.connection_fault(request)
+            if fault is not None:
+                kind, seconds = fault
+                if kind == "drop-connection":
+                    break  # hang up without answering (chaos testing)
+                if kind == "delay" and seconds:
+                    await asyncio.sleep(seconds)
             writer.write(json.dumps(response).encode("utf-8") + b"\n")
             await writer.drain()
             if (

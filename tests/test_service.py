@@ -254,7 +254,7 @@ class TestWireProtocol:
     def test_ping(self, server):
         with ServiceClient(*server.address) as client:
             response = client.ping()
-        assert response["ok"] and response["protocol"] == 1
+        assert response["ok"] and response["protocol"] == 2
 
     def test_anonymize_then_hit_over_the_wire(self, server):
         table = quasi_identifiers(census_table(30, seed=7))

@@ -164,6 +164,61 @@ class TestDiskTier:
 
 
 # ----------------------------------------------------------------------
+# Disk-tier robustness: torn entries and atomic writes (PR 5)
+# ----------------------------------------------------------------------
+
+
+class TestDiskRobustness:
+    def test_torn_entry_is_a_miss_and_gets_quarantined(self, tmp_path):
+        key = "a" * 32
+        first = SolutionCache(max_entries=4, directory=tmp_path)
+        first.put(key, {"stars": 3})
+        # tear the file the way a crash mid-write used to
+        (tmp_path / f"{key}.json").write_text('{"stars": ')
+        fresh = SolutionCache(max_entries=4, directory=tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+        assert fresh.stats.disk_hits == 0
+        # the bad file was moved aside, not left to poison the key
+        assert not (tmp_path / f"{key}.json").exists()
+        assert (tmp_path / f"{key}.json.corrupt").exists()
+
+    def test_non_object_json_entry_is_rejected(self, tmp_path):
+        key = "b" * 32
+        cache = SolutionCache(directory=tmp_path)
+        (tmp_path / f"{key}.json").write_text('["not", "a", "dict"]')
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_quarantined_key_is_reusable(self, tmp_path):
+        key = "c" * 32
+        cache = SolutionCache(directory=tmp_path)
+        (tmp_path / f"{key}.json").write_text("garbage")
+        assert cache.get(key) is None
+        cache.put(key, {"stars": 9})
+        cache.clear()  # force the disk tier on the next read
+        assert cache.get(key) == {"stars": 9}
+        assert cache.stats.corrupt == 1  # only the original tear
+
+    def test_put_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        key = "d" * 32
+        cache = SolutionCache(directory=tmp_path)
+        cache.put(key, {"stars": 1})
+        cache.put(key, {"stars": 2})  # overwrite goes through a rename
+        assert [p.name for p in tmp_path.iterdir()] == [f"{key}.json"]
+        fresh = SolutionCache(directory=tmp_path)
+        assert fresh.get(key) == {"stars": 2}
+
+    def test_corrupt_counter_in_snapshot(self, tmp_path):
+        key = "e" * 32
+        cache = SolutionCache(directory=tmp_path)
+        (tmp_path / f"{key}.json").write_text("{")
+        cache.get(key)
+        assert cache.as_dict()["corrupt"] == 1
+
+
+# ----------------------------------------------------------------------
 # Stats plumbing
 # ----------------------------------------------------------------------
 
