@@ -1,0 +1,169 @@
+"""E21 — the bit-packed Hamming kernel on wide binary tables.
+
+The Theorem 3.2 hardness regime — many binary attributes, alphabet
+Sigma = {0, 1} — is exactly where per-attribute compares are slowest and
+where the bit-packed backend shines: 64 binary columns per uint64 lane,
+distances via XOR+popcount.  This experiment measures
+
+* the raw distance-matrix kernel (``matrix_array``) for the numpy and
+  bitpacked backends, **gating bitpacked >= 5x over numpy** whenever the
+  table has >= 128 binary attributes;
+* the end-to-end ``distance_matrix()`` build across all three backends
+  (the shared nested-list conversion dilutes the kernel win — see
+  docs/performance.md);
+* a full center/ball (Theorem 4.2) solve per backend, asserting the
+  release is identical — the kernel never changes an output.
+
+Run with ``REPRO_BENCH_QUICK=1`` for the CI-sized version.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms.center_cover import CenterCoverAnonymizer
+from repro.core.backend import available_backends, make_backend
+from repro.workloads import uniform_table
+
+from .conftest import fmt, quick_mode
+
+needs_numpy = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="numpy backend not available",
+)
+
+#: minimum kernel speedup on wide binary tables (>= 128 binary attrs)
+KERNEL_GATE = 5.0
+
+_SHAPES = [(200, 128)] if quick_mode() else [(200, 128), (400, 256)]
+
+
+def _binary_table(n: int, m: int):
+    return uniform_table(n, m, alphabet_size=2, seed=3)
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@needs_numpy
+@pytest.mark.parametrize("n,m", _SHAPES)
+def test_e21_bitpack_kernel_speedup(benchmark, report, n, m):
+    """XOR+popcount vs integer-compare broadcast on the raw kernel.
+
+    Fresh backend instances per timing round so nothing is served from
+    the lazy-matrix memo; ``matrix_array`` is the kernel both accelerated
+    backends build their matrices from.
+    """
+    table = _binary_table(n, m)
+
+    def compare():
+        np_seconds = _best_of(
+            lambda: make_backend(table, "numpy").matrix_array()
+        )
+        bp_seconds = _best_of(
+            lambda: make_backend(table, "bitpacked").matrix_array()
+        )
+        return np_seconds, bp_seconds
+
+    np_seconds, bp_seconds = benchmark.pedantic(compare, rounds=1,
+                                                iterations=1)
+    speedup = np_seconds / bp_seconds if bp_seconds > 0 else float("inf")
+    assert (
+        make_backend(table, "bitpacked").matrix_array()
+        == make_backend(table, "numpy").matrix_array()
+    ).all(), "kernels disagree on the matrix"
+    if m >= 128:
+        assert speedup >= KERNEL_GATE, (
+            f"bitpacked kernel only {speedup:.1f}x over numpy at "
+            f"n={n}, m={m} (gate: {KERNEL_GATE}x)"
+        )
+    benchmark.extra_info.update(
+        n=n, m=m, numpy_seconds=np_seconds, bitpacked_seconds=bp_seconds,
+        speedup=speedup,
+    )
+    report.line(
+        f"E21 kernel n={n} m={m}: numpy {fmt(np_seconds)}s, "
+        f"bitpacked {fmt(bp_seconds)}s — {speedup:.1f}x "
+        f"(gate {KERNEL_GATE:.0f}x at m>=128)"
+    )
+
+
+@needs_numpy
+def test_e21_distance_matrix_end_to_end(benchmark, report):
+    """Full ``distance_matrix()`` build per backend on the E21 table."""
+    n, m = _SHAPES[0]
+    table = _binary_table(n, m)
+
+    def compare():
+        timings = {}
+        for name in available_backends():
+            backend = make_backend(table, name)
+            start = time.perf_counter()
+            matrix = backend.distance_matrix()
+            timings[name] = (time.perf_counter() - start, matrix)
+        return timings
+
+    timings = benchmark.pedantic(compare, rounds=1, iterations=1)
+    reference = timings["python"][1]
+    rows = []
+    for name, (seconds, matrix) in timings.items():
+        assert matrix == reference, f"{name} disagrees with python"
+        ratio = timings["python"][0] / seconds if seconds > 0 else float(
+            "inf"
+        )
+        rows.append([name, fmt(seconds), f"{ratio:.1f}x"])
+        benchmark.extra_info[f"{name}_seconds"] = seconds
+    benchmark.extra_info.update(n=n, m=m)
+    report.table(
+        f"E21 distance_matrix (n={n}, m={m}, binary)",
+        ["backend", "seconds", "vs python"],
+        rows,
+    )
+
+
+@needs_numpy
+def test_e21_center_ball_solve(benchmark, report):
+    """Theorem 4.2 solve on the hardness-regime table, per backend.
+
+    The kernel is a drop-in: every backend must release the identical
+    table (same stars, same rows), whatever the speed.
+    """
+    n, m = (120, 128) if quick_mode() else (200, 192)
+    table = _binary_table(n, m)
+    k = 4
+
+    def compare():
+        timings = {}
+        for name in available_backends():
+            algorithm = CenterCoverAnonymizer(
+                backend=make_backend(table, name)
+            )
+            start = time.perf_counter()
+            result = algorithm.anonymize(table, k)
+            timings[name] = (time.perf_counter() - start, result)
+        return timings
+
+    timings = benchmark.pedantic(compare, rounds=1, iterations=1)
+    reference = timings["python"][1]
+    rows = []
+    for name, (seconds, result) in timings.items():
+        assert result.anonymized.rows == reference.anonymized.rows, (
+            f"{name} released a different table"
+        )
+        assert result.stars == reference.stars
+        rows.append([name, fmt(seconds), result.stars])
+        benchmark.extra_info[f"{name}_seconds"] = seconds
+    benchmark.extra_info.update(n=n, m=m, k=k, stars=reference.stars)
+    report.table(
+        f"E21 center/ball solve (n={n}, m={m}, k={k}, binary)",
+        ["backend", "seconds", "stars"],
+        rows,
+    )

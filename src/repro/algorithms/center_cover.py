@@ -20,7 +20,12 @@ The greedy loop uses lazy evaluation (a priority queue of stale ratios,
 re-evaluated on pop), exploiting that ``r(S) = d(S)/|S \\ D|`` only grows
 as coverage ``D`` grows — the practical speedup the paper anticipates
 ("we are confident that this time bound can be significantly improved
-using appropriate data structures").
+using appropriate data structures").  Candidate balls come from the
+backend's radius-bucketed neighbor index
+(:meth:`~repro.core.backend.DistanceBackend.neighbor_order`): one lazy
+distance row per center, bucketed once, so enumeration never rescans
+all ``|V|`` rows per (center, radius) pair and the full ``n x n``
+nested-list matrix is never materialized.
 """
 
 from __future__ import annotations
@@ -66,21 +71,23 @@ def build_ball_cover(
     if n < k:
         raise ValueError(f"{n} rows cannot be covered by sets of size >= {k}")
 
-    dist = get_backend(table, backend).distance_matrix()
+    metric = get_backend(table, backend)
 
-    # Per center: rows ordered by (distance, index); candidates are the
-    # prefixes ending at a distance boundary with at least k members.
-    orders: list[list[int]] = []
+    # Per center: the backend's radius-bucketed neighbor index (rows
+    # ordered by (distance, index), built from one lazy distance row per
+    # center — the full n x n matrix is never materialized); candidates
+    # are the prefixes ending at a distance boundary with at least k
+    # members, i.e. exactly the balls S_{c, r} over realized radii r.
+    orders: list[tuple[int, ...]] = []
     heap: list[tuple[Fraction, int, int, int, int]] = []
     for c in range(n):
-        row = dist[c]
-        order = sorted(range(n), key=lambda v: (row[v], v))
+        order, dists = metric.neighbor_order(c)
         orders.append(order)
         for p in range(k, n + 1):
-            is_boundary = p == n or row[order[p]] > row[order[p - 1]]
+            is_boundary = p == n or dists[p] > dists[p - 1]
             if not is_boundary:
                 continue
-            radius = row[order[p - 1]]
+            radius = dists[p - 1]
             d_est = min(2 * radius, m)
             # heap entry: (ratio, diameter estimate, center, prefix, stale new-count)
             heapq.heappush(heap, (Fraction(d_est, p), d_est, c, p, p))
@@ -94,7 +101,7 @@ def build_ball_cover(
         members = orders[c][:p]
         best = 0
         for a in range(p):
-            row = dist[members[a]]
+            row = metric.distance_row(members[a])
             for b in range(a + 1, p):
                 d = row[members[b]]
                 if d > best:

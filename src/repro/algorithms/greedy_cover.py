@@ -54,7 +54,10 @@ def build_greedy_cover(
     upper = (2 * k - 1) if k_max is None else k_max
     upper = min(upper, n)
 
-    dist = get_backend(table, backend).distance_matrix()
+    # Lazy per-row distances: subsets only ever index rows of their own
+    # members, so the backend fills distance rows on demand instead of
+    # materializing the full n x n nested-list matrix up front.
+    metric = get_backend(table, backend)
     diameter_cache: dict[tuple[int, ...], int] = {}
 
     def subset_diameter(members: tuple[int, ...]) -> int:
@@ -63,7 +66,7 @@ def build_greedy_cover(
             return cached
         best = 0
         for a in range(len(members)):
-            row = dist[members[a]]
+            row = metric.distance_row(members[a])
             for b in range(a + 1, len(members)):
                 d = row[members[b]]
                 if d > best:

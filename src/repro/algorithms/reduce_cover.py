@@ -134,16 +134,16 @@ class ReduceCoverAnonymizer(Anonymizer):
         n = table.n_rows
         backend = run.backend
         with run.phase("cover"):
-            dist = backend.distance_matrix()
             balls: set[frozenset[int]] = set()
             for c in range(n):
-                row = dist[c]
-                order = sorted(range(n), key=lambda v: (row[v], v))
-                p = min(k, n)
-                # extend through ties so the ball is distance-defined
-                while p < n and row[order[p]] == row[order[p - 1]]:
-                    p += 1
-                balls.add(frozenset(order[:p]))
+                # the tightest distance-defined ball of >= k members:
+                # the radius of c's k-th bucketed neighbor, queried
+                # against the backend's radius-bucketed index (ties are
+                # included by construction; the full distance matrix is
+                # never materialized)
+                _, dists = backend.neighbor_order(c)
+                radius = dists[min(k, n) - 1]
+                balls.add(frozenset(backend.neighbors_within(c, radius)))
             groups = sorted(balls, key=sorted)
             k_max = max([2 * k - 1] + [len(g) for g in groups])
             cover = Cover(groups, n, k, k_max=k_max)

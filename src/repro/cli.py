@@ -23,6 +23,7 @@ import sys
 
 from repro import registry
 from repro.core.anonymity import anonymity_level, suppressed_cell_count
+from repro.core.backend import available_backends, default_backend_name
 from repro.core.metrics import metric_report
 from repro.instrument import BudgetExceededError, format_trace
 from repro.io import read_csv, write_csv
@@ -160,7 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="admission cap: reject requests asking for more budget",
     )
     serve.add_argument(
-        "--backend", choices=["python", "numpy"], default=None,
+        "--backend", choices=["python", "numpy", "bitpacked"], default=None,
         help="distance backend for all solves (default: REPRO_BACKEND)",
     )
     serve.add_argument(
@@ -267,7 +268,7 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     """Shared per-run flags: backend selection, deadline, tracing."""
     parser.add_argument(
         "--backend",
-        choices=["python", "numpy"],
+        choices=["python", "numpy", "bitpacked"],
         default=None,
         help="distance backend (default: the REPRO_BACKEND env variable)",
     )
@@ -308,6 +309,8 @@ def _list_algorithms(args) -> int:
             print(f"{'':<{name_width}}  aliases: {', '.join(info.aliases)}")
         if info.summary:
             print(f"{'':<{name_width}}  {info.summary}")
+    print(f"backends: {', '.join(available_backends())} "
+          f"(default: {default_backend_name()})")
     return 0
 
 

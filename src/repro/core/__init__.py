@@ -9,11 +9,13 @@ partition notions of Section 4.1.
 
 from repro.core.alphabet import STAR, Alphabet, infer_alphabets, is_suppressed
 from repro.core.backend import (
+    BitpackedBackend,
     DistanceBackend,
     NumpyBackend,
     PythonBackend,
     available_backends,
     default_backend_name,
+    encode_table,
     get_backend,
     make_backend,
 )
@@ -42,6 +44,7 @@ from repro.core.table import Table
 __all__ = [
     "STAR",
     "Alphabet",
+    "BitpackedBackend",
     "Cover",
     "DistanceBackend",
     "NumpyBackend",
@@ -52,6 +55,7 @@ __all__ = [
     "anon_cost",
     "available_backends",
     "default_backend_name",
+    "encode_table",
     "get_backend",
     "make_backend",
     "anonymity_level",

@@ -8,27 +8,37 @@ gives those primitives a single pluggable home:
 
 * :class:`EncodedTable` — a table's rows integer-encoded per attribute
   and packed into the narrowest numpy integer dtype that fits, built at
-  most once per table.  Suppressed cells are encoded like any other
-  symbol (``STAR`` equals only itself, so code equality coincides with
-  value equality).
+  most once per table (shared through :func:`encode_table`'s weakref
+  cache).  Suppressed cells are encoded like any other symbol (``STAR``
+  equals only itself, so code equality coincides with value equality).
+  Columns whose post-encoding alphabet is binary — including
+  ``STAR``-augmented columns that still fit two symbols — can further be
+  packed ~64 per ``uint64`` lane (:meth:`EncodedTable.pack`), with the
+  remaining wide columns kept in a residual integer-code matrix.
 * :class:`DistanceBackend` — the protocol: index-level distance,
   a cached pairwise distance matrix (computed lazily in row blocks),
-  memoized group statistics (``diameter`` / ``anon_cost`` /
-  ``group_image`` keyed on frozen index sets), and incremental
+  per-row lazy distance rows (``distance_row``), a radius-bucketed
+  candidate index (``neighbor_order`` / ``neighbors_within``) for ball
+  enumeration, memoized group statistics (``diameter`` / ``anon_cost``
+  / ``group_image`` keyed on frozen index sets), and incremental
   per-group statistics (:class:`MutableGroupStats`).
 * :class:`PythonBackend` — current semantics, zero dependencies; the
   reference oracle for the parity suite.
 * :class:`NumpyBackend` — vectorized broadcast distance matrix and
   vectorized group reductions over index arrays.
+* :class:`BitpackedBackend` — Hamming distances via XOR + popcount over
+  the ``uint64`` lanes plus a fallback compare over the residual wide
+  columns; the fastest kernel for wide binary tables (the Theorem 3.2
+  regime).
 
 Backend selection: the ``REPRO_BACKEND`` environment variable
-(``python`` or ``numpy``) picks the default for the whole process;
-unset, the numpy backend is used whenever numpy imports.  Every
-:class:`~repro.algorithms.base.Anonymizer` also accepts an explicit
-``backend=`` argument (a name or a backend instance).
+(``python``, ``numpy``, or ``bitpacked``) picks the default for the
+whole process; unset, the numpy backend is used whenever numpy imports.
+Every :class:`~repro.algorithms.base.Anonymizer` also accepts an
+explicit ``backend=`` argument (a name or a backend instance).
 
-The two backends are bit-identical on every primitive — property-tested
-in ``tests/test_backend_parity.py``.
+All backends are bit-identical on every primitive — property-tested in
+``tests/test_backend_parity.py``.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from __future__ import annotations
 import abc
 import os
 import weakref
+from bisect import bisect_right
 from collections.abc import Hashable, Iterable, Sequence
 from typing import Any
 
@@ -66,7 +77,7 @@ def available_backends() -> tuple[str, ...]:
     """Names accepted by :func:`make_backend` here and now."""
     names = ["python"]
     if numpy_available():
-        names.append("numpy")
+        names.extend(["numpy", "bitpacked"])
     return tuple(names)
 
 
@@ -77,12 +88,15 @@ def default_backend_name() -> str:
     """
     name = os.environ.get("REPRO_BACKEND", "").strip().lower()
     if name:
-        if name not in ("python", "numpy"):
+        if name not in ("python", "numpy", "bitpacked"):
             raise ValueError(
-                f"REPRO_BACKEND={name!r}: expected 'python' or 'numpy'"
+                f"REPRO_BACKEND={name!r}: expected 'python', 'numpy', "
+                f"or 'bitpacked'"
             )
-        if name == "numpy" and not numpy_available():  # pragma: no cover
-            raise ValueError("REPRO_BACKEND=numpy but numpy is not importable")
+        if name != "python" and not numpy_available():  # pragma: no cover
+            raise ValueError(
+                f"REPRO_BACKEND={name} but numpy is not importable"
+            )
         return name
     return "numpy" if numpy_available() else "python"
 
@@ -100,9 +114,19 @@ class EncodedTable:
     equality is exactly value equality).  The code matrix is packed into
     the narrowest unsigned dtype that holds the largest code, which
     keeps the broadcast distance computation memory-bandwidth friendly.
+
+    On top of the code matrix, :meth:`pack` derives (lazily, once) a
+    *bit-packed* view for :class:`BitpackedBackend`: every column whose
+    post-encoding alphabet has at most two symbols — genuinely binary
+    data, constant columns, and ``STAR``-augmented columns that still
+    fit — contributes one bit, ~64 columns per ``uint64`` lane, while
+    the remaining wide columns stay behind in a residual code matrix.
     """
 
-    __slots__ = ("codes", "decoders", "n_rows", "degree")
+    __slots__ = (
+        "codes", "decoders", "n_rows", "degree",
+        "_lanes", "_wide_codes", "_binary_columns", "_wide_columns",
+    )
 
     def __init__(self, table):
         import numpy as np
@@ -131,10 +155,90 @@ class EncodedTable:
         )
         self.n_rows = n
         self.degree = m
+        self._lanes: Any = None
+        self._wide_codes: Any = None
+        self._binary_columns: tuple[int, ...] | None = None
+        self._wide_columns: tuple[int, ...] | None = None
 
     def decode(self, j: int, code: int) -> Hashable:
         """The original attribute value behind column *j*'s *code*."""
         return self.decoders[j][code]
+
+    # -- bit-packed lane view (built lazily, at most once) -------------
+
+    def pack(self) -> tuple[Any, Any]:
+        """``(lanes, wide_codes)``: the bit-packed view of the table.
+
+        ``lanes`` is an ``(n_rows, n_lanes) uint64`` array holding one
+        bit per binary column (codes are 0/1 by first-appearance
+        construction); ``wide_codes`` is the ``(n_rows, n_wide)``
+        residual code matrix of the columns with three or more symbols.
+        Hamming distance decomposes exactly as ``popcount(lanes[i] ^
+        lanes[j]) + count(wide_codes[i] != wide_codes[j])``.
+        """
+        if self._lanes is None:
+            import numpy as np
+
+            codes = self.codes
+            binary = tuple(
+                j for j, decoder in enumerate(self.decoders)
+                if len(decoder) <= 2
+            )
+            wide = tuple(
+                j for j, decoder in enumerate(self.decoders)
+                if len(decoder) > 2
+            )
+            n_lanes = (len(binary) + 63) // 64
+            lanes = np.zeros((self.n_rows, n_lanes), dtype=np.uint64)
+            if self.n_rows and binary:
+                bits = codes[:, list(binary)].astype(np.uint64)
+                for t in range(len(binary)):
+                    lanes[:, t >> 6] |= bits[:, t] << np.uint64(t & 63)
+            self._lanes = lanes
+            self._wide_codes = np.ascontiguousarray(codes[:, list(wide)])
+            self._binary_columns = binary
+            self._wide_columns = wide
+        return self._lanes, self._wide_codes
+
+    @property
+    def binary_columns(self) -> tuple[int, ...]:
+        """Columns packed into the ``uint64`` lanes (``<= 2`` symbols)."""
+        self.pack()
+        assert self._binary_columns is not None
+        return self._binary_columns
+
+    @property
+    def wide_columns(self) -> tuple[int, ...]:
+        """Columns kept in the residual code matrix (``>= 3`` symbols)."""
+        self.pack()
+        assert self._wide_columns is not None
+        return self._wide_columns
+
+
+#: id(table) -> EncodedTable; entries evicted when the table is garbage
+#: collected, so a table is encoded at most once no matter how many
+#: backend instances are built over it.
+_ENCODED_CACHE: dict[int, EncodedTable] = {}
+
+
+def encode_table(table) -> EncodedTable:
+    """The shared :class:`EncodedTable` of *table* (encoded at most once).
+
+    Every numpy-family backend instance over the same table object —
+    cached or fresh, ``numpy`` or ``bitpacked`` — resolves to the same
+    encoding, so the O(n·m) Python encode loop and the bit-packing pass
+    are paid once per table, not once per backend.
+    """
+    key = id(table)
+    encoded = _ENCODED_CACHE.get(key)
+    if encoded is None:
+        encoded = EncodedTable(table)
+        _ENCODED_CACHE[key] = encoded
+        try:
+            weakref.finalize(table, _ENCODED_CACHE.pop, key, None)
+        except TypeError:  # pragma: no cover - non-weakrefable stand-in
+            pass
+    return encoded
 
 
 # ----------------------------------------------------------------------
@@ -288,8 +392,13 @@ class DistanceBackend(abc.ABC):
     group share the work.  ``counters`` tracks how the work was done —
     ``full_group_scans`` (from-scratch group computations),
     ``incremental_updates`` (O(m) :class:`MutableGroupStats` steps),
-    ``memo_hits``, and ``matrix_rows`` — which the tests use to assert
-    that the metaheuristics really run on the incremental path.
+    ``memo_hits``, ``matrix_rows`` (distance-matrix rows computed,
+    whether block-filled or lazily one row at a time),
+    ``neighbor_orders`` (radius-bucketed per-row indices built), and
+    ``neighbor_queries`` (O(log n) ``neighbors_within`` lookups) —
+    which the tests use to assert that the metaheuristics really run on
+    the incremental path and that ball enumeration no longer rescans
+    all rows per (center, radius) pair.
     """
 
     #: short machine-readable identifier, overridden by subclasses
@@ -302,8 +411,14 @@ class DistanceBackend(abc.ABC):
             "incremental_updates": 0,
             "memo_hits": 0,
             "matrix_rows": 0,
+            "neighbor_orders": 0,
+            "neighbor_queries": 0,
         }
         self._matrix: list[list[int]] | None = None
+        self._row_memo: dict[int, list[int]] = {}
+        self._neighbor_memo: dict[
+            int, tuple[tuple[int, ...], tuple[int, ...]]
+        ] = {}
         self._diameter_memo: dict[frozenset[int], int] = {}
         self._disagree_memo: dict[frozenset[int], tuple[int, ...]] = {}
 
@@ -336,6 +451,66 @@ class DistanceBackend(abc.ABC):
             self._matrix = self._compute_matrix()
             self.counters["matrix_rows"] += len(self._matrix)
         return self._matrix
+
+    def distance_row(self, i: int) -> list[int]:
+        """Row *i* of the distance matrix, computed lazily and cached.
+
+        Algorithms that touch only some rows (or one row at a time)
+        should prefer this over :meth:`distance_matrix`: it never
+        materializes the full ``n x n`` nested-list matrix, and each row
+        is computed at most once (served from the full matrix when that
+        has already been built).  The returned list is shared — treat it
+        as read-only.
+        """
+        if self._matrix is not None:
+            return self._matrix[i]
+        row = self._row_memo.get(i)
+        if row is None:
+            row = self._compute_distance_row(i)
+            self._row_memo[i] = row
+            self.counters["matrix_rows"] += 1
+        return row
+
+    def _compute_distance_row(self, i: int) -> list[int]:
+        """One row of distances; subclasses override with a fast path."""
+        return [self.distance(i, j) for j in range(self.table.n_rows)]
+
+    # -- radius-bucketed candidate index -------------------------------
+
+    def neighbor_order(
+        self, center: int
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """``(order, dists)``: all rows bucketed by distance to *center*.
+
+        ``order`` lists every row index sorted by ``(distance, index)``
+        and ``dists`` the matching non-decreasing distances, so
+        ``order[:p]`` is exactly the ball ``S_{center, dists[p-1]}``
+        whenever ``p`` sits on a distance boundary.  Built once per
+        center (memoized) from one lazy distance row — ball enumeration
+        never rescans all rows per (center, radius) pair.
+        """
+        cached = self._neighbor_memo.get(center)
+        if cached is not None:
+            self.counters["memo_hits"] += 1
+            return cached
+        row = self.distance_row(center)
+        order = sorted(range(self.table.n_rows), key=lambda v: (row[v], v))
+        entry = (tuple(order), tuple(row[v] for v in order))
+        self._neighbor_memo[center] = entry
+        self.counters["neighbor_orders"] += 1
+        return entry
+
+    def neighbors_within(self, center: int, r: int) -> list[int]:
+        """Rows within distance *r* of row *center* (a ball's members).
+
+        Sorted by ``(distance, index)``; answered with one binary
+        search over the center's sorted distance buckets, so dominated
+        balls are never materialized and repeated radius queries cost
+        O(log n) after the first.
+        """
+        order, dists = self.neighbor_order(center)
+        self.counters["neighbor_queries"] += 1
+        return list(order[:bisect_right(dists, r)])
 
     def diameter(self, indices: Iterable[int]) -> int:
         """``d(S)`` for a group of row indices (memoized)."""
@@ -404,6 +579,11 @@ class PythonBackend(DistanceBackend):
         rows = self.table.rows
         return _rows_distance(rows[i], rows[j])
 
+    def _compute_distance_row(self, i: int) -> list[int]:
+        rows = self.table.rows
+        row_i = rows[i]
+        return [_rows_distance(row_i, other) for other in rows]
+
     def _compute_matrix(self) -> list[list[int]]:
         rows = self.table.rows
         n = len(rows)
@@ -440,21 +620,24 @@ class NumpyBackend(DistanceBackend):
 
     def __init__(self, table):
         super().__init__(table)
-        self._encoded: EncodedTable | None = None
         self._np_matrix: Any = None
 
     @property
     def encoded(self) -> EncodedTable:
-        """The integer-encoded rows, built on first use."""
-        if self._encoded is None:
-            self._encoded = EncodedTable(self.table)
-        return self._encoded
+        """The table's shared encoding (see :func:`encode_table`)."""
+        return encode_table(self.table)
 
     def distance(self, i: int, j: int) -> int:
         if self._np_matrix is not None:
             return int(self._np_matrix[i, j])
         codes = self.encoded.codes
         return int((codes[i] != codes[j]).sum())
+
+    def _compute_distance_row(self, i: int) -> list[int]:
+        if self._np_matrix is not None:
+            return [int(d) for d in self._np_matrix[i]]
+        codes = self.encoded.codes
+        return (codes != codes[i]).sum(axis=1).tolist()
 
     def matrix_array(self) -> Any:
         """The distance matrix as an ``int32`` numpy array (cached)."""
@@ -516,6 +699,150 @@ class NumpyBackend(DistanceBackend):
         return int((codes[np.asarray(idx)] != codes[center]).sum(axis=1).max())
 
 
+#: 8-bit popcount lookup table, built on first use (numpy < 2.0 has no
+#: ``bitwise_count`` ufunc; the LUT path views the uint64 lanes as bytes).
+_POPCOUNT_LUT: Any = None
+
+
+def _lane_popcounts(lanes: Any) -> Any:
+    """Per-element popcounts of a contiguous ``uint64`` array."""
+    import numpy as np
+
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(lanes)
+    global _POPCOUNT_LUT  # pragma: no cover - numpy >= 2 ships the ufunc
+    if _POPCOUNT_LUT is None:  # pragma: no cover
+        _POPCOUNT_LUT = np.array(
+            [bin(v).count("1") for v in range(256)], dtype=np.uint8
+        )
+    return _POPCOUNT_LUT[  # pragma: no cover
+        lanes.view(np.uint8).reshape(lanes.shape + (8,))
+    ].sum(axis=-1, dtype=np.uint8)
+
+
+class BitpackedBackend(NumpyBackend):
+    """XOR + popcount distances over the bit-packed lane encoding.
+
+    Binary columns (at most two post-encoding symbols, ``STAR``
+    included) live ~64 per ``uint64`` lane, so one row-pair distance is
+    ``n_lanes`` XORs and popcounts instead of ``m`` per-attribute
+    compares; the residual wide columns fall back to the
+    :class:`NumpyBackend` compare.  On wide binary tables — the
+    Theorem 3.2 hardness regime — the distance matrix build runs an
+    order of magnitude faster than the broadcast compare (gated at
+    >= 5x by ``benchmarks/bench_e21_bitpack_kernel.py``).
+
+    Group reductions that are not distance-shaped
+    (``disagreeing_coordinates``, hence ``anon_cost`` / ``group_image``)
+    reuse the inherited code-matrix kernels: the primitives stay
+    bit-identical to :class:`PythonBackend` on every table.
+    """
+
+    name = "bitpacked"
+
+    @property
+    def packed(self) -> tuple[Any, Any]:
+        """``(lanes, wide_codes)`` of the shared table encoding."""
+        return self.encoded.pack()
+
+    def distance(self, i: int, j: int) -> int:
+        if self._np_matrix is not None:
+            return int(self._np_matrix[i, j])
+        lanes, wide = self.packed
+        d = int(_lane_popcounts(lanes[i] ^ lanes[j]).sum())
+        if wide.shape[1]:
+            d += int((wide[i] != wide[j]).sum())
+        return d
+
+    def _compute_distance_row(self, i: int) -> list[int]:
+        import numpy as np
+
+        if self._np_matrix is not None:
+            return [int(d) for d in self._np_matrix[i]]
+        lanes, wide = self.packed
+        row = _lane_popcounts(lanes ^ lanes[i]).sum(
+            axis=1, dtype=np.int64
+        )
+        if wide.shape[1]:
+            row += (wide != wide[i]).sum(axis=1)
+        return row.tolist()
+
+    def matrix_array(self) -> Any:
+        """The distance matrix via chunked XOR + popcount (cached).
+
+        Accumulates one lane (and one wide column) at a time: the
+        temporaries stay two-dimensional ``(block, n)`` — XOR, popcount,
+        add — instead of materializing a ``(block, n, n_lanes)`` cube
+        and reducing it, which keeps the hot loop inside fast contiguous
+        ufunc calls.
+        """
+        if self._np_matrix is None:
+            import numpy as np
+
+            lanes, wide = self.packed
+            n = self.encoded.n_rows
+            matrix = np.zeros((n, n), dtype=np.int32)
+            # per-lane temporaries are (block, n) uint64 XOR grids
+            block = max(1, _CHUNK_CELLS // max(1, n))
+            for start in range(0, n, block):
+                stop = min(start + block, n)
+                ham = matrix[start:stop]
+                for lane in range(lanes.shape[1]):
+                    col = lanes[:, lane]
+                    ham += _lane_popcounts(
+                        col[start:stop, None] ^ col[None, :]
+                    )
+                for j in range(wide.shape[1]):
+                    col = wide[:, j]
+                    ham += col[start:stop, None] != col[None, :]
+                self.counters["matrix_rows"] += stop - start
+            self._np_matrix = matrix
+        return self._np_matrix
+
+    def _compute_diameter(self, indices: tuple[int, ...]) -> int:
+        import numpy as np
+
+        if self._np_matrix is not None:
+            idx = np.asarray(indices)
+            return int(self._np_matrix[np.ix_(idx, idx)].max())
+        lanes, wide = self.packed
+        idx = np.asarray(indices)
+        sub_lanes = lanes[idx]
+        sub_wide = wide[idx]
+        size = len(indices)
+        per_pair = max(1, 8 * lanes.shape[1] + wide.shape[1])
+        best = 0
+        block = max(1, _CHUNK_CELLS // max(1, size * per_pair))
+        for start in range(0, size, block):
+            stop = min(start + block, size)
+            diffs = _lane_popcounts(
+                sub_lanes[start:stop, None, :] ^ sub_lanes[None, :, :]
+            ).sum(axis=2, dtype=np.int32)
+            if wide.shape[1]:
+                diffs += (
+                    sub_wide[start:stop, None, :] != sub_wide[None, :, :]
+                ).sum(axis=2, dtype=np.int32)
+            best = max(best, int(diffs.max()))
+        return best
+
+    def radius_from(self, center: int, indices: Iterable[int]) -> int:
+        import numpy as np
+
+        idx = list(indices)
+        if not idx:
+            return 0
+        if self._np_matrix is not None:
+            return int(self._np_matrix[center, np.asarray(idx)].max())
+        lanes, wide = self.packed
+        sel = np.asarray(idx)
+        dists = _lane_popcounts(lanes[sel] ^ lanes[center]).sum(
+            axis=1, dtype=np.int64
+        )
+        if wide.shape[1]:
+            dists += (wide[sel] != wide[center]).sum(axis=1)
+        return int(dists.max())
+
+
 # ----------------------------------------------------------------------
 # Selection and per-table caching
 # ----------------------------------------------------------------------
@@ -523,6 +850,7 @@ class NumpyBackend(DistanceBackend):
 _BACKEND_CLASSES: dict[str, type[DistanceBackend]] = {
     "python": PythonBackend,
     "numpy": NumpyBackend,
+    "bitpacked": BitpackedBackend,
 }
 
 #: id(table) -> {backend name -> backend}; entries evicted when the
@@ -540,8 +868,10 @@ def make_backend(table, name: str | None = None) -> DistanceBackend:
             f"unknown backend {resolved!r}; expected one of "
             f"{sorted(_BACKEND_CLASSES)}"
         ) from None
-    if resolved == "numpy" and not numpy_available():  # pragma: no cover
-        raise ValueError("numpy backend requested but numpy is not importable")
+    if resolved != "python" and not numpy_available():  # pragma: no cover
+        raise ValueError(
+            f"{resolved} backend requested but numpy is not importable"
+        )
     return cls(table)
 
 

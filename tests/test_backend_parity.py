@@ -1,14 +1,19 @@
-"""Property-based parity: NumpyBackend must be bit-identical to PythonBackend.
+"""Property-based parity: every backend must be bit-identical to PythonBackend.
 
 The pure-Python backend is the reference oracle — its primitives are the
 row-level functions in :mod:`repro.core.distance` applied verbatim.  The
 numpy backend re-derives every primitive from the integer-encoded table,
-so this suite drives both with the same generated tables (random values,
-suppressed cells, mixed types, degenerate shapes) and requires exact
-agreement, including Python types (plain ``int``, plain ``list``).
+and the bitpacked backend re-derives them again from XOR+popcount over
+uint64 lanes (binary columns) plus residual compares (wide columns), so
+this suite drives all available backends with the same generated tables
+(random values, suppressed cells, mixed binary/wide alphabets, degenerate
+shapes) and requires exact agreement, including Python types (plain
+``int``, plain ``list``).
 """
 
 from __future__ import annotations
+
+import gc
 
 import numpy as np
 import pytest
@@ -17,11 +22,12 @@ from hypothesis import strategies as st
 
 from repro.core.alphabet import STAR
 from repro.core.backend import (
+    BitpackedBackend,
     EncodedTable,
     NumpyBackend,
-    PythonBackend,
     available_backends,
     default_backend_name,
+    encode_table,
     get_backend,
     make_backend,
 )
@@ -40,6 +46,12 @@ _VALUES = st.one_of(
     st.sampled_from(["a", "b", STAR]),
 )
 
+# columns drawn from a two-symbol pool encode to <= 2 codes and land in
+# the bitpacked lanes; the wide pool forces the residual compare path
+_BINARY_VALUES = st.sampled_from([0, 1])
+_STARRED_BINARY_VALUES = st.sampled_from(["yes", STAR])
+_WIDE_VALUES = st.sampled_from([0, 1, 2, "q", STAR])
+
 
 @st.composite
 def tables(draw, min_rows: int = 0, max_rows: int = 8) -> Table:
@@ -53,8 +65,27 @@ def tables(draw, min_rows: int = 0, max_rows: int = 8) -> Table:
 
 
 @st.composite
+def mixed_width_tables(draw, min_rows: int = 0, max_rows: int = 8) -> Table:
+    """Tables mixing binary, STAR-augmented-binary, and wide columns."""
+    pools = draw(
+        st.lists(
+            st.sampled_from(
+                [_BINARY_VALUES, _STARRED_BINARY_VALUES, _WIDE_VALUES]
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    n = draw(st.integers(min_rows, max_rows))
+    rows = [tuple(draw(pool) for pool in pools) for _ in range(n)]
+    return Table(rows)
+
+
+@st.composite
 def tables_with_group(draw) -> tuple[Table, frozenset[int]]:
-    table = draw(tables(min_rows=1))
+    table = draw(
+        st.one_of(tables(min_rows=1), mixed_width_tables(min_rows=1))
+    )
     size = draw(st.integers(1, table.n_rows))
     group = draw(
         st.sets(
@@ -64,56 +95,92 @@ def tables_with_group(draw) -> tuple[Table, frozenset[int]]:
     return table, frozenset(group)
 
 
-def backends(table: Table) -> tuple[PythonBackend, NumpyBackend]:
-    return make_backend(table, "python"), make_backend(table, "numpy")
+def backends(table: Table) -> list:
+    """The python oracle first, then every accelerated backend."""
+    return [make_backend(table, name) for name in available_backends()]
 
 
 # -- primitive parity ---------------------------------------------------
 
 
-@given(tables())
+@given(st.one_of(tables(), mixed_width_tables()))
 @settings(max_examples=60, deadline=None)
 def test_distance_matrix_parity(table):
-    py, npb = backends(table)
+    py, *accelerated = backends(table)
     py_matrix = py.distance_matrix()
-    np_matrix = npb.distance_matrix()
-    assert np_matrix == py_matrix
-    assert np_matrix == pairwise_distance_matrix(table)
-    for row in np_matrix:
-        assert type(row) is list
-        assert all(type(value) is int for value in row)
+    assert py_matrix == pairwise_distance_matrix(table)
+    for backend in accelerated:
+        matrix = backend.distance_matrix()
+        assert matrix == py_matrix
+        for row in matrix:
+            assert type(row) is list
+            assert all(type(value) is int for value in row)
 
 
-@given(tables(min_rows=2))
+@given(st.one_of(tables(min_rows=2), mixed_width_tables(min_rows=2)))
 @settings(max_examples=40, deadline=None)
 def test_pointwise_distance_parity(table):
-    py, npb = backends(table)
+    py, *accelerated = backends(table)
+    for backend in accelerated:
+        for i in range(table.n_rows):
+            for j in range(table.n_rows):
+                d = backend.distance(i, j)
+                assert type(d) is int
+                assert d == py.distance(i, j)
+
+
+@given(st.one_of(tables(min_rows=1), mixed_width_tables(min_rows=1)))
+@settings(max_examples=40, deadline=None)
+def test_distance_row_parity(table):
+    py, *accelerated = backends(table)
     for i in range(table.n_rows):
-        for j in range(table.n_rows):
-            d = npb.distance(i, j)
-            assert type(d) is int
-            assert d == py.distance(i, j)
+        reference = py.distance_row(i)
+        assert reference == [py.distance(i, j) for j in range(table.n_rows)]
+        for backend in accelerated:
+            row = backend.distance_row(i)
+            assert type(row) is list
+            assert all(type(value) is int for value in row)
+            assert row == reference
 
 
 @given(tables_with_group())
 @settings(max_examples=80, deadline=None)
 def test_group_query_parity(table_and_group):
     table, group = table_and_group
-    py, npb = backends(table)
-    assert npb.diameter(group) == py.diameter(group)
-    assert npb.disagreeing_coordinates(group) == py.disagreeing_coordinates(
-        group
-    )
-    assert npb.anon_cost(group) == py.anon_cost(group)
-    assert npb.group_image(group) == py.group_image(group)
+    py, *accelerated = backends(table)
     center = min(group)
-    assert npb.radius_from(center, group) == py.radius_from(center, group)
+    for backend in accelerated:
+        assert backend.diameter(group) == py.diameter(group)
+        assert backend.disagreeing_coordinates(
+            group
+        ) == py.disagreeing_coordinates(group)
+        assert backend.anon_cost(group) == py.anon_cost(group)
+        assert backend.group_image(group) == py.group_image(group)
+        assert backend.radius_from(center, group) == py.radius_from(
+            center, group
+        )
+
+
+@given(st.one_of(tables(min_rows=1), mixed_width_tables(min_rows=1)))
+@settings(max_examples=40, deadline=None)
+def test_neighbor_index_parity(table):
+    py, *accelerated = backends(table)
+    n = table.n_rows
+    radii = sorted({d for row in py.distance_matrix() for d in row})
+    for center in range(n):
+        reference_order = py.neighbor_order(center)
+        for backend in accelerated:
+            assert backend.neighbor_order(center) == reference_order
+            for r in radii:
+                assert backend.neighbors_within(
+                    center, r
+                ) == py.neighbors_within(center, r)
 
 
 @given(tables_with_group())
 @settings(max_examples=60, deadline=None)
 def test_group_stats_parity(table_and_group):
-    """Incremental stats agree with from-scratch queries on both backends."""
+    """Incremental stats agree with from-scratch queries on all backends."""
     table, group = table_and_group
     for backend in backends(table):
         stats = backend.group_stats(group)
@@ -144,12 +211,13 @@ def test_group_stats_parity(table_and_group):
 def test_degenerate_shapes():
     for rows in ([], [()], [(), ()], [(1,)], [(STAR, STAR)]):
         table = Table(rows)
-        py, npb = backends(table)
-        assert npb.distance_matrix() == py.distance_matrix()
-        if rows:
-            full = frozenset(range(len(rows)))
-            assert npb.diameter(full) == py.diameter(full)
-            assert npb.group_image(full) == py.group_image(full)
+        py, *accelerated = backends(table)
+        for backend in accelerated:
+            assert backend.distance_matrix() == py.distance_matrix()
+            if rows:
+                full = frozenset(range(len(rows)))
+                assert backend.diameter(full) == py.diameter(full)
+                assert backend.group_image(full) == py.group_image(full)
 
 
 # -- encoding -----------------------------------------------------------
@@ -167,10 +235,11 @@ def test_encoded_table_roundtrip():
 def test_encoded_table_star_is_ordinary_symbol():
     """STAR equals only itself, so starred tables stay on the fast path."""
     table = Table([(STAR, 0), (STAR, 1), (0, 0)])
-    py, npb = backends(table)
-    assert npb.distance(0, 1) == py.distance(0, 1) == 1
-    assert npb.distance(0, 2) == py.distance(0, 2) == 1
-    assert npb.distance_matrix() == py.distance_matrix()
+    py, *accelerated = backends(table)
+    for backend in accelerated:
+        assert backend.distance(0, 1) == py.distance(0, 1) == 1
+        assert backend.distance(0, 2) == py.distance(0, 2) == 1
+        assert backend.distance_matrix() == py.distance_matrix()
 
 
 def test_encoded_table_packs_narrow_dtypes():
@@ -181,7 +250,85 @@ def test_encoded_table_packs_narrow_dtypes():
     assert tall.codes.dtype == np.uint16
 
 
+def test_encode_once_per_table():
+    """All backend instances over one table share one EncodedTable."""
+    table = Table([(0, 1, "a"), (1, 0, "b"), (0, 0, "c")])
+    npb = make_backend(table, "numpy")
+    bp = make_backend(table, "bitpacked")
+    assert isinstance(npb, NumpyBackend) and isinstance(bp, BitpackedBackend)
+    assert npb.encoded is bp.encoded
+    assert encode_table(table) is npb.encoded
+    # fresh instances over the same live table still hit the cache
+    assert make_backend(table, "numpy").encoded is npb.encoded
+
+
+def test_encoded_cache_evicts_dead_tables():
+    from repro.core.backend import _ENCODED_CACHE
+
+    table = Table([(0, 1), (1, 0)])
+    key = id(table)
+    encode_table(table)
+    assert key in _ENCODED_CACHE
+    del table
+    gc.collect()
+    assert key not in _ENCODED_CACHE
+
+
+# -- bit-packed lanes ---------------------------------------------------
+
+
+def _binary_wide_table(n_rows: int, n_binary: int, seed: int = 0) -> Table:
+    """n_binary 0/1 columns (spanning >1 lane when > 64) plus 3 wide."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n_rows):
+        binary = tuple(int(v) for v in rng.integers(0, 2, n_binary))
+        wide = tuple(int(v) for v in rng.integers(0, 5, 3))
+        rows.append(binary + wide)
+    return Table(rows)
+
+
+def test_bitpacked_lane_layout():
+    table = _binary_wide_table(6, 130)
+    bp = make_backend(table, "bitpacked")
+    lanes, wide = bp.packed
+    assert lanes.dtype == np.uint64
+    assert lanes.shape == (6, 3)  # 130 binary bits -> 3 uint64 lanes
+    assert wide.shape[0] == 6
+    encoded = bp.encoded
+    assert len(encoded.binary_columns) >= 130
+    assert set(encoded.binary_columns) | set(encoded.wide_columns) == set(
+        range(table.degree)
+    )
+
+
+def test_bitpacked_parity_across_lane_boundary():
+    """Exact parity on a table whose lanes cross the 64-bit boundary."""
+    table = _binary_wide_table(12, 130, seed=7)
+    py = make_backend(table, "python")
+    bp = make_backend(table, "bitpacked")
+    assert bp.distance_matrix() == py.distance_matrix()
+    group = frozenset([0, 3, 11])
+    assert bp.diameter(group) == py.diameter(group)
+    assert bp.anon_cost(group) == py.anon_cost(group)
+    assert bp.group_image(group) == py.group_image(group)
+
+
+def test_bitpacked_all_wide_columns_fall_back():
+    """A table with no binary columns still works (zero-lane packing)."""
+    table = Table([(0, 1, 2), (3, 4, 5), (6, 7, 8), (0, 4, 8)])
+    py = make_backend(table, "python")
+    bp = make_backend(table, "bitpacked")
+    lanes, wide = bp.packed
+    assert lanes.shape[1] == 0 and wide.shape[1] == 3
+    assert bp.distance_matrix() == py.distance_matrix()
+
+
 # -- selection and caching ----------------------------------------------
+
+
+def test_available_backends_lists_bitpacked():
+    assert available_backends() == ("python", "numpy", "bitpacked")
 
 
 def test_default_backend_honours_env(monkeypatch):
@@ -189,6 +336,8 @@ def test_default_backend_honours_env(monkeypatch):
     assert default_backend_name() == "python"
     monkeypatch.setenv("REPRO_BACKEND", "numpy")
     assert default_backend_name() == "numpy"
+    monkeypatch.setenv("REPRO_BACKEND", "bitpacked")
+    assert default_backend_name() == "bitpacked"
     monkeypatch.setenv("REPRO_BACKEND", "fortran")
     with pytest.raises(ValueError, match="REPRO_BACKEND"):
         default_backend_name()
@@ -201,6 +350,7 @@ def test_get_backend_caches_per_table_and_name():
     first = get_backend(table, "numpy")
     assert get_backend(table, "numpy") is first
     assert get_backend(table, "python") is not first
+    assert get_backend(table, "bitpacked") is not first
     # an instance already bound to the table passes through unchanged
     assert get_backend(table, first) is first
     # a foreign instance is re-resolved by name onto the new table

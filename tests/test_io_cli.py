@@ -74,6 +74,34 @@ class TestCliAnonymize:
         path.write_text("1,2\n1,2\n")
         assert main(["anonymize", str(path), "-k", "2", "--no-header"]) == 0
 
+    def test_every_backend_choice_agrees(self, input_csv, tmp_path):
+        from repro.core.backend import available_backends
+
+        outputs = set()
+        for backend in available_backends():
+            out = tmp_path / f"{backend}.csv"
+            code = main(
+                ["anonymize", str(input_csv), "-k", "2",
+                 "--backend", backend, "-o", str(out)]
+            )
+            assert code == 0, backend
+            outputs.add(out.read_text())
+        # backends are bit-identical, so so are the releases
+        assert len(outputs) == 1
+
+
+class TestCliAlgorithms:
+    def test_lists_registry_and_backends(self, capsys):
+        from repro.core.backend import available_backends, default_backend_name
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "center_cover" in out
+        assert "greedy_cover" in out
+        expected = (f"backends: {', '.join(available_backends())} "
+                    f"(default: {default_backend_name()})")
+        assert expected in out
+
 
 class TestCliCheck:
     def test_reports_level_and_stars(self, input_csv, capsys):
