@@ -34,12 +34,16 @@ bench-compare:
 		--benchmark-json=bench-e18.json
 	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e21_bitpack_kernel.py \
 		--benchmark-json=bench-e21.json
+	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e22_delta_solve.py \
+		--benchmark-json=bench-e22.json
 	python benchmarks/compare_bench.py bench-e9.json \
 		--baseline benchmarks/baselines/BENCH_e9.json
 	python benchmarks/compare_bench.py bench-e18.json \
 		--baseline benchmarks/baselines/BENCH_e18.json
 	python benchmarks/compare_bench.py bench-e21.json \
 		--baseline benchmarks/baselines/BENCH_e21.json
+	python benchmarks/compare_bench.py bench-e22.json \
+		--baseline benchmarks/baselines/BENCH_e22.json
 
 # anonymization service with a persistent on-disk solution cache
 serve:

@@ -20,6 +20,8 @@ maintains one grouping across inserts:
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
 
 from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.core.alphabet import STAR
@@ -29,6 +31,119 @@ from repro.core.partition import Partition
 from repro.core.suppressor import Suppressor
 from repro.core.table import Table
 from repro.registry import register
+
+#: bump when the snapshot layout changes incompatibly
+STATE_VERSION = 1
+
+#: wire rendering of the suppression symbol inside a serialized state
+#: (the same token CSV tables use, so the two encodings compose)
+_STAR_TOKEN = "*"
+
+
+@dataclass(frozen=True)
+class IncrementalState:
+    """A serializable snapshot of an :class:`IncrementalAnonymizer`.
+
+    Captures everything the engine needs to continue a stream exactly
+    where it left off: the rows seen so far, the settled groups, their
+    frozen released images, and the pending buffer.  Restoring a
+    snapshot and feeding the remaining rows produces the **same** engine
+    state as one uninterrupted run — the engine is deterministic, so
+    continuation is replay-equivalent (property-tested).
+
+    Snapshots round-trip through JSON via :meth:`as_dict` /
+    :meth:`from_dict`; suppressed cells are rendered with the CSV star
+    token, which is lossless for the string-valued tables the service
+    deals in (a literal ``"*"`` cell already *means* suppression in
+    CSV-land).
+
+    >>> inc = IncrementalAnonymizer(k=2, degree=2)
+    >>> inc.insert([(0, 0), (0, 1), (7, 7)])
+    >>> state = inc.export_state()
+    >>> restored = IncrementalAnonymizer.from_state(state)
+    >>> restored.insert([(7, 8)])
+    >>> inc.insert([(7, 8)])
+    >>> restored.released() == inc.released()
+    True
+    """
+
+    k: int
+    degree: int
+    attributes: tuple[str, ...] | None
+    rows: tuple[tuple, ...]
+    groups: tuple[tuple[int, ...], ...]
+    #: frozen released image per group, index-aligned with ``groups``
+    images: tuple[tuple, ...]
+    pending: tuple[int, ...]
+    version: int = STATE_VERSION
+
+    @staticmethod
+    def _encode_cell(value: Any) -> Any:
+        return _STAR_TOKEN if value is STAR else value
+
+    @staticmethod
+    def _decode_cell(value: Any) -> Any:
+        return STAR if value == _STAR_TOKEN else value
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready rendering (what the solution cache stores)."""
+        return {
+            "version": self.version,
+            "k": self.k,
+            "degree": self.degree,
+            "attributes": (
+                list(self.attributes) if self.attributes is not None else None
+            ),
+            "rows": [
+                [self._encode_cell(cell) for cell in row] for row in self.rows
+            ],
+            "groups": [list(group) for group in self.groups],
+            "images": [
+                [self._encode_cell(cell) for cell in image]
+                for image in self.images
+            ],
+            "pending": list(self.pending),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "IncrementalState":
+        """Rebuild a snapshot from :meth:`as_dict` output.
+
+        :raises ValueError: on an unknown snapshot version or a payload
+            missing required fields (a truncated or foreign document).
+        """
+        try:
+            version = int(payload["version"])
+            if version != STATE_VERSION:
+                raise ValueError(
+                    f"incremental state version {version} is not "
+                    f"supported (expected {STATE_VERSION})"
+                )
+            attributes = payload["attributes"]
+            return cls(
+                k=int(payload["k"]),
+                degree=int(payload["degree"]),
+                attributes=(
+                    tuple(attributes) if attributes is not None else None
+                ),
+                rows=tuple(
+                    tuple(cls._decode_cell(cell) for cell in row)
+                    for row in payload["rows"]
+                ),
+                groups=tuple(
+                    tuple(int(i) for i in group)
+                    for group in payload["groups"]
+                ),
+                images=tuple(
+                    tuple(cls._decode_cell(cell) for cell in image)
+                    for image in payload["images"]
+                ),
+                pending=tuple(int(i) for i in payload["pending"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"malformed incremental state payload: {exc}"
+            ) from exc
 
 
 class IncrementalAnonymizer:
@@ -77,17 +192,72 @@ class IncrementalAnonymizer:
         return len(self._pending)
 
     def insert(self, rows: Iterable[Sequence]) -> None:
-        """Add rows; flush the pending buffer whenever it reaches k."""
-        for row in rows:
+        """Add rows; flush the pending buffer whenever it reaches k.
+
+        The whole batch is validated **before** any row is appended, so
+        a degree mismatch anywhere in *rows* leaves the engine exactly
+        as it was — no torn state from a half-consumed iterable whose
+        early rows were already settled (and possibly published).
+        """
+        batch = []
+        for position, row in enumerate(rows):
             row = tuple(row)
             if len(row) != self._degree:
                 raise ValueError(
-                    f"row of degree {len(row)}, expected {self._degree}"
+                    f"row {position} of degree {len(row)}, "
+                    f"expected {self._degree}"
                 )
+            batch.append(row)
+        for row in batch:
             self._rows.append(row)
             self._pending.append(len(self._rows) - 1)
             if len(self._pending) >= self._k:
                 self._flush()
+
+    # ------------------------------------------------------------------
+    # State snapshots (delta solving)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> IncrementalState:
+        """Snapshot the engine for later continuation.
+
+        The snapshot is taken **pre-finalize** by construction: callers
+        wanting both a strictly k-anonymous release and a continuation
+        point must export first, then :meth:`finalize` — finalization
+        settles pending rows in a way a longer stream would not.
+        """
+        return IncrementalState(
+            k=self._k,
+            degree=self._degree,
+            attributes=self._attributes,
+            rows=tuple(self._rows),
+            groups=tuple(tuple(group) for group in self._groups),
+            images=tuple(
+                self._images[gid] for gid in range(len(self._groups))
+            ),
+            pending=tuple(self._pending),
+        )
+
+    @classmethod
+    def from_state(cls, state: IncrementalState) -> "IncrementalAnonymizer":
+        """Rebuild an engine from a snapshot.
+
+        The restored engine is replay-equivalent: inserting rows into it
+        produces the same groups, images, and releases as inserting them
+        into the engine the snapshot was taken from (tested as a
+        property over random streams).
+        """
+        engine = cls(state.k, state.degree, attributes=state.attributes)
+        engine._rows = [tuple(row) for row in state.rows]
+        engine._groups = [list(group) for group in state.groups]
+        engine._images = {
+            gid: tuple(image) for gid, image in enumerate(state.images)
+        }
+        engine._group_of = {
+            i: gid for gid, group in enumerate(state.groups) for i in group
+        }
+        engine._pending = list(state.pending)
+        return engine
 
     # ------------------------------------------------------------------
 
@@ -175,8 +345,11 @@ class IncrementalAnonymizer:
 
         Each leftover row (there are fewer than k, so they cannot form a
         group of their own) joins the settled group whose image-
-        respecting cost grows least, preferring groups still under the
-        ``2k - 1`` cap.  Frozen images only ever coarsen, so the
+        respecting cost grows least, **strictly** preferring groups
+        still under the ``2k - 1`` cap — an at-cap group only ever
+        absorbs a leftover when every group is at cap, and that
+        unavoidable overflow is surfaced on :attr:`cap_exceeded` rather
+        than papered over.  Frozen images only ever coarsen, so the
         anti-intersection invariant survives finalization.
 
         :raises ValueError: if no group exists yet (fewer than k rows
@@ -218,6 +391,18 @@ class IncrementalAnonymizer:
     def groups(self) -> tuple[frozenset[int], ...]:
         """The settled groups as frozen row-index sets."""
         return tuple(frozenset(g) for g in self._groups)
+
+    @property
+    def cap_exceeded(self) -> bool:
+        """True iff some settled group grew past the ``2k - 1`` cap.
+
+        Streaming flushes never overflow; only :meth:`finalize` can,
+        and only when *every* group is already at cap when a leftover
+        row needs a home.  Callers publishing partition metadata should
+        consult this instead of silently widening the documented bound.
+        """
+        cap = 2 * self._k - 1
+        return any(len(group) > cap for group in self._groups)
 
     # ------------------------------------------------------------------
 
@@ -277,6 +462,11 @@ class IncrementalBatchAnonymizer(Anonymizer):
     the cost of the monotone-disclosure invariant against the one-shot
     algorithms on identical inputs.
 
+    With ``capture_state=True`` the pre-finalize engine snapshot lands
+    in ``extras["incremental_state"]`` (as :meth:`IncrementalState.
+    as_dict` output) — the hook the anonymization service's ``delta``
+    verb uses to continue the stream later without re-solving.
+
     >>> from repro.core.table import Table
     >>> t = Table([(0, 0), (0, 1), (5, 5), (5, 5), (5, 6)])
     >>> result = IncrementalBatchAnonymizer().anonymize(t, 2)
@@ -285,6 +475,18 @@ class IncrementalBatchAnonymizer(Anonymizer):
     """
 
     name = "incremental"
+
+    def __init__(
+        self,
+        capture_state: bool = False,
+        backend=None,
+        budget=None,
+        trace=None,
+    ):
+        super().__init__(backend=backend, budget=budget, trace=trace)
+        #: export the pre-finalize engine snapshot into
+        #: ``extras["incremental_state"]``
+        self.capture_state = capture_state
 
     def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         self._check_feasible(table, k)
@@ -295,21 +497,30 @@ class IncrementalBatchAnonymizer(Anonymizer):
         )
         with run.phase("stream"):
             engine.insert(table.rows)
+        state = engine.export_state() if self.capture_state else None
         with run.phase("finalize"):
             engine.finalize()
         released = engine.released()
         suppressor = Suppressor.from_tables(table, released)
         groups = engine.groups()
+        # honest metadata: only widen the documented [k, 2k-1] bound
+        # when finalization actually overflowed it, and say so
+        cap_exceeded = engine.cap_exceeded
         partition = Partition(
             groups, table.n_rows, k,
-            k_max=max([2 * k - 1] + [len(g) for g in groups]),
+            k_max=(
+                max(len(g) for g in groups) if cap_exceeded else 2 * k - 1
+            ),
         )
         run.count("groups", len(groups))
+        extras: dict = {"groups": len(groups), "cap_exceeded": cap_exceeded}
+        if state is not None:
+            extras["incremental_state"] = state.as_dict()
         return AnonymizationResult(
             anonymized=released,
             suppressor=suppressor,
             partition=partition,
             algorithm=self.name,
             k=k,
-            extras={"groups": len(groups)},
+            extras=extras,
         )

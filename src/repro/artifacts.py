@@ -109,6 +109,38 @@ def instance_key(
     return hashlib.sha256(payload).hexdigest()[:32]
 
 
+def state_key(
+    table: Table,
+    k: int,
+    algorithm: str,
+    backend: str,
+) -> str:
+    """Content-addressed identity of a solver's **continuation state**.
+
+    Same inputs as :func:`instance_key` but a disjoint digest namespace:
+    the solution for an instance and the streaming-engine snapshot that
+    can *extend* that instance are different artifacts and must never
+    collide in the cache, even though they describe the same
+    ``(table, k, algorithm, backend)``.  Used by the service's ``delta``
+    verb to store and look up ``IncrementalState`` snapshots alongside
+    solutions.
+
+    >>> from repro.core.table import Table
+    >>> t = Table([(1, 2), (1, 2), (3, 4)], attributes=("x", "y"))
+    >>> a = state_key(t, 2, "incremental", "python")
+    >>> a == state_key(t, 2, "incremental", "python")
+    True
+    >>> a != instance_key(t, 2, "incremental", "python")
+    True
+    >>> len(a)
+    32
+    """
+    payload = repr(
+        ("state", table_hash(table), int(k), str(algorithm), str(backend))
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:32]
+
+
 def _canonical(config: dict[str, Any]) -> dict[str, Any]:
     """The JSON-round-tripped form of *config* (what lands on disk)."""
     return json.loads(json.dumps(config, sort_keys=True))

@@ -223,6 +223,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "delay:SECONDS, or drop-connection",
     )
     submit.add_argument(
+        "--delta", default=None, metavar="STATE_KEY",
+        help="treat the input CSV as rows appended to the incremental "
+             "stream stored under STATE_KEY (printed to stderr by a "
+             "previous --algorithm incremental submit)",
+    )
+    submit.add_argument(
         "--stats", action="store_true",
         help="print the server's cache/batch counters and exit",
     )
@@ -477,20 +483,40 @@ def _submit(args) -> int:
             client.shutdown()
             print("server stopped", file=sys.stderr)
             return 0
-        if args.input is None or args.k is None:
-            print("error: submit needs an input CSV and -k (or one of "
-                  "--stats / --ping / --shutdown)", file=sys.stderr)
+        if args.input is None or (args.k is None and args.delta is None):
+            print("error: submit needs an input CSV and -k (or --delta "
+                  "STATE_KEY, or one of --stats / --ping / --shutdown)",
+                  file=sys.stderr)
             return 2
         table = read_csv(args.input, header=not args.no_header)
-        response = client.anonymize(
-            table, args.k,
-            algorithm=args.algorithm,
-            header=not args.no_header,
-            timeout=args.timeout,
-            use_cache=not args.no_cache,
-            trace=args.trace,
-            fault=args.fault,
-        )
+        if args.delta is not None:
+            response = client.delta(
+                args.delta, table,
+                k=args.k,
+                header=not args.no_header,
+                timeout=args.timeout,
+                use_cache=not args.no_cache,
+                fault=args.fault,
+            )
+            disposition = response.get("delta")
+            if disposition:
+                print(f"delta: +{disposition['rows_added']} rows "
+                      f"({disposition['rows_total']} total), "
+                      f"{disposition['untouched_groups']}/"
+                      f"{disposition['groups']} groups untouched",
+                      file=sys.stderr)
+        else:
+            response = client.anonymize(
+                table, args.k,
+                algorithm=args.algorithm,
+                header=not args.no_header,
+                timeout=args.timeout,
+                use_cache=not args.no_cache,
+                trace=args.trace,
+                fault=args.fault,
+            )
+        if response.get("state_key"):
+            print(f"state key: {response['state_key']}", file=sys.stderr)
         if response.get("deadline_hit"):
             print("deadline hit: the server returned its best valid "
                   "release within the budget", file=sys.stderr)

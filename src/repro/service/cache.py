@@ -57,10 +57,21 @@ from typing import Any
 
 from repro.io import read_json, write_json
 
-#: keys are hex digests from :func:`repro.artifacts.instance_key`; the
-#: disk tier refuses anything else so cache files can never escape the
-#: cache directory or collide with its bookkeeping.
+#: keys are hex digests from :func:`repro.artifacts.instance_key` /
+#: :func:`repro.artifacts.state_key`; the disk tier refuses anything
+#: else so cache files can never escape the cache directory or collide
+#: with its bookkeeping.
 _KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def is_cache_key(key: object) -> bool:
+    """True iff *key* is a well-formed instance/state-key digest.
+
+    The service uses this to reject malformed client-supplied keys
+    (``delta`` requests carry one) *before* they reach the disk tier,
+    which would raise on them.
+    """
+    return isinstance(key, str) and bool(_KEY_RE.match(key))
 
 
 @dataclass
@@ -213,11 +224,33 @@ class SolutionCache:
             self.stats.evictions += 1
 
     def __contains__(self, key: str) -> bool:
-        """Non-counting membership probe across both tiers."""
+        """Membership probe across both tiers, agreeing with :meth:`get`.
+
+        A disk entry only counts as present when it would actually be
+        *served*: an unreadable file (torn write, truncation, wrong
+        shape) is quarantined on the spot — exactly as ``get`` would —
+        and reported absent, so ``key in cache`` can never promise an
+        entry that ``get`` would then refuse.  The probe never touches
+        the hit/miss counters (``corrupt`` is bumped when a bad entry is
+        found, since the quarantine really happened).
+        """
         if key in self._memory:
             return True
         path = self._disk_path(key)
-        return path is not None and path.exists()
+        if path is None or not path.exists():
+            return False
+        try:
+            entry = read_json(path)
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"cache entry is {type(entry).__name__}, "
+                    "not a JSON object"
+                )
+        except (ValueError, OSError):
+            self._quarantine(path)
+            self.stats.corrupt += 1
+            return False
+        return True
 
     def __len__(self) -> int:
         """Entries currently resident in the memory tier."""

@@ -14,10 +14,10 @@ Robustness (protocol v2):
 * a dead connection (reset, closed, failed write) is closed
   immediately — satellite of PR 5: the next call reconnects instead of
   failing forever on a half-dead socket.
-* idempotent verbs (``anonymize``, ``ping``, ``stats``) retry through
-  :class:`~repro.instrument.Backoff` with exponential delay and jitter;
-  ``shutdown`` never retries (a retry could kill a freshly restarted
-  server).
+* idempotent verbs (``anonymize``, ``delta``, ``ping``, ``stats``)
+  retry through :class:`~repro.instrument.Backoff` with exponential
+  delay and jitter; ``shutdown`` never retries (a retry could kill a
+  freshly restarted server).
 
 The counters on :attr:`ServiceClient.counters` (requests / retries /
 reconnects / timeouts / stale lines discarded) make those behaviours
@@ -254,6 +254,54 @@ class ServiceClient:
             "use_cache": use_cache,
             "trace": trace,
         }
+        if fault is not None:
+            payload["fault"] = fault
+        response = self._checked(payload)
+        response["table"] = Table.from_csv(response["csv"], header=header)
+        return response
+
+    def delta(
+        self,
+        state_key: str,
+        rows: "Table | str",
+        *,
+        k: int | None = None,
+        header: bool = True,
+        timeout: float | None = None,
+        use_cache: bool = True,
+        fault: str | None = None,
+    ) -> dict[str, Any]:
+        """Append rows to a previously-solved incremental stream.
+
+        *state_key* is the key a prior ``anonymize(...,
+        algorithm="incremental")`` or ``delta`` response carried; *rows*
+        is the appended delta only (not the full table).  Returns the
+        grown release — ``response["table"]`` parsed back from the
+        wire, a fresh ``state_key`` to continue the chain, and a
+        ``delta`` disposition (``rows_added`` / ``rows_total`` /
+        ``groups`` / ``untouched_groups``) on an actual solve (cache
+        hits answer without one).
+
+        The request is idempotent — replaying the same delta against
+        the same state key yields the same release and the same next
+        ``state_key`` — so it retries like ``anonymize`` does.
+
+        :raises ServiceError: ``unknown-state`` when no state lives
+            under *state_key* (wrong key, evicted memory-only cache, or
+            a backend mismatch); ``bad-request`` on a k / degree /
+            attribute mismatch with the stored stream.
+        """
+        csv = rows.to_csv(header=header) if isinstance(rows, Table) else rows
+        payload = {
+            "op": "delta",
+            "state_key": state_key,
+            "csv": csv,
+            "header": header,
+            "timeout": timeout,
+            "use_cache": use_cache,
+        }
+        if k is not None:
+            payload["k"] = k
         if fault is not None:
             payload["fault"] = fault
         response = self._checked(payload)

@@ -25,6 +25,16 @@ Request objects
 ``trace``.  Tables travel as CSV text — the same representation the CLI
 reads and writes, with ``*`` marking suppressed cells.
 
+``{"op": "delta", "state_key": "...", "csv": "..."}`` (a protocol v2
+extension) appends rows to a previously-solved **incremental** stream:
+the server restores the stored
+:class:`~repro.algorithms.incremental.IncrementalState` snapshot, feeds
+only the delta through the streaming engine, and returns the grown
+release — untouched groups keep their frozen images byte-identical,
+and a fresh ``state_key`` on the response continues the chain.  A
+plain ``anonymize`` with ``algorithm: "incremental"`` starts a chain:
+its response carries the first ``state_key``.
+
 ``{"op": "stats"}`` returns cache / batch / pool / trace counters;
 ``{"op": "ping"}`` health-checks; ``{"op": "shutdown"}`` stops the
 server after responding.
@@ -32,8 +42,8 @@ server after responding.
 Responses carry ``ok`` plus either the solution (``csv``, ``stars``,
 ``algorithm``, ``k``, ``cache`` ∈ {``hit``, ``coalesced``, ``miss``,
 ``bypass``}) or ``error`` and a machine-readable ``code``
-(``bad-request``, ``unknown-algorithm``, ``budget-exceeded``,
-``infeasible``, ``internal``).
+(``bad-request``, ``unknown-algorithm``, ``unknown-state``,
+``budget-exceeded``, ``infeasible``, ``internal``).
 
 Protocol v2 (requests without these fields behave exactly like v1):
 
@@ -69,17 +79,22 @@ import multiprocessing
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro import registry
 from repro.algorithms.base import InfeasibleAnonymizationError
-from repro.artifacts import instance_key
+from repro.algorithms.incremental import (
+    IncrementalAnonymizer,
+    IncrementalState,
+)
+from repro.artifacts import instance_key, state_key
+from repro.core.anonymity import suppressed_cell_count
 from repro.core.backend import default_backend_name
 from repro.core.table import Table
 from repro.experiments import WorkerPool, run_tasks
 from repro.instrument import BudgetExceededError, TimeBudget, summarize_traces
-from repro.service.cache import SolutionCache
+from repro.service.cache import SolutionCache, is_cache_key
 
 #: default TCP port (chosen as an unassigned registered port)
 DEFAULT_PORT = 7683
@@ -120,26 +135,63 @@ class _SolveTask:
     #: fault-injection marker (only ever set when the service was
     #: started with fault injection enabled)
     fault: str | None = None
+    #: export the streaming engine's pre-finalize snapshot (set for
+    #: ``incremental`` solves so the ``delta`` verb can continue them)
+    capture_state: bool = False
 
 
-def _solve_task(task: _SolveTask) -> dict[str, Any]:
-    """Solve one instance; always returns a JSON-ready dict.
+@dataclass(frozen=True)
+class _DeltaTask:
+    """Continue a previously-solved incremental stream by a row delta.
+
+    ``state`` is the stored :meth:`IncrementalState.as_dict` payload
+    (plain JSON data, so the task stays picklable across the pool
+    boundary).  ``timeout`` is carried for budget bookkeeping only —
+    delta solves run to completion, the budget governs queueing and
+    coalescing, not the engine (which is not an anytime algorithm).
+    """
+
+    state: dict
+    csv: str
+    header: bool
+    k: int
+    backend: str
+    timeout: float | None
+    trace: bool
+    fault: str | None = None
+
+
+def _kill_worker() -> None:
+    if multiprocessing.parent_process() is not None:
+        # a real pool worker: die the hard way, mid-batch, so
+        # the owner sees a BrokenProcessPool (chaos testing)
+        os._exit(1)  # pragma: no cover - runs in a spawned worker
+    # inline mode has no worker to kill; fail like a crash would
+    raise RuntimeError("fault injection: kill-worker")
+
+
+def _solve_task(task: "_SolveTask | _DeltaTask") -> dict[str, Any]:
+    """Solve one batched task; always returns a JSON-ready dict.
 
     Errors come back as ``{"error": ..., "code": ...}`` records instead
     of raising — one poisoned request inside a batch must not cancel its
     batchmates (the executor cancels the pool on a raised exception).
     """
+    if isinstance(task, _DeltaTask):
+        return _solve_delta(task)
+    return _solve_instance(task)
+
+
+def _solve_instance(task: _SolveTask) -> dict[str, Any]:
+    """Solve one full instance from scratch."""
     started = time.perf_counter()
     try:
         if task.fault == "kill-worker":
-            if multiprocessing.parent_process() is not None:
-                # a real pool worker: die the hard way, mid-batch, so
-                # the owner sees a BrokenProcessPool (chaos testing)
-                os._exit(1)  # pragma: no cover - runs in a spawned worker
-            # inline mode has no worker to kill; fail like a crash would
-            raise RuntimeError("fault injection: kill-worker")
+            _kill_worker()
         table = Table.from_csv(task.csv, header=task.header)
         algorithm = registry.create(task.algorithm)
+        if task.capture_state:
+            algorithm.capture_state = True
         result = algorithm.anonymize(
             table, task.k, backend=task.backend, timeout=task.timeout,
             trace=task.trace,
@@ -159,6 +211,60 @@ def _solve_task(task: _SolveTask) -> dict[str, Any]:
         "deadline_hit": bool(result.extras.get("deadline_hit")),
         "solve_seconds": time.perf_counter() - started,
         "trace": result.extras.get("trace"),
+        "state": result.extras.get("incremental_state"),
+        "cap_exceeded": bool(result.extras.get("cap_exceeded", False)),
+    }
+
+
+def _solve_delta(task: _DeltaTask) -> dict[str, Any]:
+    """Continue a stored stream: restore, insert the delta, finalize.
+
+    The engine is deterministic, so restoring the pre-finalize snapshot
+    of the prefix and inserting the delta is replay-equivalent to one
+    cold run over all rows — which is exactly why the result may be
+    cached under the *full* table's instance key.  The fresh snapshot
+    (again pre-finalize) continues the chain.
+    """
+    started = time.perf_counter()
+    try:
+        if task.fault == "kill-worker":
+            _kill_worker()
+        state = IncrementalState.from_dict(task.state)
+        engine = IncrementalAnonymizer.from_state(state)
+        delta_table = Table.from_csv(task.csv, header=task.header)
+        engine.insert(delta_table.rows)
+        new_state = engine.export_state()
+        engine.finalize()
+        released = engine.released()
+    except ValueError as exc:
+        return {"error": str(exc), "code": "bad-request"}
+    except Exception as exc:  # noqa: BLE001 - worker boundary
+        return {"error": f"{type(exc).__name__}: {exc}", "code": "internal"}
+    # group ids are stable (the group list only ever appends), so a
+    # pre-delta group is untouched iff its released image — readable
+    # off any of its original members — is byte-identical to the
+    # frozen image the snapshot recorded
+    untouched = sum(
+        1 for gid, members in enumerate(state.groups)
+        if released.rows[members[0]] == state.images[gid]
+    )
+    return {
+        "csv": released.to_csv(header=task.header),
+        "stars": suppressed_cell_count(released),
+        "algorithm": "incremental",
+        "k": task.k,
+        "backend": task.backend,
+        "deadline_hit": False,
+        "solve_seconds": time.perf_counter() - started,
+        "trace": None,
+        "state": new_state.as_dict(),
+        "cap_exceeded": engine.cap_exceeded,
+        "delta": {
+            "rows_added": delta_table.n_rows,
+            "rows_total": engine.n_rows,
+            "groups": len(engine.groups()),
+            "untouched_groups": untouched,
+        },
     }
 
 
@@ -169,12 +275,15 @@ def _solve_task(task: _SolveTask) -> dict[str, Any]:
 
 @dataclass
 class _Job:
-    """One admitted anonymize request waiting for its batch."""
+    """One admitted anonymize/delta request waiting for its batch."""
 
     key: str
-    task: _SolveTask
+    task: "_SolveTask | _DeltaTask"
     budget: TimeBudget
     future: asyncio.Future = field(repr=False)
+    op: str = "anonymize"
+    #: where this job's continuation snapshot lives (incremental only)
+    state_key: str | None = None
 
 
 class AnonymizationService:
@@ -310,6 +419,8 @@ class AnonymizationService:
         self._check_fault(request)
         if op == "anonymize":
             return await self._handle_anonymize(request)
+        if op == "delta":
+            return await self._handle_delta(request)
         if op == "stats":
             return {"ok": True, "op": "stats", **self.stats()}
         if op == "ping":
@@ -376,7 +487,19 @@ class AnonymizationService:
         return None
 
     async def _handle_anonymize(self, request: dict) -> dict[str, Any]:
-        job = self._admit(request)
+        return await self._run_job(self._admit(request), request)
+
+    async def _handle_delta(self, request: dict) -> dict[str, Any]:
+        return await self._run_job(self._admit_delta(request), request)
+
+    async def _run_job(self, job: _Job, request: dict) -> dict[str, Any]:
+        """Cache-check, coalesce, or queue one admitted job.
+
+        Shared by ``anonymize`` and ``delta``: a delta job is keyed by
+        the **grown** table's instance key, so an identical delta — or
+        a from-scratch solve of the same full table — hits and
+        coalesces against it exactly like any repeated instance.
+        """
         use_cache = bool(request.get("use_cache", True))
         if job.task.fault is not None:
             # a fault-injected request must reach the solver to matter
@@ -385,7 +508,10 @@ class AnonymizationService:
         if use_cache:
             cached = self.cache.get(job.key)
             if cached is not None:
-                return _solution(cached, cache="hit")
+                response = _solution(cached, cache="hit", op=job.op)
+                if job.state_key is not None and job.state_key in self.cache:
+                    response["state_key"] = job.state_key
+                return response
             inflight = self._inflight.get(job.key)
             if inflight is not None:
                 # identical instance already being solved: wait for it
@@ -443,6 +569,130 @@ class AnonymizationService:
                 "unknown-algorithm",
                 f"unknown algorithm {name!r}; see `kanon algorithms`",
             ) from None
+        timeout = self._admitted_timeout(request)
+        header = bool(request.get("header", True))
+        try:
+            table = Table.from_csv(csv, header=header)
+        except ValueError as exc:
+            raise ServiceError("bad-request", f"bad csv: {exc}") from None
+        capture_state = algorithm == "incremental"
+        task = _SolveTask(
+            csv=csv, header=header, k=k, algorithm=algorithm,
+            backend=self.backend, timeout=timeout,
+            trace=bool(request.get("trace", False)),
+            fault=self._admitted_fault(request),
+            capture_state=capture_state,
+        )
+        return _Job(
+            key=instance_key(table, k, algorithm, self.backend),
+            task=task,
+            budget=TimeBudget(timeout).start(),
+            future=asyncio.get_running_loop().create_future(),
+            state_key=(
+                state_key(table, k, algorithm, self.backend)
+                if capture_state else None
+            ),
+        )
+
+    def _admit_delta(self, request: dict) -> _Job:
+        """Validate one delta request against its stored stream state.
+
+        The job is keyed by the **grown** table's instance key (stored
+        prefix rows + delta rows) and carries the grown table's
+        ``state_key`` — the same keys a cold ``anonymize`` of the full
+        table would use, so chains compose and repeated deltas hit.
+        """
+        key = request.get("state_key")
+        if not is_cache_key(key):
+            raise ServiceError(
+                "bad-request",
+                "delta needs a 'state_key' hex-digest string (the one a "
+                "previous incremental solve returned)",
+            )
+        csv = request.get("csv")
+        if not isinstance(csv, str) or not csv.strip():
+            raise ServiceError(
+                "bad-request", "delta needs a non-empty 'csv' string"
+            )
+        entry = self.cache.get(key)
+        if entry is None:
+            raise ServiceError(
+                "unknown-state",
+                f"no incremental state stored under {key!r} — solve the "
+                "full table with algorithm 'incremental' first, or the "
+                "state was evicted from a memory-only cache",
+            )
+        try:
+            state = IncrementalState.from_dict(entry["state"])
+            stored_backend = str(entry["backend"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(
+                "unknown-state",
+                f"state stored under {key!r} is unusable: {exc}",
+            ) from None
+        if stored_backend != self.backend:
+            raise ServiceError(
+                "unknown-state",
+                f"state under {key!r} was computed under backend "
+                f"{stored_backend!r}; this server runs {self.backend!r}",
+            )
+        k = request.get("k", state.k)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ServiceError(
+                "bad-request", "'k' must be a positive integer"
+            )
+        if k != state.k:
+            raise ServiceError(
+                "bad-request",
+                f"delta k={k} does not match the stored stream's "
+                f"k={state.k} — changing k means re-solving from scratch",
+            )
+        timeout = self._admitted_timeout(request)
+        header = bool(request.get("header", True))
+        try:
+            delta_table = Table.from_csv(csv, header=header)
+        except ValueError as exc:
+            raise ServiceError("bad-request", f"bad csv: {exc}") from None
+        if delta_table.n_rows == 0:
+            raise ServiceError(
+                "bad-request", "delta carries no rows (header-only csv)"
+            )
+        if delta_table.degree != state.degree:
+            raise ServiceError(
+                "bad-request",
+                f"delta rows have degree {delta_table.degree}; the "
+                f"stream expects {state.degree}",
+            )
+        if (
+            header
+            and state.attributes is not None
+            and delta_table.attributes != state.attributes
+        ):
+            raise ServiceError(
+                "bad-request",
+                f"delta attributes {delta_table.attributes!r} do not "
+                f"match the stream's {state.attributes!r}",
+            )
+        full = Table(
+            state.rows + delta_table.rows, attributes=state.attributes
+        )
+        task = _DeltaTask(
+            state=entry["state"], csv=csv, header=header, k=k,
+            backend=self.backend, timeout=timeout,
+            trace=bool(request.get("trace", False)),
+            fault=self._admitted_fault(request),
+        )
+        return _Job(
+            key=instance_key(full, k, "incremental", self.backend),
+            task=task,
+            budget=TimeBudget(timeout).start(),
+            future=asyncio.get_running_loop().create_future(),
+            op="delta",
+            state_key=state_key(full, k, "incremental", self.backend),
+        )
+
+    def _admitted_timeout(self, request: dict) -> float | None:
+        """The request's validated budget, under the server cap."""
         timeout = request.get("timeout", self.default_timeout)
         if timeout is not None:
             try:
@@ -463,31 +713,28 @@ class AnonymizationService:
                 )
         elif self.max_timeout is not None:
             timeout = self.max_timeout
-        header = bool(request.get("header", True))
-        try:
-            table = Table.from_csv(csv, header=header)
-        except ValueError as exc:
-            raise ServiceError("bad-request", f"bad csv: {exc}") from None
+        return timeout
+
+    def _admitted_fault(self, request: dict) -> str | None:
+        """The worker-level fault marker, when injection is enabled."""
         fault = request.get("fault")
-        task = _SolveTask(
-            csv=csv, header=header, k=k, algorithm=algorithm,
-            backend=self.backend, timeout=timeout,
-            trace=bool(request.get("trace", False)),
-            fault="kill-worker" if (
-                self.fault_injection and fault == "kill-worker"
-            ) else None,
-        )
-        return _Job(
-            key=instance_key(table, k, algorithm, self.backend),
-            task=task,
-            budget=TimeBudget(timeout).start(),
-            future=asyncio.get_running_loop().create_future(),
-        )
+        return "kill-worker" if (
+            self.fault_injection and fault == "kill-worker"
+        ) else None
 
     def _finish(
         self, job: _Job, outcome: dict[str, Any], cache: str
     ) -> dict[str, Any]:
-        """Turn a solver outcome into a response; cache and trace it."""
+        """Turn a solver outcome into a response; cache and trace it.
+
+        Incremental solves carry a continuation snapshot in
+        ``outcome["state"]``; it is stored as its own cache entry under
+        ``job.state_key`` (never inside the solution entry — solutions
+        stay byte-compatible with pre-delta cache files) and the
+        response advertises that key.  Per-request delta dispositions
+        (``outcome["delta"]``) are answered but never cached: they
+        describe the request's delta, not the instance.
+        """
         if "error" in outcome:
             self.rejected += 1
             return _error(outcome["code"], outcome["error"])
@@ -496,11 +743,31 @@ class AnonymizationService:
             # one solve, one recorded trace — coalesced followers share
             # the leader's solve and must not re-append its trace
             self.traces.append(trace)
+        state = outcome.pop("state", None)
+        delta_info = outcome.pop("delta", None)
         if cache == "miss" and not outcome.get("deadline_hit"):
             # deadline-degraded releases reflect the budget, not the
             # instance — never let them answer future requests
+            if state is not None and job.state_key is not None:
+                self.cache.put(job.state_key, {
+                    "state": state,
+                    "k": job.task.k,
+                    "algorithm": "incremental",
+                    "backend": job.task.backend,
+                })
             self.cache.put(job.key, outcome)
-        response = _solution(outcome, cache=cache)
+        response = _solution(outcome, cache=cache, op=job.op)
+        if (
+            job.state_key is not None
+            and state is not None
+            and cache in ("miss", "coalesced")
+            and not outcome.get("deadline_hit")
+        ):
+            # never advertised on a bypass: nothing was stored, so the
+            # key would dangle (chains need the cache by construction)
+            response["state_key"] = job.state_key
+        if delta_info is not None:
+            response["delta"] = delta_info
         if trace is not None:
             response["trace"] = trace
         return response
@@ -565,7 +832,9 @@ class AnonymizationService:
                 job.future.set_result(by_key[job.key])
 
     @staticmethod
-    def _merge_jobs(ready: list[_Job]) -> tuple[list[str], list[_SolveTask]]:
+    def _merge_jobs(
+        ready: list[_Job],
+    ) -> tuple[list[str], list["_SolveTask | _DeltaTask"]]:
         """Deduplicate a batch by instance key, one task per key.
 
         Key-sharers solve once, under the **loosest** budget in the
@@ -574,13 +843,18 @@ class AnonymizationService:
         would let a stranger's tight deadline fail, or
         deadline-degrade, everyone else's identical request.)  Tracing
         and fault markers are likewise merged with "any sharer asked"
-        semantics.
+        semantics.  The merge is shape-preserving (``dataclasses.
+        replace``), so anonymize and delta tasks both pass through —
+        and since a delta job is keyed by its *grown* table, a delta
+        can share a key with a cold solve of the same full table, in
+        which case the first arrival's task shape wins (both produce
+        the same release, by replay equivalence).
         """
         groups: dict[str, list[_Job]] = {}
         for job in ready:
             groups.setdefault(job.key, []).append(job)
         keys = list(groups)
-        tasks: list[_SolveTask] = []
+        tasks: list[_SolveTask | _DeltaTask] = []
         for key in keys:
             sharers = groups[key]
             base = sharers[0].task
@@ -588,9 +862,8 @@ class AnonymizationService:
                 timeout = None
             else:
                 timeout = max(job.budget.remaining() for job in sharers)
-            tasks.append(_SolveTask(
-                csv=base.csv, header=base.header, k=base.k,
-                algorithm=base.algorithm, backend=base.backend,
+            tasks.append(replace(
+                base,
                 timeout=timeout,
                 trace=any(job.task.trace for job in sharers),
                 fault=next(
@@ -633,10 +906,12 @@ def _error(code: str, message: str) -> dict[str, Any]:
     return {"ok": False, "code": code, "error": message}
 
 
-def _solution(outcome: dict[str, Any], cache: str) -> dict[str, Any]:
-    return {
+def _solution(
+    outcome: dict[str, Any], cache: str, op: str = "anonymize"
+) -> dict[str, Any]:
+    response = {
         "ok": True,
-        "op": "anonymize",
+        "op": op,
         "cache": cache,
         "csv": outcome["csv"],
         "stars": outcome["stars"],
@@ -646,6 +921,9 @@ def _solution(outcome: dict[str, Any], cache: str) -> dict[str, Any]:
         "deadline_hit": outcome.get("deadline_hit", False),
         "solve_seconds": outcome.get("solve_seconds"),
     }
+    if "cap_exceeded" in outcome:
+        response["cap_exceeded"] = outcome["cap_exceeded"]
+    return response
 
 
 # ----------------------------------------------------------------------

@@ -1,10 +1,16 @@
 """Tests for incremental anonymization and the shared partition DP."""
 
+import json
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms.incremental import IncrementalAnonymizer
+from repro.algorithms.incremental import (
+    IncrementalAnonymizer,
+    IncrementalBatchAnonymizer,
+    IncrementalState,
+)
 from repro.algorithms.partition_dp import minimum_cost_partition
 from repro.core.alphabet import STAR
 from repro.core.anonymity import is_k_anonymous
@@ -198,3 +204,176 @@ class TestIncrementalAnonymizer:
         assert inc.released().n_rows == 0
         assert inc.is_publishable()
         assert inc.total_stars() == 0
+
+    def test_insert_is_atomic_on_mid_batch_degree_mismatch(self):
+        """Regression: a bad row mid-batch used to leave earlier rows
+        of the same batch already appended (and possibly flushed)."""
+        inc = IncrementalAnonymizer(k=2, degree=2)
+        inc.insert([(0, 0), (0, 1)])
+        released_before = inc.released().rows
+        with pytest.raises(ValueError, match="row 2 of degree 3"):
+            # rows 0-1 are valid and would have flushed a new group
+            # under the old row-at-a-time loop; row 2 is torn
+            inc.insert([(5, 5), (5, 6), (5, 6, 7)])
+        assert inc.n_rows == 2
+        assert inc.n_pending == 0
+        assert inc.released().rows == released_before
+        # the engine still works after the rejected batch
+        inc.insert([(5, 5), (5, 6)])
+        assert inc.n_rows == 4
+
+    def test_insert_atomicity_with_generator_input(self):
+        """A half-consumed generator must not leak rows in either."""
+        inc = IncrementalAnonymizer(k=2, degree=1)
+
+        def rows():
+            yield (1,)
+            yield (2, 3)
+
+        with pytest.raises(ValueError):
+            inc.insert(rows())
+        assert inc.n_rows == 0
+
+
+class TestIncrementalState:
+    def _streamed(self):
+        inc = IncrementalAnonymizer(k=2, degree=2, attributes=("x", "y"))
+        inc.insert([(0, 0), (0, 1), (7, 7), (7, 8), (3, 3)])
+        return inc
+
+    def test_export_restore_round_trip(self):
+        inc = self._streamed()
+        restored = IncrementalAnonymizer.from_state(inc.export_state())
+        assert restored.released() == inc.released()
+        assert restored.groups() == inc.groups()
+        assert restored.n_pending == inc.n_pending
+
+    def test_as_dict_survives_json_and_star_cells(self):
+        inc = self._streamed()
+        state = inc.export_state()
+        # group images contain STAR cells; they must survive the trip
+        assert any(STAR in image for image in state.images)
+        payload = json.loads(json.dumps(state.as_dict()))
+        rebuilt = IncrementalState.from_dict(payload)
+        assert rebuilt == state
+        restored = IncrementalAnonymizer.from_state(rebuilt)
+        assert restored.released() == inc.released()
+
+    def test_star_token_identified_with_suppression(self):
+        # the wire encoding uses the CSV star token, so a literal "*"
+        # cell decodes to STAR — the same identification CSV makes
+        assert IncrementalState._decode_cell("*") is STAR
+        assert IncrementalState._encode_cell(STAR) == "*"
+
+    def test_restored_engine_is_replay_equivalent(self):
+        inc = self._streamed()
+        restored = IncrementalAnonymizer.from_state(inc.export_state())
+        tail = [(3, 4), (0, 0), (9, 9), (9, 9)]
+        inc.insert(tail)
+        restored.insert(tail)
+        assert restored.released() == inc.released()
+        inc.finalize()
+        restored.finalize()
+        assert restored.released() == inc.released()
+
+    def test_unknown_version_rejected(self):
+        state = self._streamed().export_state()
+        payload = dict(state.as_dict(), version=99)
+        with pytest.raises(ValueError, match="version 99"):
+            IncrementalState.from_dict(payload)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            IncrementalState.from_dict({"version": 1, "k": 2})
+        with pytest.raises(ValueError, match="malformed"):
+            IncrementalState.from_dict({})
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2)),
+            min_size=2, max_size=24,
+        ),
+        st.integers(0, 23),
+        st.integers(2, 3),
+    )
+    def test_replay_equivalence_property(self, rows, cut, k):
+        """Snapshotting at ANY point of a stream and replaying the rest
+        equals the uninterrupted run — the delta verb's correctness."""
+        cut = min(cut, len(rows))
+        cold = IncrementalAnonymizer(k=k, degree=2)
+        cold.insert(rows)
+        prefix = IncrementalAnonymizer(k=k, degree=2)
+        prefix.insert(rows[:cut])
+        resumed = IncrementalAnonymizer.from_state(prefix.export_state())
+        resumed.insert(rows[cut:])
+        assert resumed.released() == cold.released()
+        assert resumed.groups() == cold.groups()
+        if cold._groups:
+            cold.finalize()
+            resumed.finalize()
+            assert resumed.released() == cold.released()
+
+
+class TestHonestFinalizeMetadata:
+    def test_finalize_prefers_under_cap_groups(self):
+        # two settled groups: one AT the k=2 cap whose image matches
+        # the leftover exactly (delta cost 0), one under cap and far
+        # away.  The old finalize picked the cheap at-cap group; it
+        # must strictly prefer the under-cap one.
+        state = IncrementalState(
+            k=2, degree=1, attributes=None,
+            rows=((1,), (1,), (1,), (9,), (8,), (1,)),
+            groups=((0, 1, 2), (3, 4)),
+            images=((1,), (STAR,)),
+            pending=(5,),
+        )
+        inc = IncrementalAnonymizer.from_state(state)
+        inc.finalize()
+        assert sorted(len(g) for g in inc._groups) == [3, 3]
+        assert not inc.cap_exceeded
+        assert inc.is_publishable()
+
+    def test_cap_exceeded_surfaced_when_unavoidable(self):
+        # every group at cap plus a leftover: overflow is the only way
+        # to settle it, and the engine must say so instead of papering
+        # over the broken [k, 2k-1] bound
+        state = IncrementalState(
+            k=2, degree=1, attributes=None,
+            rows=((1,), (1,), (1,), (2,)),
+            groups=((0, 1, 2),),
+            images=((1,),),
+            pending=(3,),
+        )
+        inc = IncrementalAnonymizer.from_state(state)
+        assert not inc.cap_exceeded
+        inc.finalize()
+        assert [len(g) for g in inc._groups] == [4]
+        assert inc.cap_exceeded
+
+    def test_batch_facade_reports_honest_k_max(self):
+        # 4 rows, k=2: stream flushes one group of 2, finalize must
+        # settle the rest without silently widening the metadata
+        table = Table([(1,), (1,), (1,), (2,)])
+        result = IncrementalBatchAnonymizer().anonymize(table, 2)
+        assert result.is_valid(table)
+        if result.extras["cap_exceeded"]:
+            sizes = [len(g) for g in result.partition.groups]
+            assert result.partition.k_max == max(sizes)
+        else:
+            assert result.partition.k_max == 3
+
+    def test_batch_facade_captures_state_on_request(self):
+        table = Table([(1, 2), (1, 3), (4, 5), (4, 5), (4, 6)])
+        plain = IncrementalBatchAnonymizer().anonymize(table, 2)
+        assert "incremental_state" not in plain.extras
+        capturing = IncrementalBatchAnonymizer(capture_state=True)
+        result = capturing.anonymize(table, 2)
+        state = IncrementalState.from_dict(
+            result.extras["incremental_state"]
+        )
+        # the snapshot is pre-finalize: replaying nothing + finalize
+        # reproduces the released table exactly
+        engine = IncrementalAnonymizer.from_state(state)
+        engine.finalize()
+        assert engine.released() == result.anonymized

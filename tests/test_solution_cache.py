@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.artifacts import instance_key, table_hash
+from repro.artifacts import instance_key, state_key, table_hash
 from repro.core.table import Table
-from repro.service.cache import SolutionCache
+from repro.service.cache import SolutionCache, is_cache_key
 
 
 def _table():
@@ -69,6 +69,34 @@ class TestInstanceKey:
             [(3, 4), (1, 2), (1, 2)], attributes=("x", "y")
         )
         assert table_hash(_table()) != table_hash(reordered)
+
+
+class TestStateKey:
+    def test_deterministic_and_disjoint_from_instance_key(self):
+        """A solution and its continuation snapshot describe the same
+        (table, k, algorithm, backend) but must never collide."""
+        a = state_key(_table(), 2, "incremental", "python")
+        b = state_key(_table(), 2, "incremental", "python")
+        assert a == b
+        assert a != instance_key(_table(), 2, "incremental", "python")
+        assert is_cache_key(a)
+
+    def test_inputs_separate_keys(self):
+        base = state_key(_table(), 2, "incremental", "python")
+        assert base != state_key(_table(), 3, "incremental", "python")
+        assert base != state_key(_table(), 2, "incremental", "numpy")
+        grown = Table(
+            _table().rows + ((5, 6),), attributes=("x", "y")
+        )
+        assert base != state_key(grown, 2, "incremental", "python")
+
+    def test_is_cache_key_rejects_garbage(self):
+        assert not is_cache_key(None)
+        assert not is_cache_key(42)
+        assert not is_cache_key("../escape")
+        assert not is_cache_key("XYZ" * 11)  # not hex
+        assert not is_cache_key("ab")  # too short
+        assert is_cache_key("a" * 32)
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +244,28 @@ class TestDiskRobustness:
         (tmp_path / f"{key}.json").write_text("{")
         cache.get(key)
         assert cache.as_dict()["corrupt"] == 1
+
+    def test_contains_agrees_with_get_on_corrupt_entries(self, tmp_path):
+        """Regression: ``in`` used to say True for a torn disk entry
+        that ``get`` would then quarantine and serve as a miss."""
+        key = "f" * 32
+        cache = SolutionCache(directory=tmp_path)
+        (tmp_path / f"{key}.json").write_text('{"stars": ')
+        assert key not in cache
+        assert cache.stats.corrupt == 1
+        # the probe quarantined the file, exactly as get would have
+        assert not (tmp_path / f"{key}.json").exists()
+        assert (tmp_path / f"{key}.json.corrupt").exists()
+        assert cache.get(key) is None
+        # the probe itself never touches the hit/miss counters
+        assert cache.stats.lookups == 1  # only the get above
+
+    def test_contains_rejects_non_object_entries(self, tmp_path):
+        key = "a" * 32
+        cache = SolutionCache(directory=tmp_path)
+        (tmp_path / f"{key}.json").write_text('["not", "a", "dict"]')
+        assert key not in cache
+        assert cache.stats.corrupt == 1
 
 
 # ----------------------------------------------------------------------
