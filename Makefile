@@ -36,6 +36,8 @@ bench-compare:
 		--benchmark-json=bench-e21.json
 	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e22_delta_solve.py \
 		--benchmark-json=bench-e22.json
+	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e23_planner.py \
+		--benchmark-json=bench-e23.json
 	python benchmarks/compare_bench.py bench-e9.json \
 		--baseline benchmarks/baselines/BENCH_e9.json
 	python benchmarks/compare_bench.py bench-e18.json \
@@ -44,6 +46,8 @@ bench-compare:
 		--baseline benchmarks/baselines/BENCH_e21.json
 	python benchmarks/compare_bench.py bench-e22.json \
 		--baseline benchmarks/baselines/BENCH_e22.json
+	python benchmarks/compare_bench.py bench-e23.json \
+		--baseline benchmarks/baselines/BENCH_e23.json
 
 # anonymization service with a persistent on-disk solution cache
 serve:

@@ -41,6 +41,7 @@ from repro.algorithms.exact import (
 )
 from repro.algorithms.branch_bound import BranchBoundAnonymizer
 from repro.algorithms.forest import MSTForestAnonymizer
+from repro.algorithms.fpt_suppression import FPTSuppressionAnonymizer
 from repro.algorithms.greedy_cover import GreedyCoverAnonymizer, build_greedy_cover
 from repro.algorithms.kmember import KMemberAnonymizer
 from repro.algorithms.annealing import SimulatedAnnealingAnonymizer
@@ -65,6 +66,7 @@ __all__ = [
     "CenterCoverAnonymizer",
     "DataflyAnonymizer",
     "ExactAnonymizer",
+    "FPTSuppressionAnonymizer",
     "GreedyChainAnonymizer",
     "GreedyCoverAnonymizer",
     "IncrementalAnonymizer",

@@ -16,6 +16,7 @@ modest n.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from itertools import combinations
 
@@ -96,6 +97,18 @@ def build_greedy_cover(
     return cover
 
 
+def _greedy_cover_applicable(n: int, m: int, sigma: int, k: int) -> bool:
+    # the candidate collection has ~C(n, 2k-1) subsets; past a couple
+    # million even enumerating them once is slower than every other tier
+    return n >= k and math.comb(n, min(2 * k - 1, n)) <= 2_000_000
+
+
+def _greedy_cover_cost(n: int, m: int, sigma: int, k: int) -> float:
+    # ~35 ops per candidate subset per the E9 greedy series
+    # (test_e9_greedy_scaling_in_n: n=14, k=3 -> C(14,5)=2002 -> 5.6 ms)
+    return math.comb(n, min(2 * k - 1, n)) * 35.0 * k
+
+
 @register(
     "greedy_cover",
     kind="approx",
@@ -103,6 +116,8 @@ def build_greedy_cover(
     bound_label="3k(1+ln 2k) — Theorem 4.1",
     aliases=("greedy",),
     summary="greedy cover over all [k, 2k-1]-subsets; exponential in k",
+    applicable=_greedy_cover_applicable,
+    cost_model=_greedy_cover_cost,
 )
 class GreedyCoverAnonymizer(Anonymizer):
     """The full Theorem 4.1 pipeline: Cover -> Reduce -> suppress.

@@ -63,6 +63,22 @@ def _take_vectors(counts, first, k, k_max):
     yield from extend(first, [0] * first, 0)
 
 
+def _small_m_applicable(n: int, m: int, sigma: int, k: int) -> bool:
+    # the default max_distinct guard refuses > 16 distinct records;
+    # sigma^m upper-bounds the distinct count the features can promise
+    return n >= k and min(n, sigma ** m) <= 16
+
+
+def _small_m_cost(n: int, m: int, sigma: int, k: int) -> float:
+    # multiset-DP states ~ ((n / distinct) + 1)^distinct; the 600
+    # ops/state constant reproduces the E9 baseline series
+    # (test_e9_small_m_scaling: n=120, distinct=3 -> 3.4 s at the
+    # CALIBRATED_OPS_PER_SECOND scale)
+    distinct = max(1, min(n, sigma ** m, 16))
+    states = min((n / distinct + 1.0) ** distinct, 1e12)
+    return states * 600.0
+
+
 @register(
     "small_m_exact",
     kind="exact",
@@ -70,6 +86,9 @@ def _take_vectors(counts, first, k, k_max):
     bound_label="1 — provably optimal",
     aliases=("small_m",),
     summary="multiplicity-vector exact DP; fast with few distinct rows",
+    parameterized=True,
+    applicable=_small_m_applicable,
+    cost_model=_small_m_cost,
 )
 class SmallMExactAnonymizer(Anonymizer):
     """Exact optimum via multiplicity-vector DP (the [8] simulation).

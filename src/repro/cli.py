@@ -6,14 +6,19 @@ Subcommands
 ``anonymize``
     Read a CSV, k-anonymize with a chosen algorithm, write the result.
 ``algorithms``
-    List every registered algorithm with its kind and proven bound.
+    List every registered algorithm with its kind and proven bound
+    (``--json`` for machine-readable capability metadata).
 ``check``
     Report the anonymity level and star count of a (possibly already
     anonymized) CSV.
 
 The ``--algorithm`` choices (and the ``algorithms`` listing) come from
 the central capability registry (:mod:`repro.registry`) — the CLI holds
-no private name→class table of its own.
+no private name→class table of its own.  The one extra choice is
+``auto``, which defers the pick to :mod:`repro.planner`: the planner
+ranks the registered portfolio against the instance and the time
+budget, the strongest affordable tier wins, and the decision is printed
+to stderr (and recorded in the run trace).
 """
 
 from __future__ import annotations
@@ -44,12 +49,13 @@ def _build_parser() -> argparse.ArgumentParser:
     anonymize.add_argument("-k", type=int, required=True, help="anonymity parameter")
     anonymize.add_argument(
         "--algorithm",
-        choices=registry.names(include_aliases=True),
+        choices=[*registry.names(include_aliases=True), "auto"],
         default="center_cover",
         metavar="NAME",
         help=(
             "algorithm name or alias — see `kanon algorithms` for the "
-            "full list (default: center_cover, the Theorem 4.2 algorithm)"
+            "full list; 'auto' lets the planner pick (default: "
+            "center_cover, the Theorem 4.2 algorithm)"
         ),
     )
     anonymize.add_argument("-o", "--output", help="output CSV path (default: stdout)")
@@ -126,6 +132,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "-m", type=int, default=4,
         help="evaluate proven bounds at this attribute count (default: 4)",
     )
+    algorithms.add_argument(
+        "-n", type=int, default=None,
+        help="also evaluate planner capabilities (applicable / estimated "
+             "seconds) at this row count",
+    )
+    algorithms.add_argument(
+        "--sigma", type=int, default=2,
+        help="alphabet size for the capability evaluation (default: 2)",
+    )
+    algorithms.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON (machine-readable capabilities)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -191,7 +210,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="anonymity parameter")
     submit.add_argument(
         "--algorithm", default="center_cover", metavar="NAME",
-        help="algorithm name or alias (default: center_cover)",
+        help="algorithm name or alias; 'auto' lets the server's planner "
+             "pick (default: center_cover)",
     )
     submit.add_argument("-o", "--output",
                         help="output CSV path (default: stdout)")
@@ -297,20 +317,72 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _list_algorithms(args) -> int:
-    """The ``algorithms`` command: render the capability registry."""
+    """The ``algorithms`` command: render the capability registry.
+
+    With ``-n`` the planner's capability metadata is evaluated against a
+    concrete instance shape (n, m, sigma, k); ``--json`` emits the same
+    information machine-readably for scripting.
+    """
+    from repro.planner import tier_of
+
     infos = registry.all()
+    features = (
+        None if args.n is None else (args.n, args.m, args.sigma, args.k)
+    )
+    if args.json:
+        import json as _json
+
+        records = []
+        for info in infos:
+            record = {
+                "name": info.name,
+                "aliases": list(info.aliases),
+                "kind": info.kind,
+                "tier": tier_of(info),
+                "anytime": info.anytime,
+                "parameterized": info.parameterized,
+                "bound": info.proven_bound(args.k, args.m),
+                "bound_label": info.bound_label,
+                "summary": info.summary,
+            }
+            if features is not None:
+                record["applicable"] = info.is_applicable(*features)
+                record["estimated_seconds"] = info.estimated_seconds(
+                    *features
+                )
+            records.append(record)
+        print(_json.dumps({
+            "algorithms": records,
+            "bound_at": {"k": args.k, "m": args.m},
+            "features": None if features is None else {
+                "n": args.n, "m": args.m, "sigma": args.sigma, "k": args.k,
+            },
+            "backends": available_backends(),
+            "default_backend": default_backend_name(),
+        }, indent=2))
+        return 0
     name_width = max(len(info.name) for info in infos)
     kind_width = max(len(info.kind) for info in infos)
+    capability_header = ""
+    if features is not None:
+        capability_header = f"  {'applicable':<10}  {'est_s':<9}"
     print(f"{'name':<{name_width}}  {'kind':<{kind_width}}  "
-          f"{'anytime':<7}  bound(k={args.k}, m={args.m})")
+          f"{'anytime':<7}  {'fpt':<3}{capability_header}  "
+          f"bound(k={args.k}, m={args.m})")
     for info in infos:
         bound = info.proven_bound(args.k, args.m)
         label = "—" if bound is None else f"{bound:.2f}"
         if info.bound_label:
             label += f"  [{info.bound_label}]"
         anytime = "yes" if info.anytime else "no"
+        fpt = "yes" if info.parameterized else "no"
+        capability = ""
+        if features is not None:
+            applicable = "yes" if info.is_applicable(*features) else "no"
+            est = info.estimated_seconds(*features)
+            capability = f"  {applicable:<10}  {est:<9.3g}"
         print(f"{info.name:<{name_width}}  {info.kind:<{kind_width}}  "
-              f"{anytime:<7}  {label}")
+              f"{anytime:<7}  {fpt:<3}{capability}  {label}")
         if info.aliases:
             print(f"{'':<{name_width}}  aliases: {', '.join(info.aliases)}")
         if info.summary:
@@ -517,6 +589,10 @@ def _submit(args) -> int:
             )
         if response.get("state_key"):
             print(f"state key: {response['state_key']}", file=sys.stderr)
+        plan = response.get("plan")
+        if plan:
+            print(f"plan: {response['algorithm']} ({plan['reason']})",
+                  file=sys.stderr)
         if response.get("deadline_hit"):
             print("deadline hit: the server returned its best valid "
                   "release within the budget", file=sys.stderr)
@@ -556,7 +632,12 @@ def _dispatch(args) -> int:
     table = read_csv(args.input, header=not args.no_header)
 
     if args.command == "anonymize":
-        algorithm = registry.create(args.algorithm)
+        if args.algorithm == "auto":
+            from repro.planner import PlannedAnonymizer
+
+            algorithm = PlannedAnonymizer()
+        else:
+            algorithm = registry.create(args.algorithm)
         trace = True if args.trace else None
         if args.ldiv is not None:
             from repro.privacy import LDiverseAnonymizer
@@ -588,6 +669,14 @@ def _dispatch(args) -> int:
                 table, args.k,
                 backend=args.backend, timeout=args.timeout, trace=trace,
             )
+        plan = result.extras.get("plan")
+        if plan is not None:
+            print(f"plan: {result.algorithm} ({plan['reason']})",
+                  file=sys.stderr)
+            if "fallback" in plan:
+                fallback = plan["fallback"]
+                print(f"plan fallback: {fallback['from']} failed "
+                      f"({fallback['error']})", file=sys.stderr)
         if result.extras.get("deadline_hit"):
             print(
                 "deadline hit: returning the best valid release found "

@@ -327,6 +327,30 @@ def _fresh_copy(algorithm: Anonymizer) -> Anonymizer:
     return copy.deepcopy(algorithm)
 
 
+def resolve_algorithm(algorithm: "Anonymizer | str") -> Anonymizer:
+    """An :class:`Anonymizer` from an instance, a registry name, or
+    ``"auto"``.
+
+    Strings resolve through the registry (canonical names and aliases
+    both work); the one extra name is ``"auto"``, which builds a
+    :class:`repro.planner.PlannedAnonymizer` so an experiment can
+    exercise the planner's per-instance dispatch.  ``auto`` deliberately
+    has no registry entry, so :func:`repro.registry.proven_bound`
+    reports no guarantee for it — a planned run only *sometimes*
+    inherits a bound, and the experiment bound checks must not credit it
+    with one.
+
+    :raises KeyError: for an unknown algorithm name.
+    """
+    if isinstance(algorithm, str):
+        if algorithm == "auto":
+            from repro.planner import PlannedAnonymizer
+
+            return PlannedAnonymizer()
+        return registry.create(algorithm)
+    return algorithm
+
+
 # ----------------------------------------------------------------------
 # Approximation-ratio experiments (E3 / E4)
 # ----------------------------------------------------------------------
@@ -438,7 +462,7 @@ def _ratio_trial(task: _RatioTask) -> dict[str, Any]:
 
 
 def ratio_experiment(
-    algorithm: Anonymizer,
+    algorithm: "Anonymizer | str",
     k: int,
     n: int = 9,
     m: int = 4,
@@ -455,17 +479,21 @@ def ratio_experiment(
 
     Keep ``n <= ~12`` — every trial solves the instance exactly.
 
-    ``backend`` / ``timeout`` / ``trace`` are passed per call to a fresh
-    copy of the algorithm (the caller's *algorithm* instance is never
-    mutated).  ``jobs`` fans trials out over processes; ``store`` makes
-    the sweep resumable (completed trials are verified against their
-    recorded instance hash, then reused).
+    *algorithm* may be an :class:`Anonymizer` instance, a registry name
+    or alias, or ``"auto"`` (planner dispatch per trial; carries no
+    proven bound — see :func:`resolve_algorithm`).  ``backend`` /
+    ``timeout`` / ``trace`` are passed per call to a fresh copy of the
+    algorithm (the caller's *algorithm* instance is never mutated).
+    ``jobs`` fans trials out over processes; ``store`` makes the sweep
+    resumable (completed trials are verified against their recorded
+    instance hash, then reused).
 
     :raises ValueError: if ``trials < 1`` (the ratio statistics are
         undefined on an empty experiment).
     """
     if trials < 1:
         raise ValueError("ratio_experiment needs trials >= 1")
+    algorithm = resolve_algorithm(algorithm)
     bound = registry.proven_bound(algorithm, k, m)
 
     rows: list[RatioRow | None] = [None] * trials
@@ -725,7 +753,7 @@ def _sweep_point(task: _SweepTask) -> dict[str, Any]:
 def k_sweep(
     table: Table,
     ks: tuple[int, ...] = (2, 3, 4, 5, 6, 8),
-    algorithm: Anonymizer | None = None,
+    algorithm: "Anonymizer | str | None" = None,
     backend: str | None = None,
     timeout: float | None = None,
     trace: bool | None = None,
@@ -734,15 +762,19 @@ def k_sweep(
 ) -> list[SweepPoint]:
     """Cost/utility across k — the E10 series on any table.
 
-    ``backend`` / ``timeout`` / ``trace`` apply per call to a fresh copy
-    of the algorithm; the caller's instance is never mutated.  ``jobs``
-    runs the k cells concurrently; with a ``store`` each cell records
-    the table's hash, and a resumed sweep verifies it before reusing
-    the cell.
+    *algorithm* may be an instance, a registry name, or ``"auto"``
+    (planner dispatch per k cell).  ``backend`` / ``timeout`` /
+    ``trace`` apply per call to a fresh copy of the algorithm; the
+    caller's instance is never mutated.  ``jobs`` runs the k cells
+    concurrently; with a ``store`` each cell records the table's hash,
+    and a resumed sweep verifies it before reusing the cell.
     """
     from repro.algorithms.center_cover import CenterCoverAnonymizer
 
-    algorithm = algorithm if algorithm is not None else CenterCoverAnonymizer()
+    algorithm = (
+        CenterCoverAnonymizer() if algorithm is None
+        else resolve_algorithm(algorithm)
+    )
     points: list[SweepPoint | None] = [None] * len(ks)
     pending: list[int] = []
     for index, k in enumerate(ks):

@@ -228,10 +228,13 @@ class RunTrace:
     counters: dict[str, int] = field(default_factory=dict)
     #: per-call deltas of DistanceBackend.counters (distance work done)
     backend_counters: dict[str, int] = field(default_factory=dict)
+    #: planner decision (``PlanDecision.to_dict()``) when the run was
+    #: dispatched via ``algorithm="auto"``; None for direct calls
+    plan: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """A plain JSON-serializable dict (what lands in ``extras``)."""
-        return {
+        out = {
             "algorithm": self.algorithm,
             "k": self.k,
             "n_rows": self.n_rows,
@@ -246,6 +249,9 @@ class RunTrace:
             "counters": dict(self.counters),
             "backend_counters": dict(self.backend_counters),
         }
+        if self.plan is not None:
+            out["plan"] = dict(self.plan)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunTrace":
@@ -306,7 +312,7 @@ class Run:
     __slots__ = (
         "algorithm", "k", "backend", "budget", "enabled",
         "_n_rows", "_degree", "_t0", "_baseline",
-        "_phases", "_counters", "_deadline_hit",
+        "_phases", "_counters", "_deadline_hit", "_plan",
     )
 
     def __init__(
@@ -323,6 +329,7 @@ class Run:
         self.budget = budget
         self.enabled = enabled
         self._deadline_hit = False
+        self._plan: dict[str, Any] | None = None
         self._phases: dict[str, dict[str, float]] = {}
         self._counters: dict[str, int] = {}
 
@@ -371,6 +378,12 @@ class Run:
         """Record that the budget cut this run short (always tracked)."""
         self._deadline_hit = True
 
+    def record_plan(self, plan: dict[str, Any]) -> None:
+        """Attach a planner decision (``PlanDecision.to_dict()`` form)
+        so it lands in the run trace (always kept — the decision is an
+        input of the run, not a measurement)."""
+        self._plan = plan
+
     @property
     def deadline_hit(self) -> bool:
         return self._deadline_hit
@@ -396,6 +409,7 @@ class Run:
             phases=self._phases,
             counters=self._counters,
             backend_counters=deltas,
+            plan=self._plan,
         )
 
     def finish(self, result):

@@ -14,7 +14,14 @@ definition site) with machine-readable metadata:
 * its **proven bound** as a callable ``(k, m) -> float`` taken from
   :mod:`repro.theory` (``None`` when no guarantee exists), plus a
   human-readable ``bound_label``;
-* the **cost models** it optimizes (currently ``"stars"`` throughout).
+* the **cost models** it optimizes (currently ``"stars"`` throughout);
+* planner-consumable **capabilities**: an ``applicable(n, m, sigma, k)``
+  predicate delimiting the regime the algorithm can handle, an
+  ``estimated-ops`` cost model over the same features, and a
+  ``parameterized`` flag for FPT solvers (exact, but only inside their
+  parameter regime).  Kind-level defaults cover registrations that do
+  not supply their own, so all existing ``@register`` sites stay
+  source-compatible.
 
 The registry is the *single* source of the name→class mapping: the CLI's
 ``--algorithm`` choices, the ``kanon algorithms`` listing, the
@@ -43,7 +50,59 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: proven-bound callable signature: ``bound(k, m) -> float``
 BoundFn = Callable[[int, int], float]
 
+#: capability predicate signature: ``applicable(n, m, sigma, k) -> bool``
+ApplicableFn = Callable[[int, int, int, int], bool]
+
+#: cost-model signature: ``cost_model(n, m, sigma, k) -> estimated ops``
+CostFn = Callable[[int, int, int, int], float]
+
 _KINDS = ("exact", "approx", "heuristic", "baseline")
+
+#: Calibrated throughput for converting cost-model ops into seconds.
+#: Derived from the committed E9/E21 bench baselines (quick mode,
+#: x86_64/CPython 3.11): the subset DP's ``2^n * n^2`` model against
+#: ``test_e9_exact_dp_scaling`` (n=10: 102k ops / 8.9 ms; n=12: 590k
+#: ops / 43.7 ms) and the Theorem 4.2 solver's ``n^2 * m`` model
+#: against ``test_e9_center_scaling_in_n`` (n=400: 1.3M ops / 73 ms)
+#: both land within 2x of 1.2e7 ops/s, so the per-model constants
+#: below are normalized to this single figure.
+CALIBRATED_OPS_PER_SECOND = 1.2e7
+
+
+def _exact_applicable(n: int, m: int, sigma: int, k: int) -> bool:
+    # subset-mask DPs hit a wall around n = 16 regardless of m
+    return k <= n <= 16
+
+
+def _exact_cost(n: int, m: int, sigma: int, k: int) -> float:
+    return (2.0 ** n) * n * n
+
+
+def _poly_applicable(n: int, m: int, sigma: int, k: int) -> bool:
+    return n >= k
+
+
+def _poly_cost(n: int, m: int, sigma: int, k: int) -> float:
+    return float(n) * n * m
+
+
+def _cheap_cost(n: int, m: int, sigma: int, k: int) -> float:
+    return float(n) * m * 32.0
+
+
+#: kind-level capability defaults for registrations without their own
+_DEFAULT_APPLICABLE: dict[str, ApplicableFn] = {
+    "exact": _exact_applicable,
+    "approx": _poly_applicable,
+    "heuristic": _poly_applicable,
+    "baseline": _poly_applicable,
+}
+_DEFAULT_COST: dict[str, CostFn] = {
+    "exact": _exact_cost,
+    "approx": _poly_cost,
+    "heuristic": _poly_cost,
+    "baseline": _cheap_cost,
+}
 
 
 @dataclass(frozen=True)
@@ -64,6 +123,14 @@ class AlgorithmInfo:
     :ivar aliases: accepted alternative names (CLI shorthands).
     :ivar summary: one-line description for ``kanon algorithms``.
     :ivar factory: zero-argument-callable default constructor.
+    :ivar applicable: capability predicate over instance features
+        ``(n, m, sigma, k)``; ``None`` falls back to the kind default.
+    :ivar cost_model: estimated-ops model over the same features
+        (normalized so :data:`CALIBRATED_OPS_PER_SECOND` converts to
+        seconds); ``None`` falls back to the kind default.
+    :ivar parameterized: True for FPT solvers — exact, but only inside
+        the regime their ``applicable`` predicate delimits.  The planner
+        ranks them below unconditional exact solvers.
     """
 
     name: str
@@ -76,6 +143,9 @@ class AlgorithmInfo:
     aliases: tuple[str, ...] = ()
     summary: str = ""
     factory: Callable[[], "Anonymizer"] | None = None
+    applicable: ApplicableFn | None = None
+    cost_model: CostFn | None = None
+    parameterized: bool = False
 
     def make(self) -> "Anonymizer":
         """A fresh default-configured instance."""
@@ -84,6 +154,20 @@ class AlgorithmInfo:
     def proven_bound(self, k: int, m: int) -> float | None:
         """The guarantee at ``(k, m)``, or None without one."""
         return None if self.bound is None else self.bound(k, m)
+
+    def is_applicable(self, n: int, m: int, sigma: int, k: int) -> bool:
+        """Can this algorithm plausibly handle the instance?"""
+        fn = self.applicable or _DEFAULT_APPLICABLE[self.kind]
+        return bool(fn(n, m, sigma, k))
+
+    def estimated_ops(self, n: int, m: int, sigma: int, k: int) -> float:
+        """Estimated normalized operations on the instance."""
+        fn = self.cost_model or _DEFAULT_COST[self.kind]
+        return float(fn(n, m, sigma, k))
+
+    def estimated_seconds(self, n: int, m: int, sigma: int, k: int) -> float:
+        """Wall-clock estimate via :data:`CALIBRATED_OPS_PER_SECOND`."""
+        return self.estimated_ops(n, m, sigma, k) / CALIBRATED_OPS_PER_SECOND
 
     @property
     def all_names(self) -> tuple[str, ...]:
@@ -106,6 +190,9 @@ def register(
     cost_models: tuple[str, ...] = ("stars",),
     aliases: tuple[str, ...] = (),
     factory: Callable[[], "Anonymizer"] | None = None,
+    applicable: ApplicableFn | None = None,
+    cost_model: CostFn | None = None,
+    parameterized: bool = False,
 ):
     """Class decorator: enter an :class:`Anonymizer` subclass into the
     registry under *name* (plus *aliases*).
@@ -123,7 +210,13 @@ def register(
             name=name, cls=cls, kind=kind, anytime=anytime, bound=bound,
             bound_label=bound_label, cost_models=tuple(cost_models),
             aliases=tuple(aliases), summary=summary, factory=factory,
+            applicable=applicable, cost_model=cost_model,
+            parameterized=parameterized,
         )
+        if parameterized and kind != "exact":
+            raise ValueError(
+                f"{name!r}: parameterized is reserved for exact solvers"
+            )
         for candidate in info.all_names:
             if candidate in _BY_NAME or candidate in _BY_ALIAS:
                 raise ValueError(

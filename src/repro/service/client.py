@@ -236,6 +236,13 @@ class ServiceClient:
         ``stars``, ``cache`` (hit / coalesced / miss / bypass), and
         ``solve_seconds``.
 
+        ``algorithm="auto"`` lets the server pick: the planner runs at
+        admission, ``response["algorithm"]`` names the solver that
+        actually ran, and ``response["plan"]`` carries the full
+        :class:`~repro.planner.PlanDecision` dict.  The job is cached
+        under the *resolved* algorithm, so an auto request and an
+        explicit one for the same resolution share a cache entry.
+
         *fault* asks a chaos-enabled server to misbehave on purpose
         (``kill-worker``, ``delay:SECONDS``, ``drop-connection``);
         servers without fault injection reject it.

@@ -23,7 +23,12 @@ Request objects
 ``algorithm`` (name or alias, default ``center_cover``), ``header``
 (default true), ``timeout`` (seconds), ``use_cache`` (default true) and
 ``trace``.  Tables travel as CSV text — the same representation the CLI
-reads and writes, with ``*`` marking suppressed cells.
+reads and writes, with ``*`` marking suppressed cells.  ``algorithm:
+"auto"`` resolves through :mod:`repro.planner` at admission: the job is
+keyed and cached under the *resolved* algorithm (so auto and explicit
+requests share cache entries) and the response carries the
+:class:`~repro.planner.PlanDecision` under ``plan`` with ``algorithm``
+naming the solver that ran.
 
 ``{"op": "delta", "state_key": "...", "csv": "..."}`` (a protocol v2
 extension) appends rows to a previously-solved **incremental** stream:
@@ -284,6 +289,10 @@ class _Job:
     op: str = "anonymize"
     #: where this job's continuation snapshot lives (incremental only)
     state_key: str | None = None
+    #: planner decision echoed on the response (``algorithm: "auto"``
+    #: requests only); the cache entry itself stays plan-free so auto
+    #: and explicit requests share it byte-for-byte
+    plan: dict | None = None
 
 
 class AnonymizationService:
@@ -356,6 +365,7 @@ class AnonymizationService:
         self.requests: dict[str, int] = {}
         self.coalesced = 0
         self.rejected = 0
+        self.planned = 0
         self.batches: list[int] = []
         self.traces: list[dict[str, Any]] = []
         self._inflight: dict[str, asyncio.Future] = {}
@@ -511,6 +521,8 @@ class AnonymizationService:
                 response = _solution(cached, cache="hit", op=job.op)
                 if job.state_key is not None and job.state_key in self.cache:
                     response["state_key"] = job.state_key
+                if job.plan is not None:
+                    response["plan"] = job.plan
                 return response
             inflight = self._inflight.get(job.key)
             if inflight is not None:
@@ -561,20 +573,32 @@ class AnonymizationService:
             raise ServiceError(
                 "bad-request", "'k' must be a positive integer"
             )
-        name = request.get("algorithm", "center_cover")
-        try:
-            algorithm = registry.get(name).name
-        except KeyError:
-            raise ServiceError(
-                "unknown-algorithm",
-                f"unknown algorithm {name!r}; see `kanon algorithms`",
-            ) from None
         timeout = self._admitted_timeout(request)
         header = bool(request.get("header", True))
         try:
             table = Table.from_csv(csv, header=header)
         except ValueError as exc:
             raise ServiceError("bad-request", f"bad csv: {exc}") from None
+        name = request.get("algorithm", "center_cover")
+        plan_dict = None
+        if name == "auto":
+            # resolve through the planner at admission: the job is
+            # keyed (and cached) under the *resolved* algorithm, so an
+            # explicit request for the same solver shares the entry
+            from repro.planner import plan as plan_instance
+
+            decision = plan_instance(table, k, budget=timeout)
+            algorithm = decision.algorithm
+            plan_dict = decision.to_dict()
+            self.planned += 1
+        else:
+            try:
+                algorithm = registry.get(name).name
+            except KeyError:
+                raise ServiceError(
+                    "unknown-algorithm",
+                    f"unknown algorithm {name!r}; see `kanon algorithms`",
+                ) from None
         capture_state = algorithm == "incremental"
         task = _SolveTask(
             csv=csv, header=header, k=k, algorithm=algorithm,
@@ -592,6 +616,7 @@ class AnonymizationService:
                 state_key(table, k, algorithm, self.backend)
                 if capture_state else None
             ),
+            plan=plan_dict,
         )
 
     def _admit_delta(self, request: dict) -> _Job:
@@ -770,6 +795,8 @@ class AnonymizationService:
             response["delta"] = delta_info
         if trace is not None:
             response["trace"] = trace
+        if job.plan is not None:
+            response["plan"] = job.plan
         return response
 
     # -- the batch dispatcher ------------------------------------------
@@ -888,6 +915,7 @@ class AnonymizationService:
             "requests": dict(self.requests),
             "rejected": self.rejected,
             "coalesced": self.coalesced,
+            "planned": self.planned,
             "cache": self.cache.as_dict(),
             "batches": {
                 "count": len(sizes),

@@ -83,6 +83,37 @@ def exact_bound(k: int, m: int) -> float:
     return 1.0
 
 
+def fpt_suppression_states(k: int, m: int, sigma: int) -> float:
+    """Parameterized state-space bound of the pattern-DP exact solver.
+
+    :class:`~repro.algorithms.fpt_suppression.FPTSuppressionAnonymizer`
+    searches over *released vectors* — (projection, attribute-pattern)
+    pairs — tracking, per open vector, only its deficit below ``k``.
+    There are at most ``2^m`` patterns and at most ``sigma^m`` distinct
+    records, so at most ``2^m * sigma^m`` vectors can ever be open, each
+    in one of ``k + 1`` deficit states:
+
+        ``states(k, m, sigma) <= (k + 1) ^ (2^m * sigma^m)``
+
+    The bound is a function of the parameters ``(k, m, sigma)`` alone —
+    the per-record work is polynomial in ``n`` — which is exactly the
+    fixed-parameter tractability result the solver instantiates
+    (k-anonymity is FPT in the number of attributes for bounded
+    alphabets; cf. Bonizzoni et al., "Parameterized Complexity of
+    k-Anonymity").  Reachable states in practice are vastly fewer; the
+    solver guards with ``max_states`` rather than this ceiling.
+
+    >>> fpt_suppression_states(2, 1, 2)   # (k+1)^(2 * 2) = 3^4
+    81.0
+    """
+    if k < 1 or m < 1 or sigma < 1:
+        raise ValueError("k, m, and sigma must be positive")
+    open_vectors = (2.0 ** m) * (float(sigma) ** m)
+    if open_vectors > 512:  # avoid overflow; the bound is astronomical
+        return math.inf
+    return float(k + 1) ** open_vectors
+
+
 def diameter_lower_bound(table: Table, cover: Cover) -> int:
     """Lemma 4.1 lower bound: ``OPT(V) >= k * d(Pi)`` for any
     (k, 2k-1)-partition with minimum diameter sum — applied to the given

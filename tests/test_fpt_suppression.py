@@ -1,0 +1,131 @@
+"""Tests for the FPT pattern-DP exact solver (the planner's tier-1 engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import registry, theory
+from repro.algorithms.base import InfeasibleAnonymizationError
+from repro.algorithms.exact import ExactAnonymizer
+from repro.algorithms.fpt_suppression import (
+    FPTSuppressionAnonymizer,
+    fpt_applicable,
+    fpt_cost_model,
+)
+from repro.core.anonymity import is_k_anonymous
+from repro.core.table import Table
+from repro.instrument import BudgetExceededError
+from tests.conftest import random_table
+
+
+class TestOptimality:
+    """The solver is exact: bit-identical cost to the subset DP."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_subset_dp_on_random_tables(self, seed, k):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, 9, 3, 2)
+        reference = ExactAnonymizer().anonymize(table, k)
+        result = FPTSuppressionAnonymizer().anonymize(table, k)
+        assert result.stars == reference.stars
+        assert result.is_valid(table)
+        assert is_k_anonymous(result.anonymized, k)
+
+    def test_matches_subset_dp_with_larger_alphabet(self):
+        rng = np.random.default_rng(99)
+        table = random_table(rng, 10, 2, 3)
+        reference = ExactAnonymizer().anonymize(table, 3)
+        result = FPTSuppressionAnonymizer().anonymize(table, 3)
+        assert result.stars == reference.stars
+
+    def test_scales_past_the_subset_dp_wall(self):
+        # n = 60 is far beyond any 2^n subset DP; the pattern DP only
+        # sees sigma^m = 8 distinct kinds
+        rng = np.random.default_rng(7)
+        table = random_table(rng, 60, 3, 2)
+        result = FPTSuppressionAnonymizer().anonymize(table, 3)
+        assert result.is_valid(table)
+        assert result.extras["opt"] == result.stars
+
+    def test_duplicate_rows_cost_nothing(self):
+        table = Table([(0, 1, 0)] * 5 + [(1, 0, 1)] * 4)
+        result = FPTSuppressionAnonymizer().anonymize(table, 4)
+        assert result.stars == 0
+
+    def test_forced_suppression_is_minimal(self):
+        # two kinds differing in one column, each below k alone: the
+        # optimum suppresses exactly that column on all rows
+        table = Table([(0, 0), (0, 1)] * 2)
+        result = FPTSuppressionAnonymizer().anonymize(table, 3)
+        assert result.stars == 4
+
+
+class TestEdgeCases:
+    def test_empty_table(self):
+        result = FPTSuppressionAnonymizer().anonymize(Table([]), 3)
+        assert result.stars == 0
+
+    def test_k_one_is_free(self):
+        table = Table([(0, 1), (1, 0), (2, 2)])
+        result = FPTSuppressionAnonymizer().anonymize(table, 1)
+        assert result.stars == 0
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleAnonymizationError):
+            FPTSuppressionAnonymizer().anonymize(Table([(0, 0)]), 2)
+
+    def test_degree_guard(self):
+        wide = Table([tuple(range(12))] * 4)
+        with pytest.raises(ValueError, match="max_degree"):
+            FPTSuppressionAnonymizer(max_degree=8).anonymize(wide, 2)
+
+    def test_budget_expiry_raises(self):
+        rng = np.random.default_rng(3)
+        table = random_table(rng, 40, 3, 2)
+        with pytest.raises(BudgetExceededError):
+            FPTSuppressionAnonymizer().anonymize(table, 3, timeout=1e-9)
+
+    def test_extras_expose_search_counters(self):
+        table = Table([(0, 0), (0, 1), (1, 0), (1, 1)] * 2)
+        result = FPTSuppressionAnonymizer().anonymize(table, 2)
+        assert result.extras["opt"] == result.stars
+        assert result.extras["patterns"] == 4
+        assert result.extras["dp_states"] >= 1
+
+
+class TestRegistration:
+    def test_registered_as_parameterized_exact(self):
+        info = registry.get("fpt_suppression")
+        assert info.kind == "exact"
+        assert info.parameterized
+        assert registry.get("fpt") is info
+        assert registry.get("pattern_dp") is info
+
+    def test_proven_bound_is_one(self):
+        assert registry.proven_bound("fpt_suppression", 3, 4) == 1.0
+
+    def test_applicable_regime(self):
+        assert fpt_applicable(100, 3, 2, 3)
+        assert fpt_applicable(240, 2, 2, 2)
+        assert not fpt_applicable(100, 8, 2, 3)   # too wide
+        assert not fpt_applicable(100, 3, 2, 9)   # k too large
+        assert not fpt_applicable(1, 3, 2, 3)     # infeasible
+
+    def test_cost_model_prefers_settled_instances(self):
+        plentiful = fpt_cost_model(240, 3, 2, 2)
+        starved = fpt_cost_model(10, 3, 2, 2)
+        assert plentiful < starved
+
+
+class TestTheoryBound:
+    def test_state_bound_grows_with_parameters(self):
+        small = theory.fpt_suppression_states(2, 1, 2)
+        bigger = theory.fpt_suppression_states(3, 2, 2)
+        assert small == 81.0
+        assert bigger > small
+
+    def test_state_bound_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            theory.fpt_suppression_states(0, 1, 2)
