@@ -1,7 +1,7 @@
 # Developer shortcuts.  The offline CI recipe is exactly:
 #   pip install -e . && pytest tests/ && pytest benchmarks/ --benchmark-only
 
-.PHONY: install test lint bench bench-compare serve examples sweep all
+.PHONY: install test lint bench bench-compare serve route examples sweep all
 
 # worker processes for `make sweep` (kanon experiment --jobs)
 JOBS ?= 2
@@ -9,6 +9,9 @@ SWEEP_OUT ?= runs/ratio-center
 # `make serve` knobs (kanon serve)
 PORT ?= 7683
 CACHE_DIR ?= runs/service-cache
+# `make route` knobs (kanon route): shard fleet behind the router
+ROUTER_PORT ?= 7690
+SHARDS ?= 127.0.0.1:7683
 
 install:
 	pip install -e .
@@ -38,6 +41,8 @@ bench-compare:
 		--benchmark-json=bench-e22.json
 	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e23_planner.py \
 		--benchmark-json=bench-e23.json
+	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e24_shard_scaling.py \
+		--benchmark-json=bench-e24.json
 	python benchmarks/compare_bench.py bench-e9.json \
 		--baseline benchmarks/baselines/BENCH_e9.json
 	python benchmarks/compare_bench.py bench-e18.json \
@@ -48,10 +53,18 @@ bench-compare:
 		--baseline benchmarks/baselines/BENCH_e22.json
 	python benchmarks/compare_bench.py bench-e23.json \
 		--baseline benchmarks/baselines/BENCH_e23.json
+	python benchmarks/compare_bench.py bench-e24.json \
+		--baseline benchmarks/baselines/BENCH_e24.json
 
 # anonymization service with a persistent on-disk solution cache
 serve:
 	python -m repro.cli serve --port $(PORT) --cache-dir $(CACHE_DIR)
+
+# consistent-hash router over running `kanon serve` shards, e.g.:
+#   make route SHARDS="127.0.0.1:7691 127.0.0.1:7692 127.0.0.1:7693"
+route:
+	python -m repro.cli route --port $(ROUTER_PORT) \
+		$(foreach shard,$(SHARDS),--shard $(shard))
 
 # resumable ratio sweep on JOBS worker processes; rerun to continue an
 # interrupted run (artifacts land in SWEEP_OUT)

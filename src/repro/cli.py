@@ -198,9 +198,43 @@ def _build_parser() -> argparse.ArgumentParser:
              "also: REPRO_SERVICE_FAULTS=1)",
     )
 
+    route = sub.add_parser(
+        "route",
+        help="run a consistent-hash router over `kanon serve` shards",
+    )
+    route.add_argument(
+        "--shard", action="append", required=True, dest="shards",
+        metavar="HOST:PORT",
+        help="a shard address (repeat once per `kanon serve` instance)",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: 7690; 0 picks an ephemeral port)",
+    )
+    route.add_argument(
+        "--vnodes", type=int, default=64, metavar="N",
+        help="virtual nodes per shard on the hash ring (default: 64)",
+    )
+    route.add_argument(
+        "--health-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between shard health sweeps; dead shards are "
+             "evicted from the ring and rejoin when they answer again "
+             "(0 disables the sweep; default: 1.0)",
+    )
+    route.add_argument(
+        "--ping-timeout", type=float, default=2.0, metavar="SECONDS",
+        help="budget for one health-check ping (default: 2.0)",
+    )
+    route.add_argument(
+        "--backend", choices=["python", "numpy", "bitpacked"], default=None,
+        help="backend baked into routing keys — must match the shards' "
+             "(default: REPRO_BACKEND)",
+    )
+
     submit = sub.add_parser(
         "submit",
-        help="send a table to a running `kanon serve` instance",
+        help="send a table to a running `kanon serve` or `kanon route`",
     )
     submit.add_argument(
         "input", nargs="?", default=None,
@@ -512,6 +546,65 @@ def _serve(args) -> int:
     return 0
 
 
+def _render_pool(pool: dict) -> str:
+    extras = ""
+    if pool.get("mode") == "persistent":
+        extras = (f", {pool['batches']} batches, "
+                  f"{pool['tasks']} tasks, "
+                  f"{pool['rebuilds']} rebuilds, "
+                  f"{pool['recycled']} recycles")
+    return f"{pool['mode']} ({pool['workers']} workers{extras})"
+
+
+def _render_stats(stats: dict) -> None:
+    """Print the ``--stats`` report (single server or merged fleet)."""
+    cache = stats["cache"]
+    print(f"uptime: {stats['uptime_seconds']:.1f}s  "
+          f"backend: {stats['backend']}  jobs: {stats['jobs']}")
+    solved = ""
+    if "solved_instances" in stats:
+        solved = f"  solved instances: {stats['solved_instances']}"
+    print(f"requests: {stats['requests']}  "
+          f"rejected: {stats['rejected']}  "
+          f"coalesced: {stats['coalesced']}{solved}")
+    print(f"cache: {cache['hits']} hits "
+          f"({cache['memory_hits']} memory, {cache['disk_hits']} "
+          f"disk), {cache['misses']} misses, "
+          f"{cache['evictions']} evictions, "
+          f"{cache['entries']}/{cache['max_entries']} resident")
+    batches = stats["batches"]
+    print(f"batches: {batches['count']} dispatched, "
+          f"max size {batches['max_size']}, "
+          f"mean size {batches['mean_size']:.2f}")
+    pool = stats.get("pool")
+    if pool:
+        print(f"pool: {_render_pool(pool)}")
+    router = stats.get("router")
+    if not router:
+        return
+    counters = router.get("counters", {})
+    print(f"router: {router['shards_alive']}/{router['shards_total']} "
+          f"shards alive (routed {counters.get('routed', 0)}, "
+          f"rerouted {counters.get('rerouted', 0)}, "
+          f"failovers {counters.get('failovers', 0)}, "
+          f"evicted {counters.get('evicted', 0)}, "
+          f"rejoined {counters.get('rejoined', 0)})")
+    for address, shard in sorted((stats.get("shards") or {}).items()):
+        if "error" in shard:
+            print(f"shard {address}: DEAD ({shard['error']})")
+            continue
+        shard_cache = shard.get("cache", {})
+        line = (f"shard {address}: {shard_cache.get('hits', 0)} hits, "
+                f"{shard_cache.get('misses', 0)} misses, "
+                f"{shard.get('solved_instances', 0)} solved instances, "
+                f"{shard_cache.get('entries', 0)}/"
+                f"{shard_cache.get('max_entries', 0)} resident")
+        pool = shard.get("pool")
+        if pool:
+            line += f", pool {_render_pool(pool)}"
+        print(line)
+
+
 def _submit(args) -> int:
     """The ``submit`` command: one request to a running service."""
     from repro.service import DEFAULT_PORT, ServiceClient, ServiceError
@@ -521,38 +614,23 @@ def _submit(args) -> int:
     try:
         if args.ping:
             response = client.ping()
-            print(f"ok (protocol {response['protocol']})")
+            router = response.get("router")
+            if router:
+                print(f"ok (protocol {response['protocol']}, router "
+                      f"{router['shards_alive']}/{router['shards_total']} "
+                      f"shards alive)")
+            else:
+                print(f"ok (protocol {response['protocol']})")
             return 0
         if args.stats:
-            stats = client.stats()
-            cache = stats["cache"]
-            print(f"uptime: {stats['uptime_seconds']:.1f}s  "
-                  f"backend: {stats['backend']}  jobs: {stats['jobs']}")
-            print(f"requests: {stats['requests']}  "
-                  f"rejected: {stats['rejected']}  "
-                  f"coalesced: {stats['coalesced']}")
-            print(f"cache: {cache['hits']} hits "
-                  f"({cache['memory_hits']} memory, {cache['disk_hits']} "
-                  f"disk), {cache['misses']} misses, "
-                  f"{cache['evictions']} evictions, "
-                  f"{cache['entries']}/{cache['max_entries']} resident")
-            batches = stats["batches"]
-            print(f"batches: {batches['count']} dispatched, "
-                  f"max size {batches['max_size']}, "
-                  f"mean size {batches['mean_size']:.2f}")
-            pool = stats.get("pool")
-            if pool:
-                extras = ""
-                if pool.get("mode") == "persistent":
-                    extras = (f", {pool['batches']} batches, "
-                              f"{pool['tasks']} tasks, "
-                              f"{pool['rebuilds']} rebuilds, "
-                              f"{pool['recycled']} recycles")
-                print(f"pool: {pool['mode']} "
-                      f"({pool['workers']} workers{extras})")
+            _render_stats(client.stats())
             return 0
         if args.shutdown:
-            client.shutdown()
+            response = client.shutdown()
+            for address, verdict in sorted(
+                (response.get("shards") or {}).items()
+            ):
+                print(f"shard {address}: {verdict}", file=sys.stderr)
             print("server stopped", file=sys.stderr)
             return 0
         if args.input is None or (args.k is None and args.delta is None):
@@ -603,6 +681,9 @@ def _submit(args) -> int:
         print(f"cache: {response['cache']}  "
               f"({response['algorithm']}, k={response['k']}, "
               f"{response['stars']} stars{timing})", file=sys.stderr)
+        if response.get("shard"):
+            rerouted = " (rerouted)" if response.get("rerouted") else ""
+            print(f"shard: {response['shard']}{rerouted}", file=sys.stderr)
         if args.output:
             write_csv(response["table"], args.output,
                       header=not args.no_header)
@@ -620,6 +701,30 @@ def _submit(args) -> int:
         client.close()
 
 
+def _route(args) -> int:
+    """The ``route`` command: front a shard fleet until shut down."""
+    from repro.service import DEFAULT_ROUTER_PORT, ShardRouter
+    from repro.service.router import route
+
+    try:
+        router = ShardRouter(
+            args.shards,
+            vnodes=args.vnodes,
+            backend=args.backend,
+            health_interval=args.health_interval,
+            ping_timeout=args.ping_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    port = DEFAULT_ROUTER_PORT if args.port is None else args.port
+    try:
+        route(router, host=args.host, port=port, log=sys.stderr)
+    except KeyboardInterrupt:
+        print("kanon router interrupted", file=sys.stderr)
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "algorithms":
         return _list_algorithms(args)
@@ -627,6 +732,8 @@ def _dispatch(args) -> int:
         return _run_experiment(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "route":
+        return _route(args)
     if args.command == "submit":
         return _submit(args)
     table = read_csv(args.input, header=not args.no_header)

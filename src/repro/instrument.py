@@ -179,6 +179,56 @@ class Backoff:
         return raw * (1.0 - self.jitter * draw)
 
 
+class Counters:
+    """A named bag of monotonically growing integer counters.
+
+    The observability primitive shared by the long-running service
+    components (the shard router keeps its routing / failover /
+    health-check tallies in one): declare the counter names up front so
+    the stats payload has a stable shape from the first request, bump
+    them from anywhere, and snapshot the whole bag JSON-ready with
+    :meth:`as_dict`.  Undeclared names spring into existence on first
+    use, so call sites never have to pre-register one-off counters.
+
+    >>> counters = Counters("routed", "failovers")
+    >>> counters.bump("routed")
+    1
+    >>> counters.bump("routed", 2)
+    3
+    >>> counters["failovers"]
+    0
+    >>> counters.as_dict()
+    {'failovers': 0, 'routed': 3}
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, *names: str):
+        self._counts: dict[str, int] = {name: 0 for name in names}
+
+    def bump(self, name: str, by: int = 1) -> int:
+        """Increase *name* by *by* (default 1); returns the new value."""
+        if by < 0:
+            raise ValueError("counters only grow; use a second counter")
+        value = self._counts.get(name, 0) + by
+        self._counts[name] = value
+        return value
+
+    def __getitem__(self, name: str) -> int:
+        """Current value of *name* (0 when never bumped)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready snapshot, sorted by counter name."""
+        return {name: self._counts[name] for name in sorted(self._counts)}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value}" for name, value in sorted(self._counts.items())
+        )
+        return f"Counters({inner})"
+
+
 def as_budget(value: "TimeBudget | float | int | None") -> TimeBudget:
     """Coerce ``None`` / seconds / an existing budget into a TimeBudget.
 

@@ -1,4 +1,4 @@
-"""Request/response anonymization service: cache, server, client.
+"""Request/response anonymization service: cache, server, client, router.
 
 The front door for serving anonymization at scale: a stdlib-only
 JSON-over-TCP server (:mod:`repro.service.server`) with per-request
@@ -6,11 +6,25 @@ admission control, request batching through the process-parallel
 executor, and a two-tier content-addressed solution cache
 (:mod:`repro.service.cache`).  ``kanon serve`` / ``kanon submit`` are
 the CLI entry points; :class:`ServiceClient` is the programmatic one.
-See ``docs/service.md`` for the protocol.
+
+Fleets (PR 9): ``kanon route`` runs :class:`ShardRouter`
+(:mod:`repro.service.router`) in front of many ``kanon serve`` shards,
+consistent-hashing every request onto the shard that owns its
+instance/state key via :class:`HashRing` (:mod:`repro.service.hashring`)
+so no instance is ever solved twice across the fleet.  See
+``docs/service.md`` for the protocol and the routing semantics.
 """
 
 from repro.service.cache import CacheStats, SolutionCache
 from repro.service.client import ServiceClient
+from repro.service.hashring import HashRing
+from repro.service.router import (
+    DEFAULT_ROUTER_PORT,
+    RouterServer,
+    ShardRouter,
+    merge_shard_stats,
+    route,
+)
 from repro.service.server import (
     DEFAULT_PORT,
     PROTOCOL_VERSION,
@@ -24,10 +38,16 @@ __all__ = [
     "AnonymizationService",
     "CacheStats",
     "DEFAULT_PORT",
+    "DEFAULT_ROUTER_PORT",
+    "HashRing",
     "PROTOCOL_VERSION",
+    "RouterServer",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "ShardRouter",
     "SolutionCache",
+    "merge_shard_stats",
+    "route",
     "serve",
 ]

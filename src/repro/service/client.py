@@ -18,10 +18,14 @@ Robustness (protocol v2):
   retry through :class:`~repro.instrument.Backoff` with exponential
   delay and jitter; ``shutdown`` never retries (a retry could kill a
   freshly restarted server).
+* route awareness (PR 9): ``fallbacks`` names alternate addresses —
+  standby routers, or the shards themselves when no router runs — and
+  a retry after a connection failure advances to the next address
+  (sticky: later requests keep using the address that worked).
 
 The counters on :attr:`ServiceClient.counters` (requests / retries /
-reconnects / timeouts / stale lines discarded) make those behaviours
-observable in tests and chaos runs.
+reconnects / timeouts / failovers / stale lines discarded) make those
+behaviours observable in tests and chaos runs.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ import json
 import random
 import socket
 import time
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.table import Table
 from repro.instrument import Backoff
@@ -51,6 +55,12 @@ class ServiceClient:
     :param backoff: delay policy between retries (default
         ``Backoff()``: 50 ms doubling to 2 s, with jitter).
     :param rng: random source for the jitter (seed it in tests).
+    :param fallbacks: alternate service addresses (``"host:port"``
+        strings or ``(host, port)`` tuples) tried in order when the
+        current address fails a connection attempt — e.g. a standby
+        router, or the shard fleet itself when no router is running.
+        Failover is sticky: once an address answers, later requests
+        keep using it until it too fails.
 
     The connection opens lazily on the first request and is reused
     across calls; the client is also a context manager.
@@ -65,11 +75,14 @@ class ServiceClient:
         retries: int = 2,
         backoff: Backoff | None = None,
         rng: random.Random | None = None,
+        fallbacks: "Iterable[str | tuple[str, int]] | None" = None,
     ):
         if retries < 0:
             raise ValueError("retries cannot be negative")
-        self.host = host
-        self.port = port
+        self._addresses: list[tuple[str, int]] = [(host, int(port))]
+        for fallback in fallbacks or ():
+            self._addresses.append(self._parse(fallback))
+        self._current = 0
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff if backoff is not None else Backoff()
@@ -82,10 +95,39 @@ class ServiceClient:
             "retries": 0,
             "reconnects": 0,
             "timeouts": 0,
+            "failovers": 0,
             "stale_lines_discarded": 0,
         }
 
     # -- plumbing ------------------------------------------------------
+
+    @staticmethod
+    def _parse(address: "str | tuple[str, int]") -> tuple[str, int]:
+        if isinstance(address, tuple):
+            return str(address[0]), int(address[1])
+        host, separator, port_text = address.rpartition(":")
+        if not separator or not host or not port_text.isdigit():
+            raise ValueError(
+                f"fallback address {address!r} is not of the form host:port"
+            )
+        return host, int(port_text)
+
+    @property
+    def host(self) -> str:
+        """The host currently in use (moves on failover)."""
+        return self._addresses[self._current][0]
+
+    @property
+    def port(self) -> int:
+        """The port currently in use (moves on failover)."""
+        return self._addresses[self._current][1]
+
+    def _advance(self) -> None:
+        """Fail over to the next configured address (round robin)."""
+        if len(self._addresses) > 1:
+            self.close()
+            self._current = (self._current + 1) % len(self._addresses)
+            self.counters["failovers"] += 1
 
     def _connect(self) -> None:
         if self._sock is None:
@@ -189,7 +231,8 @@ class ServiceClient:
         Connection errors and send timeouts are retried (reconnect,
         backoff with jitter, fresh request id) up to ``retries`` times —
         but only when *idempotent*; a non-idempotent request fails on
-        the first error.  Read timeouts raise ``TimeoutError`` with the
+        the first error.  With ``fallbacks`` configured, each retry
+        also advances to the next address (round robin).  Read timeouts raise ``TimeoutError`` with the
         connection kept open (the late reply is discarded by id later).
         """
         self.counters["requests"] += 1
@@ -201,6 +244,7 @@ class ServiceClient:
                 if attempt + 1 >= attempts:
                     raise
                 self.counters["retries"] += 1
+                self._advance()
                 time.sleep(self.backoff.delay(attempt, rng=self._rng))
         raise AssertionError("unreachable")  # pragma: no cover
 

@@ -368,6 +368,11 @@ class AnonymizationService:
         self.planned = 0
         self.batches: list[int] = []
         self.traces: list[dict[str, Any]] = []
+        #: distinct instance keys this process actually solved (misses
+        #: and bypasses — never hits or coalesced followers); the shard
+        #: router's no-duplicate-solves guarantee is audited fleet-wide
+        #: by summing this over shards and comparing to unique instances
+        self._solved_keys: set[str] = set()
         self._inflight: dict[str, asyncio.Future] = {}
         self._queue: asyncio.Queue[_Job] | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -763,6 +768,8 @@ class AnonymizationService:
         if "error" in outcome:
             self.rejected += 1
             return _error(outcome["code"], outcome["error"])
+        if cache in ("miss", "bypass"):
+            self._solved_keys.add(job.key)
         trace = outcome.pop("trace", None)
         if trace is not None and cache in ("miss", "bypass"):
             # one solve, one recorded trace — coalesced followers share
@@ -916,6 +923,7 @@ class AnonymizationService:
             "rejected": self.rejected,
             "coalesced": self.coalesced,
             "planned": self.planned,
+            "solved_instances": len(self._solved_keys),
             "cache": self.cache.as_dict(),
             "batches": {
                 "count": len(sizes),

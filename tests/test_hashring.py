@@ -1,0 +1,150 @@
+"""The consistent-hash ring: determinism, balance, minimal remapping.
+
+The remapping properties are the whole point of a consistent-hash ring
+(versus ``hash(key) % n``): membership changes must move only the keys
+owned by the affected node, or the shard fleet's cache is thrown away
+on every eviction/rejoin.  Stated and checked here as hypothesis
+properties over arbitrary node sets and key sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.hashring import DEFAULT_VNODES, HashRing, ring_hash
+
+THREE_SHARDS = ["10.0.0.1:7683", "10.0.0.2:7683", "10.0.0.3:7683"]
+
+node_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=20,
+)
+node_sets = st.lists(node_names, min_size=1, max_size=8, unique=True)
+keys = st.lists(node_names, min_size=1, max_size=50)
+
+
+class TestRingBasics:
+    def test_empty_ring_has_no_owner(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        with pytest.raises(LookupError):
+            ring.owner("anything")
+        assert ring.owners("anything") == []
+
+    def test_membership_is_a_set(self):
+        ring = HashRing(["a:1"])
+        assert ring.add("a:1") is False  # already present: no-op
+        assert ring.add("b:2") is True
+        assert ring.remove("c:3") is False  # absent: no-op
+        assert ring.remove("a:1") is True
+        assert ring.nodes == frozenset({"b:2"})
+        assert "b:2" in ring and "a:1" not in ring
+
+    def test_add_remove_roundtrip_restores_placement(self):
+        ring = HashRing(THREE_SHARDS)
+        before = {f"key-{i}": ring.owner(f"key-{i}") for i in range(64)}
+        ring.remove(THREE_SHARDS[1])
+        ring.add(THREE_SHARDS[1])
+        assert all(ring.owner(key) == node for key, node in before.items())
+
+    def test_invalid_nodes_and_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([""])
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_ring_hash_is_64_bit(self):
+        assert 0 <= ring_hash("x") < 2**64
+
+    def test_distribution_counts_every_node(self):
+        ring = HashRing(THREE_SHARDS)
+        shares = ring.distribution(f"key-{i}" for i in range(100))
+        assert set(shares) == set(THREE_SHARDS)  # 0-count nodes included
+        assert sum(shares.values()) == 100
+
+
+class TestDeterminism:
+    @given(nodes=node_sets, key=node_names)
+    def test_owner_is_membership_not_history(self, nodes, key):
+        """Placement depends only on the member set — not on insertion
+        order, not on process, not on unrelated churn."""
+        forward = HashRing(nodes)
+        backward = HashRing(reversed(nodes))
+        assert forward.owner(key) == backward.owner(key)
+        assert forward.owners(key) == backward.owners(key)
+
+    @given(nodes=node_sets, key=node_names)
+    def test_owners_is_a_distinct_preference_list(self, nodes, key):
+        ring = HashRing(nodes)
+        preference = ring.owners(key)
+        assert preference[0] == ring.owner(key)
+        assert len(preference) == len(set(preference)) == len(nodes)
+        assert set(preference) == set(nodes)
+        # truncation keeps the prefix
+        assert ring.owners(key, 2) == preference[:2]
+
+    @given(nodes=node_sets, key=node_names)
+    def test_failover_order_is_eviction_order(self, nodes, key):
+        """owners()[1] is exactly the node that inherits the key when
+        the owner leaves — failover lands where re-routing would."""
+        ring = HashRing(nodes)
+        preference = ring.owners(key)
+        for expected_next in preference[1:]:
+            ring.remove(preference[0])
+            assert ring.owner(key) == expected_next
+            preference = ring.owners(key)
+
+
+class TestMinimalRemapping:
+    @given(nodes=node_sets, probe_keys=keys)
+    @settings(max_examples=50)
+    def test_remove_only_remaps_the_removed_nodes_keys(
+        self, nodes, probe_keys
+    ):
+        ring = HashRing(nodes)
+        before = {key: ring.owner(key) for key in probe_keys}
+        fallback = {key: ring.owners(key) for key in probe_keys}
+        victim = sorted(ring.nodes)[0]
+        ring.remove(victim)
+        for key in probe_keys:
+            if before[key] != victim:
+                # a key the victim never owned must not move at all
+                assert ring.owner(key) == before[key]
+            elif len(ring):
+                # the victim's keys go to their next ring owner
+                assert ring.owner(key) == fallback[key][1]
+
+    @given(nodes=node_sets, probe_keys=keys, joiner=node_names)
+    @settings(max_examples=50)
+    def test_add_only_steals_keys_for_the_new_node(
+        self, nodes, probe_keys, joiner
+    ):
+        ring = HashRing(nodes)
+        before = {key: ring.owner(key) for key in probe_keys}
+        if not ring.add(joiner):
+            return  # already a member: nothing to check
+        for key in probe_keys:
+            after = ring.owner(key)
+            assert after == before[key] or after == joiner
+
+
+class TestBalance:
+    def test_three_shard_share_ratio_under_vnodes(self):
+        """The ISSUE's balance gate: with vnodes, no shard's key share
+        dwarfs another's across 3 realistic addresses."""
+        ring = HashRing(THREE_SHARDS, vnodes=DEFAULT_VNODES)
+        shares = ring.distribution(f"instance-{i:04x}" for i in range(3000))
+        assert min(shares.values()) > 0
+        assert max(shares.values()) / min(shares.values()) <= 3.0
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20)
+    def test_balance_holds_for_arbitrary_key_populations(self, seed):
+        ring = HashRing(THREE_SHARDS, vnodes=DEFAULT_VNODES)
+        shares = ring.distribution(
+            f"{seed:08x}-{i:04d}" for i in range(900)
+        )
+        assert min(shares.values()) > 0
+        assert max(shares.values()) / min(shares.values()) <= 4.0

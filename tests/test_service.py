@@ -77,6 +77,23 @@ class TestServiceCore:
         assert second["cache"] == "bypass"
         assert third["cache"] == "hit"
 
+    def test_solved_instances_counts_distinct_keys_only(self):
+        """The fleet-audit counter: hits, bypass replays, and repeats
+        of one instance never inflate ``solved_instances`` — summing it
+        over shards equals the number of unique instances solved."""
+        table = small_table()
+        cached = {"op": "anonymize", "csv": table.to_csv(), "k": 3}
+        other = dict(cached, k=2)
+        service = AnonymizationService()
+        responses = run(_served(
+            service, cached, dict(cached),
+            dict(cached, use_cache=False), other,
+        ))
+        assert [r["cache"] for r in responses] == [
+            "miss", "hit", "bypass", "miss",
+        ]
+        assert service.stats()["solved_instances"] == 2
+
     def test_aliases_resolve_to_canonical_cache_entries(self):
         table = small_table()
         service = AnonymizationService()
