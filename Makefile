@@ -43,6 +43,8 @@ bench-compare:
 		--benchmark-json=bench-e23.json
 	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e24_shard_scaling.py \
 		--benchmark-json=bench-e24.json
+	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e25_privacy.py \
+		--benchmark-json=bench-e25.json
 	python benchmarks/compare_bench.py bench-e9.json \
 		--baseline benchmarks/baselines/BENCH_e9.json
 	python benchmarks/compare_bench.py bench-e18.json \
@@ -55,6 +57,8 @@ bench-compare:
 		--baseline benchmarks/baselines/BENCH_e23.json
 	python benchmarks/compare_bench.py bench-e24.json \
 		--baseline benchmarks/baselines/BENCH_e24.json
+	python benchmarks/compare_bench.py bench-e25.json \
+		--baseline benchmarks/baselines/BENCH_e25.json
 
 # anonymization service with a persistent on-disk solution cache
 serve:

@@ -59,6 +59,12 @@ from repro.algorithms.reduce_cover import ReduceCoverAnonymizer, reduce_cover
 from repro.algorithms.small_m import SmallMExactAnonymizer
 from repro.algorithms.topdown import TopDownGreedyAnonymizer
 
+# The privacy wrappers live in repro.privacy but register themselves in
+# the same registry; importing them here keeps `registry._ensure_loaded`
+# a single import away from the full catalogue.
+from repro.privacy.ldiversity import LDiverseAnonymizer
+from repro.privacy.tcloseness import TCloseAnonymizer
+
 __all__ = [
     "AnonymizationResult",
     "Anonymizer",
@@ -73,6 +79,7 @@ __all__ = [
     "IncrementalBatchAnonymizer",
     "InfeasibleAnonymizationError",
     "KMemberAnonymizer",
+    "LDiverseAnonymizer",
     "LocalSearchAnonymizer",
     "MSTForestAnonymizer",
     "MondrianAnonymizer",
@@ -83,6 +90,7 @@ __all__ = [
     "SmallMExactAnonymizer",
     "SortedChunkAnonymizer",
     "SuppressEverythingAnonymizer",
+    "TCloseAnonymizer",
     "TopDownGreedyAnonymizer",
     "brute_force_optimal",
     "build_ball_cover",

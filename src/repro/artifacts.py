@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Mapping
 from pathlib import Path
 from typing import Any
 
@@ -75,11 +76,19 @@ def table_hash(table: Table) -> str:
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
+def _privacy_tag(privacy: Mapping[str, Any]) -> tuple:
+    """Canonical, repr-stable form of a privacy configuration."""
+    return tuple(
+        (str(key), repr(privacy[key])) for key in sorted(privacy)
+    )
+
+
 def instance_key(
     table: Table,
     k: int,
     algorithm: str,
     backend: str,
+    privacy: Mapping[str, Any] | None = None,
 ) -> str:
     """Content-addressed identity of one anonymization *instance*.
 
@@ -89,6 +98,12 @@ def instance_key(
     purpose: the two backends are parity-tested, but a cache must never
     *assume* bit-identical results across implementations, so entries
     computed under different backends stay separate.
+
+    ``privacy`` (the service protocol's normalized privacy block —
+    ``sensitive`` / ``l`` / ``t`` / ``epsilon``) extends the key the
+    same way: a release under one privacy configuration must never be
+    served for another, or for a plain request.  ``privacy=None``
+    leaves the key byte-identical to the historical four-input form.
 
     Used by the service-layer solution cache (:mod:`repro.service.cache`)
     and stable across processes and platforms.
@@ -102,10 +117,15 @@ def instance_key(
     True
     >>> len(a)
     32
+    >>> p = instance_key(t, 2, "center_cover", "python", {"l": 2})
+    >>> p != a and p != instance_key(
+    ...     t, 2, "center_cover", "python", {"l": 3})
+    True
     """
-    payload = repr(
-        (table_hash(table), int(k), str(algorithm), str(backend))
-    ).encode("utf-8")
+    fields: tuple = (table_hash(table), int(k), str(algorithm), str(backend))
+    if privacy is not None:
+        fields = fields + (_privacy_tag(privacy),)
+    payload = repr(fields).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()[:32]
 
 

@@ -24,6 +24,7 @@ to stderr (and recorded in the run trace).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import registry
@@ -91,6 +92,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="adversary's external CSV (same schema) for a linkage attack",
     )
     risk.add_argument(
+        "--sensitive",
+        help="name of a sensitive column (released untouched, NOT a "
+             "quasi-identifier); projected out before risk is computed",
+    )
+    risk.add_argument(
+        "--no-header", action="store_true", help="inputs have no header row"
+    )
+
+    attack = sub.add_parser(
+        "attack",
+        help="simulate a projection linkage attack on a release",
+    )
+    attack.add_argument("input", help="original CSV path")
+    attack.add_argument("released", help="released CSV path (same schema)")
+    attack.add_argument(
+        "--aux", required=True,
+        help="comma-separated auxiliary columns the adversary knows "
+             "(names, or 0-based indices with --no-header)",
+    )
+    attack.add_argument(
+        "--sensitive", default=None,
+        help="column whose value the adversary infers by majority vote "
+             "over each match set (excluded from matching)",
+    )
+    attack.add_argument(
+        "--json", action="store_true",
+        help="emit the attack report as JSON",
+    )
+    attack.add_argument(
         "--no-header", action="store_true", help="inputs have no header row"
     )
 
@@ -197,6 +227,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="honour per-request 'fault' fields (chaos testing only; "
              "also: REPRO_SERVICE_FAULTS=1)",
     )
+    serve.add_argument(
+        "--privacy-budget", type=float, default=None, metavar="EPSILON",
+        help="per-dataset ε ceiling for DP releases; requests beyond it "
+             "are rejected with privacy-budget-exhausted (default: "
+             "track spends, no limit)",
+    )
 
     route = sub.add_parser(
         "route",
@@ -277,6 +313,26 @@ def _build_parser() -> argparse.ArgumentParser:
              "delay:SECONDS, or drop-connection",
     )
     submit.add_argument(
+        "--ldiv", type=int, default=None, metavar="L",
+        help="privacy block: ask for distinct L-diversity on the "
+             "sensitive column (default sensitive: the last column)",
+    )
+    submit.add_argument(
+        "--tclose", type=float, default=None, metavar="T",
+        help="privacy block: ask for T-closeness on the sensitive column",
+    )
+    submit.add_argument(
+        "--epsilon", type=float, default=None, metavar="EPS",
+        help="privacy block: also release an ε-DP noisy equivalence-"
+             "class histogram (charged against the server's privacy "
+             "budget; printed to stderr)",
+    )
+    submit.add_argument(
+        "--sensitive", type=int, default=None, metavar="COLUMN",
+        help="privacy block: 0-based index of the sensitive column "
+             "(default: the last column when --ldiv/--tclose is given)",
+    )
+    submit.add_argument(
         "--delta", default=None, metavar="STATE_KEY",
         help="treat the input CSV as rows appended to the incremental "
              "stream stored under STATE_KEY (printed to stderr by a "
@@ -302,7 +358,7 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "name",
         choices=["ratio-greedy", "ratio-center", "threshold-entries",
-                 "threshold-attributes", "k-sweep"],
+                 "threshold-attributes", "k-sweep", "privacy"],
         help="which experiment to run",
     )
     experiment.add_argument("-k", type=int, default=3)
@@ -484,6 +540,28 @@ def _run_experiment(args) -> int:
                   f"{result.threshold}, optimum {result.optimum}, "
                   f"consistent={result.consistent_with_theorem}")
         return 0 if all(r.consistent_with_theorem for r in results) else 1
+    if args.name == "privacy":
+        from repro.experiments import privacy_experiment
+
+        store = _experiment_store(args, "privacy", {
+            "workload": "census-120-seed0", "epsilon": 1.0,
+        })
+        exp = privacy_experiment(
+            backend=args.backend, timeout=args.timeout, trace=trace,
+            jobs=args.jobs, store=store,
+        )
+        print(f"{exp.algorithm} on census n={exp.n}, ε={exp.epsilon:g}:")
+        for point in exp.points:
+            print(f"  k={point.k}: {point.stars} stars, "
+                  f"re-identified {point.fraction_unique:.1%}, "
+                  f"inference {point.inference_accuracy:.1%}, "
+                  f"dp overhead {point.dp_overhead:.1%} of solve")
+        drop = exp.reidentification_drop
+        drop_text = "inf" if drop == float("inf") else f"{drop:.1f}"
+        print(f"unique re-identification drop "
+              f"k={min(p.k for p in exp.points)} -> "
+              f"k={max(p.k for p in exp.points)}: {drop_text}x")
+        return 0
     # k-sweep
     from repro.workloads import census_table, quasi_identifiers
 
@@ -537,6 +615,7 @@ def _serve(args) -> int:
         persistent_pool=not args.per_batch_pool,
         max_tasks_per_child=args.max_tasks_per_child,
         fault_injection=True if args.inject_faults else None,
+        privacy_budget=args.privacy_budget,
     )
     port = DEFAULT_PORT if args.port is None else args.port
     try:
@@ -576,6 +655,15 @@ def _render_stats(stats: dict) -> None:
     print(f"batches: {batches['count']} dispatched, "
           f"max size {batches['max_size']}, "
           f"mean size {batches['mean_size']:.2f}")
+    privacy = stats.get("privacy")
+    if privacy:
+        budget = privacy.get("budget")
+        ceiling = "unlimited" if budget is None else f"{budget:g}"
+        spends = ", ".join(
+            f"{dataset}: ε={spent:g}"
+            for dataset, spent in (privacy.get("datasets") or {}).items()
+        ) or "no ε spent"
+        print(f"privacy budget: {ceiling}  ({spends})")
     pool = stats.get("pool")
     if pool:
         print(f"pool: {_render_pool(pool)}")
@@ -656,6 +744,15 @@ def _submit(args) -> int:
                       f"{disposition['groups']} groups untouched",
                       file=sys.stderr)
         else:
+            privacy = {}
+            if args.ldiv is not None:
+                privacy["l"] = args.ldiv
+            if args.tclose is not None:
+                privacy["t"] = args.tclose
+            if args.epsilon is not None:
+                privacy["epsilon"] = args.epsilon
+            if args.sensitive is not None:
+                privacy["sensitive"] = args.sensitive
             response = client.anonymize(
                 table, args.k,
                 algorithm=args.algorithm,
@@ -664,7 +761,13 @@ def _submit(args) -> int:
                 use_cache=not args.no_cache,
                 trace=args.trace,
                 fault=args.fault,
+                privacy=privacy or None,
             )
+        dp = response.get("dp")
+        if dp:
+            print(f"dp: ε={dp['epsilon']:g} {dp['mechanism']} noise "
+                  f"(scale {dp['scale']:g}) over {len(dp['classes'])} "
+                  f"equivalence classes", file=sys.stderr)
         if response.get("state_key"):
             print(f"state key: {response['state_key']}", file=sys.stderr)
         plan = response.get("plan")
@@ -749,33 +852,16 @@ def _dispatch(args) -> int:
         if args.ldiv is not None:
             from repro.privacy import LDiverseAnonymizer
 
-            sensitive = table.column(table.degree - 1)
-            identifiers = table.project(list(range(table.degree - 1)))
-            wrapped = LDiverseAnonymizer(args.ldiv, inner=algorithm)
-            result = wrapped.anonymize_with_sensitive(
-                identifiers, args.k, sensitive,
-                backend=args.backend, timeout=args.timeout, trace=trace,
+            # the wrapper's template path splits off the last column,
+            # anonymizes the rest, and reattaches it untouched — the
+            # release keeps the input's schema
+            algorithm = LDiverseAnonymizer(
+                args.ldiv, inner=algorithm, backend=args.backend
             )
-            from repro.core.table import Table as _Table
-
-            released = _Table(
-                [row + (value,) for row, value
-                 in zip(result.anonymized.rows, sensitive)],
-                attributes=table.attributes,
-            )
-            result = type(result)(
-                anonymized=released,
-                suppressor=result.suppressor,
-                partition=result.partition,
-                algorithm=result.algorithm,
-                k=result.k,
-                extras=result.extras,
-            )
-        else:
-            result = algorithm.anonymize(
-                table, args.k,
-                backend=args.backend, timeout=args.timeout, trace=trace,
-            )
+        result = algorithm.anonymize(
+            table, args.k,
+            backend=args.backend, timeout=args.timeout, trace=trace,
+        )
         plan = result.extras.get("plan")
         if plan is not None:
             print(f"plan: {result.algorithm} ({plan['reason']})",
@@ -838,9 +924,47 @@ def _dispatch(args) -> int:
         print(text)
         return 0 if text.splitlines()[0].endswith(f"APPROVED (k={args.k})") else 1
 
+    if args.command == "attack":
+        from repro.privacy import projection_attack
+
+        released = read_csv(args.released, header=not args.no_header)
+        aux: list = [col.strip() for col in args.aux.split(",") if col.strip()]
+        sensitive = args.sensitive
+        if args.no_header:
+            # headerless tables have synthetic attribute names; accept
+            # 0-based indices on the command line instead
+            aux = [int(col) for col in aux]
+            sensitive = int(sensitive) if sensitive is not None else None
+        report = projection_attack(
+            released, table, aux, sensitive=sensitive
+        )
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+            return 0
+        print(f"targets: {report.targets}")
+        print(f"uniquely re-identified: {report.unique} "
+              f"({report.fraction_unique:.1%})")
+        print(f"match-set size: min {report.min_match}, "
+              f"mean {report.mean_match:.2f}")
+        if sensitive is not None:
+            print(f"sensitive-value inference accuracy: "
+                  f"{report.inference_accuracy:.1%} "
+                  f"({report.inference_correct}/{report.targets})")
+        return 0
+
     # risk
     from repro.privacy import linkage_attack, risk_report
 
+    if args.sensitive:
+        # the sensitive column is released untouched and is NOT a
+        # quasi-identifier — counting it would report a false max
+        # prosecutor risk of 1.0 on any release with distinct values
+        keep = [a for a in table.attributes if a != args.sensitive]
+        if len(keep) == len(table.attributes):
+            print(f"error: no column named {args.sensitive!r}",
+                  file=sys.stderr)
+            return 2
+        table = table.project(keep)
     report = risk_report(table)
     print(f"classes: {report.class_count}")
     print(f"max prosecutor risk: {report.max_risk:.4f}")
@@ -848,6 +972,10 @@ def _dispatch(args) -> int:
     print(f"records at max risk: {report.records_at_max}")
     if args.external:
         external = read_csv(args.external, header=not args.no_header)
+        if args.sensitive and args.sensitive in external.attributes:
+            external = external.project(
+                [a for a in external.attributes if a != args.sensitive]
+            )
         counts = linkage_attack(
             table, external, list(range(external.n_rows))
         )

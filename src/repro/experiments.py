@@ -812,6 +812,208 @@ def k_sweep(
     return points  # type: ignore[return-value]
 
 
+# ----------------------------------------------------------------------
+# Privacy experiment (E25): re-identification vs k, plus DP overhead
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrivacyPoint:
+    """One k cell of :func:`privacy_experiment`."""
+
+    k: int
+    stars: int
+    #: fraction of records an aux-knowing adversary re-identifies uniquely
+    fraction_unique: float
+    min_match: int
+    mean_match: float
+    #: majority-vote sensitive-value inference accuracy
+    inference_accuracy: float
+    solve_seconds: float
+    #: wall-clock of the ε-DP noisy-histogram post-pass
+    dp_seconds: float
+    classes: int
+
+    @property
+    def dp_overhead(self) -> float:
+        """DP post-pass time as a fraction of the solve time."""
+        if self.solve_seconds <= 0:
+            return 0.0
+        return self.dp_seconds / self.solve_seconds
+
+
+@dataclass(frozen=True)
+class PrivacyExperiment:
+    """Attack-vs-k curve for one algorithm on the census workload."""
+
+    algorithm: str
+    n: int
+    epsilon: float
+    points: tuple[PrivacyPoint, ...] = field(default_factory=tuple)
+
+    def point(self, k: int) -> PrivacyPoint:
+        for point in self.points:
+            if point.k == k:
+                return point
+        raise KeyError(f"no point for k={k}")
+
+    @property
+    def reidentification_drop(self) -> float:
+        """Unique re-identification at the smallest k over the largest.
+
+        ``inf`` when the largest k leaves nobody uniquely identifiable.
+        """
+        if len(self.points) < 2:
+            raise ValueError("need at least two k cells to compare")
+        first = min(self.points, key=lambda p: p.k).fraction_unique
+        last = max(self.points, key=lambda p: p.k).fraction_unique
+        if last == 0.0:
+            return float("inf") if first > 0 else 1.0
+        return first / last
+
+
+@dataclass(frozen=True)
+class _PrivacyTask:
+    n: int
+    k: int
+    algorithm: Anonymizer
+    epsilon: float
+    base_seed: int
+    backend: str | None
+    timeout: float | None
+    trace: bool | None
+
+
+def _privacy_point(task: _PrivacyTask) -> dict[str, Any]:
+    """One k cell: anonymize the QI columns, reattach the sensitive
+    column, run the projection attack, and time the DP post-pass."""
+    from repro.privacy.attack import projection_attack
+    from repro.privacy.dp import noisy_class_histogram
+    from repro.privacy.sensitive import reattach_sensitive, split_sensitive
+    from repro.workloads import census_table
+
+    table = census_table(task.n, seed=task.base_seed)
+    identifiers, sensitive, index = split_sensitive(table, -1)
+    algorithm = _fresh_copy(task.algorithm)
+    started = time.perf_counter()
+    result = algorithm.anonymize(
+        identifiers, task.k, backend=task.backend, timeout=task.timeout,
+        trace=task.trace,
+    )
+    solve_seconds = time.perf_counter() - started
+    released = reattach_sensitive(
+        result.anonymized, sensitive, index, table.attributes
+    )
+    started = time.perf_counter()
+    dp = noisy_class_histogram(
+        result.anonymized, task.epsilon, seed=task.base_seed + task.k
+    )
+    dp_seconds = time.perf_counter() - started
+    # adversary knows every quasi-identifier, never the sensitive value
+    aux = [column for column in range(table.degree) if column != index]
+    report = projection_attack(released, table, aux, sensitive=index)
+    return {
+        "k": task.k,
+        "algorithm": algorithm.name,
+        "stars": result.stars,
+        "fraction_unique": report.fraction_unique,
+        "min_match": report.min_match,
+        "mean_match": report.mean_match,
+        "inference_accuracy": report.inference_accuracy,
+        "solve_seconds": solve_seconds,
+        "dp_seconds": dp_seconds,
+        "classes": len(dp["classes"]),
+        "instance_hash": table_hash(table),
+        "trace": result.extras.get("trace"),
+    }
+
+
+def _privacy_record_point(record: dict[str, Any]) -> PrivacyPoint:
+    return PrivacyPoint(
+        k=record["k"], stars=record["stars"],
+        fraction_unique=record["fraction_unique"],
+        min_match=record["min_match"], mean_match=record["mean_match"],
+        inference_accuracy=record["inference_accuracy"],
+        solve_seconds=record["solve_seconds"],
+        dp_seconds=record["dp_seconds"], classes=record["classes"],
+    )
+
+
+def privacy_experiment(
+    n: int = 120,
+    ks: tuple[int, ...] = (1, 2, 3, 5),
+    algorithm: "Anonymizer | str | None" = None,
+    epsilon: float = 1.0,
+    base_seed: int = 0,
+    backend: str | None = None,
+    timeout: float | None = None,
+    trace: bool | None = None,
+    jobs: int = 1,
+    store: RunStore | None = None,
+) -> PrivacyExperiment:
+    """E25: what k buys against a linkage adversary, and what DP costs.
+
+    For each k, the census workload's quasi-identifiers are k-anonymized
+    (the ``diagnosis`` column is held out as sensitive and reattached),
+    a :func:`repro.privacy.attack.projection_attack` with full
+    quasi-identifier auxiliary knowledge measures re-identification, and
+    the ε-DP class-histogram post-pass is timed.  ``k=1`` is the
+    no-anonymization baseline — every cell runs through the same solver
+    path so the timing comparison is honest.
+
+    *algorithm* defaults to ``center_cover``; a registry name, instance,
+    or ``"auto"`` all work (see :func:`resolve_algorithm`).  ``jobs``
+    runs k cells concurrently; ``store`` resumes a sweep, verifying each
+    cell against the recorded workload hash.
+
+    :raises ValueError: for an empty k tuple or a non-positive ε.
+    """
+    if not ks:
+        raise ValueError("privacy_experiment needs at least one k")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    from repro.algorithms.center_cover import CenterCoverAnonymizer
+    from repro.workloads import census_table
+
+    algorithm = (
+        CenterCoverAnonymizer() if algorithm is None
+        else resolve_algorithm(algorithm)
+    )
+    points: list[PrivacyPoint | None] = [None] * len(ks)
+    pending: list[int] = []
+    workload_hash = table_hash(census_table(n, seed=base_seed))
+    for index, k in enumerate(ks):
+        key = f"k-{k}"
+        if store is not None and store.done(key):
+            store.check_instance(key, workload_hash)
+            points[index] = _privacy_record_point(store.get(key))
+            continue
+        pending.append(index)
+
+    tasks = [
+        _PrivacyTask(n=n, k=ks[index], algorithm=algorithm,
+                     epsilon=epsilon, base_seed=base_seed, backend=backend,
+                     timeout=timeout, trace=trace)
+        for index in pending
+    ]
+    for index, outcome in zip(pending,
+                              run_tasks(_privacy_point, tasks, jobs)):
+        points[index] = _privacy_record_point(outcome)
+        if store is not None:
+            store.record(
+                f"k-{ks[index]}",
+                **{name: value for name, value in outcome.items()
+                   if name != "trace"},
+                trace_summary=summarize_traces(
+                    [outcome["trace"]] if outcome["trace"] else []
+                ),
+            )
+    return PrivacyExperiment(
+        algorithm=algorithm.name, n=n, epsilon=float(epsilon),
+        points=tuple(points),  # type: ignore[arg-type]
+    )
+
+
 @dataclass(frozen=True)
 class _ComparisonTask:
     table: Table

@@ -1,17 +1,35 @@
 """Privacy analysis extensions.
 
 k-anonymity bounds *identity* disclosure; the follow-up literature adds
-attribute-disclosure guards (l-diversity) and quantitative
-re-identification risk models.  This package supplies both, as the
-"beyond the paper" extension layer:
+attribute-disclosure guards (l-diversity, t-closeness), semantic
+guarantees (ε-differential privacy), and quantitative re-identification
+risk models.  This package supplies all of them, as the "beyond the
+paper" extension layer:
 
 * :mod:`repro.privacy.ldiversity` — distinct l-diversity on a sensitive
   attribute, plus an anonymizer wrapper that enforces it.
+* :mod:`repro.privacy.tcloseness` — t-closeness under total variation,
+  plus the matching repair wrapper.
+* :mod:`repro.privacy.dp` — ε-DP noisy release of equivalence-class
+  counts and the :class:`PrivacyAccountant` budget ledger.
+* :mod:`repro.privacy.attack` — empirical projection-linkage adversary
+  harness (:func:`projection_attack`).
 * :mod:`repro.privacy.risk` — prosecutor/journalist re-identification
   risk of a released table, and a linkage-attack simulator against an
   adversary's external table.
+* :mod:`repro.privacy.sensitive` — split/reattach helpers for the
+  "last column is sensitive" release convention.
 """
 
+from repro.privacy.attack import AttackReport, projection_attack
+from repro.privacy.dp import (
+    BudgetExhaustedError,
+    PrivacyAccountant,
+    geometric_noise,
+    laplace_noise,
+    noisy_class_histogram,
+    noisy_histogram,
+)
 from repro.privacy.ldiversity import (
     LDiverseAnonymizer,
     diversity_level,
@@ -26,6 +44,7 @@ from repro.privacy.risk import (
     prosecutor_risk,
     risk_report,
 )
+from repro.privacy.sensitive import reattach_sensitive, split_sensitive
 from repro.privacy.tcloseness import (
     TCloseAnonymizer,
     closeness_level,
@@ -34,18 +53,28 @@ from repro.privacy.tcloseness import (
 )
 
 __all__ = [
+    "AttackReport",
+    "BudgetExhaustedError",
     "LDiverseAnonymizer",
+    "PrivacyAccountant",
     "RiskReport",
     "TCloseAnonymizer",
     "closeness_level",
     "diversity_level",
     "entropy_diversity_level",
+    "geometric_noise",
     "is_entropy_l_diverse",
     "is_l_diverse",
     "is_t_close",
     "journalist_risk",
+    "laplace_noise",
     "linkage_attack",
+    "noisy_class_histogram",
+    "noisy_histogram",
+    "projection_attack",
     "prosecutor_risk",
+    "reattach_sensitive",
     "risk_report",
+    "split_sensitive",
     "total_variation",
 ]

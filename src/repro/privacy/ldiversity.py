@@ -23,6 +23,26 @@ from repro.algorithms.base import Anonymizer, AnonymizationResult
 from repro.core.distance import distance, group_image_of
 from repro.core.partition import Partition, anonymize_partition
 from repro.core.table import Table
+from repro.privacy.sensitive import (
+    reattach_sensitive,
+    replace_release,
+    split_sensitive,
+)
+from repro.registry import register
+
+
+def privacy_wrapper_applicable(n: int, m: int, sigma: int, k: int) -> bool:
+    """Need k rows and at least one quasi-identifier plus the sensitive
+    column; repair also needs >= 2 distinct sensitive values (sigma is
+    the per-attribute alphabet proxy the planner feeds us)."""
+    return n >= k and m >= 2 and sigma >= 2
+
+
+def privacy_wrapper_cost(n: int, m: int, sigma: int, k: int) -> float:
+    """Inner polynomial solve plus the merge-repair loop: a constant
+    factor over the plain heuristics, so ``auto`` only ever picks a
+    privacy wrapper when nothing cheaper is applicable."""
+    return float(n) * n * m * 4.0
 
 
 def diversity_level(
@@ -105,6 +125,16 @@ def is_entropy_l_diverse(
     return entropy_diversity_level(table, sensitive) >= l - 1e-12
 
 
+@register(
+    "ldiverse",
+    kind="heuristic",
+    summary="distinct l-diversity repair over a partition-based inner "
+            "(last column sensitive)",
+    aliases=("ldiv",),
+    factory=lambda: LDiverseAnonymizer(2),
+    applicable=privacy_wrapper_applicable,
+    cost_model=privacy_wrapper_cost,
+)
 class LDiverseAnonymizer(Anonymizer):
     """Enforce distinct l-diversity by merging undiverse groups.
 
@@ -212,17 +242,23 @@ class LDiverseAnonymizer(Anonymizer):
 
     def _anonymize(self, table: Table, k: int, run) -> AnonymizationResult:
         """Without a sensitive column, treat the *last* attribute as
-        sensitive and anonymize the rest (a common CSV convention)."""
-        if table.degree < 2:
-            raise ValueError(
-                "need at least one quasi-identifier plus a sensitive column"
-            )
-        sensitive = table.column(table.degree - 1)
-        identifiers = table.project(list(range(table.degree - 1)))
+        sensitive and anonymize the rest (a common CSV convention).
+
+        The sensitive column is reattached untouched, so the release
+        has the **same schema** as the input (k-anonymity is judged on
+        the quasi-identifier columns only).
+        """
+        identifiers, sensitive, index = split_sensitive(table, -1)
         # run.backend is bound to the combined table; the inner anonymizer
         # works on the projection and resolves its own, but shares the
         # armed deadline and tracing decision.
-        return self.anonymize_with_sensitive(
+        result = self.anonymize_with_sensitive(
             identifiers, k, sensitive,
             timeout=run.budget, trace=run.enabled,
+        )
+        return replace_release(
+            result,
+            reattach_sensitive(
+                result.anonymized, sensitive, index, table.attributes
+            ),
         )

@@ -79,10 +79,18 @@ def journalist_risk(released: Table, population: Table) -> list[float]:
         schema).
     :returns: one risk value per released record; 0.0 for a record no
         population member matches (an impossible record).
-    :raises ValueError: on schema mismatch.
+    :raises ValueError: on schema mismatch, or if the population table
+        contains suppressed cells (a starred population row would
+        silently match nothing and understate the risk as 0.0).
     """
     if population.degree != released.degree:
         raise ValueError("population must share the released schema")
+    for i, row in enumerate(population.rows):
+        if any(cell is STAR for cell in row):
+            raise ValueError(
+                f"population table must be star-free (row {i} contains "
+                "a suppressed cell)"
+            )
     risks = []
     for row in released.rows:
         matches = sum(

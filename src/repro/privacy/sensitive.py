@@ -1,0 +1,99 @@
+"""Splitting a table into quasi-identifiers plus one sensitive column.
+
+The privacy wrappers (:mod:`repro.privacy.ldiversity`,
+:mod:`repro.privacy.tcloseness`), the service's privacy block, and the
+CLI all follow the same convention: the sensitive attribute is released
+*untouched* next to the suppressed quasi-identifiers, and never counts
+toward k-anonymity.  These helpers keep the split/reattach round trip
+in one place so every caller produces a release with the **same schema
+as its input** (see the l-diversity degree bug this fixed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Hashable, Sequence
+
+from repro.core.table import Table
+
+
+def split_sensitive(
+    table: Table,
+    sensitive: int | str,
+) -> tuple[Table, tuple[Hashable, ...], int]:
+    """Split *table* into (quasi-identifiers, sensitive values, index).
+
+    ``sensitive`` names the sensitive attribute by index or by name;
+    negative indices count from the end (so ``-1`` is the conventional
+    "last column is sensitive").  The remaining columns, in their
+    original order, form the quasi-identifier projection.
+
+    >>> t = Table([(1, "a", "flu"), (2, "b", "cold")],
+    ...           attributes=("age", "zip", "diagnosis"))
+    >>> qi, values, index = split_sensitive(t, "diagnosis")
+    >>> qi.attributes, values, index
+    (('age', 'zip'), ('flu', 'cold'), 2)
+    """
+    if table.degree < 2:
+        raise ValueError(
+            "need at least one quasi-identifier plus a sensitive column"
+        )
+    if isinstance(sensitive, str):
+        index = table.attribute_index(sensitive)
+    else:
+        index = int(sensitive)
+        if index < 0:
+            index += table.degree
+        if not 0 <= index < table.degree:
+            raise ValueError(
+                f"sensitive column {sensitive} out of range for a table "
+                f"of degree {table.degree}"
+            )
+    values = table.column(index)
+    identifiers = table.project(
+        [j for j in range(table.degree) if j != index]
+    )
+    return identifiers, values, index
+
+
+def reattach_sensitive(
+    identifiers: Table,
+    values: Sequence[Hashable],
+    index: int,
+    attributes: Sequence[str] | None = None,
+) -> Table:
+    """Re-insert the untouched sensitive *values* at column *index*.
+
+    The inverse of :func:`split_sensitive`: given the anonymized
+    quasi-identifier projection, rebuild a release with the original
+    schema.  ``attributes`` (when given) names the full released table.
+
+    >>> qi = Table([("*", "a"), ("*", "b")], attributes=("age", "zip"))
+    >>> release = reattach_sensitive(qi, ("flu", "cold"), 2,
+    ...                              ("age", "zip", "diagnosis"))
+    >>> release.rows
+    (('*', 'a', 'flu'), ('*', 'b', 'cold'))
+    """
+    if len(values) != identifiers.n_rows:
+        raise ValueError("one sensitive value per row required")
+    if not 0 <= index <= identifiers.degree:
+        raise ValueError(
+            f"reattachment index {index} out of range for a release "
+            f"of degree {identifiers.degree}"
+        )
+    rows = [
+        row[:index] + (value,) + row[index:]
+        for row, value in zip(identifiers.rows, values)
+    ]
+    if attributes is None:
+        attributes = tuple(
+            f"c{j}" for j in range(identifiers.degree + 1)
+        )
+    return Table(rows, attributes=tuple(attributes))
+
+
+def replace_release(result, anonymized: Table):
+    """An :class:`~repro.algorithms.base.AnonymizationResult` identical
+    to *result* but releasing *anonymized* (the reattached full-schema
+    table); partition, suppressor, and extras carry over unchanged."""
+    return dataclasses.replace(result, anonymized=anonymized)

@@ -17,8 +17,19 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Hashable, Sequence
 
+from repro.algorithms.base import Anonymizer
 from repro.core.anonymity import equivalence_classes
 from repro.core.table import Table
+from repro.privacy.ldiversity import (
+    privacy_wrapper_applicable,
+    privacy_wrapper_cost,
+)
+from repro.privacy.sensitive import (
+    reattach_sensitive,
+    replace_release,
+    split_sensitive,
+)
+from repro.registry import register
 
 
 def total_variation(p: dict[Hashable, float], q: dict[Hashable, float]) -> float:
@@ -65,7 +76,17 @@ def is_t_close(table: Table, sensitive: Sequence[Hashable], t: float) -> bool:
     return closeness_level(table, sensitive) <= t + 1e-12
 
 
-class TCloseAnonymizer:
+@register(
+    "tclose",
+    kind="heuristic",
+    summary="t-closeness repair over a partition-based inner "
+            "(last column sensitive)",
+    aliases=("tcloseness",),
+    factory=lambda: TCloseAnonymizer(0.5),
+    applicable=privacy_wrapper_applicable,
+    cost_model=privacy_wrapper_cost,
+)
+class TCloseAnonymizer(Anonymizer):
     """Enforce t-closeness on top of a partition-based k-anonymizer.
 
     Repair loop: while some group's sensitive distribution is farther
@@ -75,30 +96,43 @@ class TCloseAnonymizer:
     group has distance 0, so the loop always terminates with a valid,
     t-close, k-anonymous release — at a suppression cost that grows as
     ``t`` shrinks (the privacy/utility dial).
+
+    Like every :class:`~repro.algorithms.base.Anonymizer`, the plain
+    :meth:`anonymize` template path treats the *last* column as
+    sensitive and returns a release with the input's full schema.
     """
 
-    def __init__(self, t: float, inner=None):
+    def __init__(self, t: float, inner=None,
+                 backend=None, budget=None, trace=None):
         from repro.algorithms.center_cover import CenterCoverAnonymizer
 
+        super().__init__(backend=backend, budget=budget, trace=trace)
         if not 0.0 <= t <= 1.0:
             raise ValueError("t must lie in [0, 1]")
         self._t = t
         self._inner = inner if inner is not None else CenterCoverAnonymizer()
         self.name = f"{self._inner.name}+tclose{t:g}"
 
-    def anonymize_with_sensitive(self, table: Table, k: int, sensitive):
+    def anonymize_with_sensitive(self, table: Table, k: int, sensitive,
+                                 *, backend=None, timeout=None, trace=None):
         from repro.core.distance import distance, group_image_of
         from repro.core.partition import Partition, anonymize_partition
 
+        self._check_feasible(table, k)
         if len(sensitive) != table.n_rows:
             raise ValueError("one sensitive value per row required")
-        base = self._inner.anonymize(table, k)
+        if table.n_rows == 0:
+            return self._empty_result(table, k)
+        base = self._inner.anonymize(
+            table, k,
+            backend=backend if backend is not None else self.backend,
+            timeout=timeout if timeout is not None else self.budget,
+            trace=trace if trace is not None else self.trace,
+        )
         if base.partition is None:
             raise ValueError(
                 f"{self._inner.name} is not partition-based; cannot repair"
             )
-        if table.n_rows == 0:
-            return base
         global_dist = _distribution(sensitive)
         groups = [set(g) for g in base.partition.groups]
 
@@ -140,4 +174,21 @@ class TCloseAnonymizer:
                 "base_stars": base.stars,
                 "groups_merged": len(base.partition.groups) - len(groups),
             },
+        )
+
+    def _anonymize(self, table: Table, k: int, run):
+        """Last-column-sensitive convention, mirroring
+        :class:`~repro.privacy.ldiversity.LDiverseAnonymizer`: anonymize
+        the quasi-identifiers, reattach the untouched sensitive column,
+        and release a table with the input's schema."""
+        identifiers, sensitive, index = split_sensitive(table, -1)
+        result = self.anonymize_with_sensitive(
+            identifiers, k, sensitive,
+            timeout=run.budget, trace=run.enabled,
+        )
+        return replace_release(
+            result,
+            reattach_sensitive(
+                result.anonymized, sensitive, index, table.attributes
+            ),
         )

@@ -272,6 +272,7 @@ class ServiceClient:
         use_cache: bool = True,
         trace: bool = False,
         fault: str | None = None,
+        privacy: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Anonymize a :class:`Table` (or CSV text) on the server.
 
@@ -279,6 +280,13 @@ class ServiceClient:
         released :class:`Table` parsed back from the wire, alongside
         ``stars``, ``cache`` (hit / coalesced / miss / bypass), and
         ``solve_seconds``.
+
+        *privacy* is the optional protocol privacy block — a dict with
+        any of ``sensitive`` (column index), ``l`` (distinct
+        l-diversity), ``t`` (t-closeness), ``epsilon`` (ε-DP noisy
+        class histogram, returned under ``response["dp"]``).  Privacy
+        requests are cached under privacy-aware keys and ε-releases are
+        charged against the server's privacy budget.
 
         ``algorithm="auto"`` lets the server pick: the planner runs at
         admission, ``response["algorithm"]`` names the solver that
@@ -307,6 +315,8 @@ class ServiceClient:
         }
         if fault is not None:
             payload["fault"] = fault
+        if privacy is not None:
+            payload["privacy"] = privacy
         response = self._checked(payload)
         response["table"] = Table.from_csv(response["csv"], header=header)
         return response

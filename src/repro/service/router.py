@@ -135,8 +135,10 @@ def merge_shard_stats(per_shard: dict[str, dict]) -> dict[str, Any]:
     ``solved_instances`` counters, summed ``jobs``, batch shape with a
     size-weighted mean, the fleet-wide ``hit_rate`` recomputed from the
     summed counters, and ``backend`` collapsed when uniform (else the
-    sorted comma-joined set).  Pure and transport-free on purpose —
-    unit-tested in isolation.
+    sorted comma-joined set).  The ``privacy`` ledger sums per-dataset
+    ε spends across shards (sequential composition holds fleet-wide)
+    and keeps ``budget`` when uniform.  Pure and transport-free on
+    purpose — unit-tested in isolation.
     """
     cache_sums = ("hits", "memory_hits", "disk_hits", "misses",
                   "evictions", "stores", "corrupt", "entries",
@@ -156,7 +158,17 @@ def merge_shard_stats(per_shard: dict[str, dict]) -> dict[str, Any]:
     batch_count = 0
     batch_max = 0
     batch_jobs = 0.0
+    privacy_budgets: set = set()
+    privacy_spent: dict[str, float] = {}
     for stats in per_shard.values():
+        privacy = stats.get("privacy") or {}
+        privacy_budgets.add(privacy.get("budget"))
+        for dataset, spent in (privacy.get("datasets") or {}).items():
+            # ε spends sum across shards: each shard's ledger only saw
+            # the releases it served (sequential composition fleet-wide)
+            privacy_spent[dataset] = (
+                privacy_spent.get(dataset, 0.0) + float(spent)
+            )
         backends.add(str(stats.get("backend", "?")))
         merged["uptime_seconds"] = max(
             merged["uptime_seconds"], float(stats.get("uptime_seconds", 0.0))
@@ -189,6 +201,15 @@ def merge_shard_stats(per_shard: dict[str, dict]) -> dict[str, Any]:
         "count": batch_count,
         "max_size": batch_max,
         "mean_size": batch_jobs / batch_count if batch_count else 0.0,
+    }
+    merged["privacy"] = {
+        "budget": (
+            privacy_budgets.pop() if len(privacy_budgets) == 1 else None
+        ),
+        "datasets": {
+            dataset: round(spent, 12)
+            for dataset, spent in sorted(privacy_spent.items())
+        },
     }
     return merged
 
@@ -288,13 +309,24 @@ class ShardRouter:
                 name = plan_instance(table, k, budget=budget).algorithm
             else:
                 name = registry.get(name).name
+            privacy = request.get("privacy")
+            if privacy is not None:
+                # normalize exactly as shard admission does — routing
+                # is only correct if router and shard key identically
+                # (a malformed block raises: unroutable, the shard's
+                # admission produces the protocol error)
+                from repro.service.server import normalize_privacy
+
+                privacy = normalize_privacy(privacy, table.degree)
+                if name == "incremental":
+                    return None  # shards reject privacy + incremental
         except Exception:  # noqa: BLE001 - unroutable, not invalid
             return None
         if name == "incremental":
             # snapshot affinity: the shard that solves this stream is
             # the one later `delta` requests (keyed by state_key) reach
             return state_key(table, k, name, self.backend)
-        return instance_key(table, k, name, self.backend)
+        return instance_key(table, k, name, self.backend, privacy=privacy)
 
     def _preference(self, key: str | None) -> list[str]:
         """Alive shards to try, in order, for routing key *key*."""

@@ -40,15 +40,34 @@ and a fresh ``state_key`` on the response continues the chain.  A
 plain ``anonymize`` with ``algorithm: "incremental"`` starts a chain:
 its response carries the first ``state_key``.
 
-``{"op": "stats"}`` returns cache / batch / pool / trace counters;
-``{"op": "ping"}`` health-checks; ``{"op": "shutdown"}`` stops the
-server after responding.
+An ``anonymize`` request may carry an optional **privacy block**:
+``{"privacy": {"sensitive": 2, "l": 2, "t": 0.3, "epsilon": 1.0}}`` —
+``sensitive`` is the sensitive column's index (default: the last
+column when ``l``/``t`` is present), ``l`` asks for distinct
+l-diversity, ``t`` for t-closeness (mutually exclusive), and
+``epsilon`` additionally releases an ε-DP noisy equivalence-class
+histogram under the response's ``dp`` key.  The block is normalized at
+admission (:func:`normalize_privacy`) and threaded into
+:func:`~repro.artifacts.instance_key`, so cached entries never cross
+privacy configurations — and the DP noise is seeded by the instance
+key, so a cache hit re-releases byte-identical noise (which is why
+hits spend no extra ε).  Fresh ε-releases are charged against the
+service-wide :class:`~repro.privacy.dp.PrivacyAccountant` (per-dataset
+sequential composition, ``privacy_budget`` constructor knob / ``kanon
+serve --privacy-budget``); an exhausted dataset is rejected with code
+``privacy-budget-exhausted``.
+
+``{"op": "stats"}`` returns cache / batch / pool / trace counters plus
+the privacy accountant's ledger; ``{"op": "ping"}`` health-checks;
+``{"op": "shutdown"}`` stops the server after responding.
 
 Responses carry ``ok`` plus either the solution (``csv``, ``stars``,
 ``algorithm``, ``k``, ``cache`` ∈ {``hit``, ``coalesced``, ``miss``,
-``bypass``}) or ``error`` and a machine-readable ``code``
+``bypass``}, and — for privacy requests — ``privacy`` and optionally
+``dp``) or ``error`` and a machine-readable ``code``
 (``bad-request``, ``unknown-algorithm``, ``unknown-state``,
-``budget-exceeded``, ``infeasible``, ``internal``).
+``budget-exceeded``, ``infeasible``, ``privacy-budget-exhausted``,
+``internal``).
 
 Protocol v2 (requests without these fields behave exactly like v1):
 
@@ -93,12 +112,13 @@ from repro.algorithms.incremental import (
     IncrementalAnonymizer,
     IncrementalState,
 )
-from repro.artifacts import instance_key, state_key
+from repro.artifacts import instance_key, state_key, table_hash
 from repro.core.anonymity import suppressed_cell_count
 from repro.core.backend import default_backend_name
 from repro.core.table import Table
 from repro.experiments import WorkerPool, run_tasks
 from repro.instrument import BudgetExceededError, TimeBudget, summarize_traces
+from repro.privacy.dp import BudgetExhaustedError, PrivacyAccountant
 from repro.service.cache import SolutionCache, is_cache_key
 
 #: default TCP port (chosen as an unassigned registered port)
@@ -143,6 +163,12 @@ class _SolveTask:
     #: export the streaming engine's pre-finalize snapshot (set for
     #: ``incremental`` solves so the ``delta`` verb can continue them)
     capture_state: bool = False
+    #: normalized privacy block as a sorted ``(field, value)`` tuple —
+    #: tuple, not dict, so the frozen task stays hashable and picklable
+    privacy: tuple | None = None
+    #: deterministic DP noise seed, derived from the instance key so a
+    #: re-solve of the same keyed instance re-releases the same noise
+    dp_seed: int | None = None
 
 
 @dataclass(frozen=True)
@@ -187,9 +213,67 @@ def _solve_task(task: "_SolveTask | _DeltaTask") -> dict[str, Any]:
     return _solve_instance(task)
 
 
+def _solve_with_privacy(
+    table: Table, algorithm, task: _SolveTask
+) -> tuple[Any, dict[str, Any] | None]:
+    """Run one privacy-wrapped solve; returns (result, dp-histogram).
+
+    The sensitive column (when configured) is split off before the
+    solve and reattached untouched afterwards, so the release keeps the
+    request's full schema.  The ε-DP histogram is computed over the
+    released quasi-identifier columns only — the sensitive column never
+    enters the counts.
+    """
+    from repro.privacy.dp import noisy_class_histogram
+    from repro.privacy.ldiversity import LDiverseAnonymizer
+    from repro.privacy.sensitive import (
+        reattach_sensitive, replace_release, split_sensitive,
+    )
+    from repro.privacy.tcloseness import TCloseAnonymizer
+
+    privacy = dict(task.privacy or ())
+    sensitive = privacy.get("sensitive")
+    if sensitive is not None:
+        identifiers, values, index = split_sensitive(table, sensitive)
+        if "l" in privacy:
+            wrapper: Any = LDiverseAnonymizer(privacy["l"], inner=algorithm)
+        elif "t" in privacy:
+            wrapper = TCloseAnonymizer(privacy["t"], inner=algorithm)
+        else:
+            wrapper = None
+        if wrapper is not None:
+            result = wrapper.anonymize_with_sensitive(
+                identifiers, task.k, values, backend=task.backend,
+                timeout=task.timeout, trace=task.trace,
+            )
+        else:
+            result = algorithm.anonymize(
+                identifiers, task.k, backend=task.backend,
+                timeout=task.timeout, trace=task.trace,
+            )
+        qi_release = result.anonymized
+        result = replace_release(
+            result,
+            reattach_sensitive(qi_release, values, index, table.attributes),
+        )
+    else:
+        result = algorithm.anonymize(
+            table, task.k, backend=task.backend, timeout=task.timeout,
+            trace=task.trace,
+        )
+        qi_release = result.anonymized
+    dp = None
+    if "epsilon" in privacy:
+        dp = noisy_class_histogram(
+            qi_release, privacy["epsilon"], seed=task.dp_seed
+        )
+    return result, dp
+
+
 def _solve_instance(task: _SolveTask) -> dict[str, Any]:
     """Solve one full instance from scratch."""
     started = time.perf_counter()
+    dp = None
     try:
         if task.fault == "kill-worker":
             _kill_worker()
@@ -197,17 +281,26 @@ def _solve_instance(task: _SolveTask) -> dict[str, Any]:
         algorithm = registry.create(task.algorithm)
         if task.capture_state:
             algorithm.capture_state = True
-        result = algorithm.anonymize(
-            table, task.k, backend=task.backend, timeout=task.timeout,
-            trace=task.trace,
-        )
+        if task.privacy is not None:
+            result, dp = _solve_with_privacy(table, algorithm, task)
+        else:
+            result = algorithm.anonymize(
+                table, task.k, backend=task.backend, timeout=task.timeout,
+                trace=task.trace,
+            )
     except BudgetExceededError as exc:
         return {"error": str(exc), "code": "budget-exceeded"}
     except InfeasibleAnonymizationError as exc:
         return {"error": str(exc), "code": "infeasible"}
+    except ValueError as exc:
+        if task.privacy is not None:
+            # e.g. "only 1 distinct sensitive value; no 2-diverse
+            # release exists" — an infeasible *configuration*, not a bug
+            return {"error": str(exc), "code": "infeasible"}
+        return {"error": f"ValueError: {exc}", "code": "internal"}
     except Exception as exc:  # noqa: BLE001 - worker boundary
         return {"error": f"{type(exc).__name__}: {exc}", "code": "internal"}
-    return {
+    outcome = {
         "csv": result.anonymized.to_csv(header=task.header),
         "stars": result.stars,
         "algorithm": task.algorithm,
@@ -219,6 +312,11 @@ def _solve_instance(task: _SolveTask) -> dict[str, Any]:
         "state": result.extras.get("incremental_state"),
         "cap_exceeded": bool(result.extras.get("cap_exceeded", False)),
     }
+    if task.privacy is not None:
+        outcome["privacy"] = dict(task.privacy)
+        if dp is not None:
+            outcome["dp"] = dp
+    return outcome
 
 
 def _solve_delta(task: _DeltaTask) -> dict[str, Any]:
@@ -277,6 +375,97 @@ def _solve_delta(task: _DeltaTask) -> dict[str, Any]:
 # The transport-free service core
 # ----------------------------------------------------------------------
 
+#: fields a request's ``privacy`` block may carry
+PRIVACY_FIELDS = ("sensitive", "l", "t", "epsilon")
+
+
+def normalize_privacy(privacy: Any, degree: int) -> dict[str, Any]:
+    """Validate and canonicalize a request's ``privacy`` block.
+
+    Returns a canonical dict (``sensitive`` resolved to a non-negative
+    column index, ``t``/``epsilon`` as floats) whose form is identical
+    on the server and the shard router — both feed it into
+    :func:`~repro.artifacts.instance_key`, and routing is only correct
+    if they key identically.  Raises :class:`ServiceError` (code
+    ``bad-request``) on malformed blocks.
+    """
+    if not isinstance(privacy, dict):
+        raise ServiceError(
+            "bad-request", "'privacy' must be a JSON object"
+        )
+    unknown = sorted(set(privacy) - set(PRIVACY_FIELDS))
+    if unknown:
+        raise ServiceError(
+            "bad-request",
+            f"unknown privacy fields {unknown}; "
+            f"expected a subset of {list(PRIVACY_FIELDS)}",
+        )
+    normalized: dict[str, Any] = {}
+    l = privacy.get("l")  # noqa: E741 - the literature's name
+    if l is not None:
+        if not isinstance(l, int) or isinstance(l, bool) or l < 2:
+            raise ServiceError(
+                "bad-request", "privacy 'l' must be an integer >= 2"
+            )
+        normalized["l"] = l
+    t = privacy.get("t")
+    if t is not None:
+        if l is not None:
+            raise ServiceError(
+                "bad-request",
+                "choose one of privacy 'l' (l-diversity) or 't' "
+                "(t-closeness), not both",
+            )
+        if (isinstance(t, bool) or not isinstance(t, (int, float))
+                or not 0.0 <= float(t) <= 1.0):
+            raise ServiceError(
+                "bad-request", "privacy 't' must be a number in [0, 1]"
+            )
+        normalized["t"] = float(t)
+    epsilon = privacy.get("epsilon")
+    if epsilon is not None:
+        if (isinstance(epsilon, bool)
+                or not isinstance(epsilon, (int, float))
+                or float(epsilon) <= 0):
+            raise ServiceError(
+                "bad-request",
+                "privacy 'epsilon' must be a positive number",
+            )
+        normalized["epsilon"] = float(epsilon)
+    if not normalized:
+        raise ServiceError(
+            "bad-request",
+            "privacy block needs at least one of 'l', 't', or 'epsilon'",
+        )
+    sensitive = privacy.get("sensitive")
+    if sensitive is None:
+        # l-diversity/t-closeness need a sensitive column; default to
+        # the CSV convention (last column).  ε-only requests noise the
+        # whole released table's class counts — no split needed.
+        if "l" in normalized or "t" in normalized:
+            sensitive = degree - 1
+    if sensitive is not None:
+        if not isinstance(sensitive, int) or isinstance(sensitive, bool):
+            raise ServiceError(
+                "bad-request",
+                "privacy 'sensitive' must be an integer column index",
+            )
+        index = sensitive + degree if sensitive < 0 else sensitive
+        if not 0 <= index < degree:
+            raise ServiceError(
+                "bad-request",
+                f"privacy 'sensitive' column {sensitive} out of range "
+                f"for a table of degree {degree}",
+            )
+        if degree < 2:
+            raise ServiceError(
+                "bad-request",
+                "a privacy split needs at least one quasi-identifier "
+                "plus the sensitive column",
+            )
+        normalized["sensitive"] = index
+    return normalized
+
 
 @dataclass
 class _Job:
@@ -293,6 +482,11 @@ class _Job:
     #: requests only); the cache entry itself stays plan-free so auto
     #: and explicit requests share it byte-for-byte
     plan: dict | None = None
+    #: ε to charge the privacy accountant when this job actually
+    #: dispatches (None: not a DP request), and the dataset (table
+    #: hash) the charge books against
+    epsilon: float | None = None
+    dataset: str | None = None
 
 
 class AnonymizationService:
@@ -321,6 +515,9 @@ class AnonymizationService:
         (``kill-worker``, ``delay:SECONDS``, ``drop-connection``) —
         chaos-testing only, never enable in production.  ``None`` reads
         the ``REPRO_SERVICE_FAULTS`` environment variable.
+    :param privacy_budget: per-dataset ε ceiling for the service-owned
+        :class:`~repro.privacy.dp.PrivacyAccountant`; ``None`` tracks
+        spends without enforcing a limit.
     """
 
     def __init__(
@@ -338,6 +535,7 @@ class AnonymizationService:
         persistent_pool: bool = True,
         max_tasks_per_child: int | None = None,
         fault_injection: bool | None = None,
+        privacy_budget: float | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be a positive integer")
@@ -357,6 +555,7 @@ class AnonymizationService:
                 os.environ.get(FAULTS_ENV, "").strip().lower() in _TRUTHY
             )
         self.fault_injection = bool(fault_injection)
+        self.accountant = PrivacyAccountant(privacy_budget)
         self._pool = (
             WorkerPool(jobs, max_tasks_per_child=max_tasks_per_child)
             if persistent_pool and jobs > 1 else None
@@ -547,6 +746,19 @@ class AnonymizationService:
                     ) from None
                 return self._finish(job, dict(outcome), cache="coalesced")
 
+        if job.epsilon is not None:
+            # a queued solve is a *fresh* ε-release: charge it now (the
+            # charge is refunded if the solve errors out).  Cache hits
+            # and coalesced followers re-release byte-identical noise
+            # (the DP seed is the instance key), so they cost nothing.
+            assert job.dataset is not None
+            try:
+                self.accountant.charge(job.dataset, job.epsilon)
+            except BudgetExhaustedError as exc:
+                raise ServiceError(
+                    "privacy-budget-exhausted", str(exc)
+                ) from None
+
         await self.start()
         assert self._queue is not None
         if use_cache:
@@ -605,15 +817,37 @@ class AnonymizationService:
                     f"unknown algorithm {name!r}; see `kanon algorithms`",
                 ) from None
         capture_state = algorithm == "incremental"
+        privacy = None
+        if request.get("privacy") is not None:
+            privacy = normalize_privacy(request["privacy"], table.degree)
+            if capture_state:
+                raise ServiceError(
+                    "bad-request",
+                    "the 'privacy' block is not supported with the "
+                    "incremental streaming algorithm",
+                )
+        key = instance_key(
+            table, k, algorithm, self.backend, privacy=privacy
+        )
         task = _SolveTask(
             csv=csv, header=header, k=k, algorithm=algorithm,
             backend=self.backend, timeout=timeout,
             trace=bool(request.get("trace", False)),
             fault=self._admitted_fault(request),
             capture_state=capture_state,
+            privacy=(
+                tuple(sorted(privacy.items()))
+                if privacy is not None else None
+            ),
+            # seed the DP noise by the instance key: deterministic per
+            # keyed instance, different across k/algorithm/privacy
+            dp_seed=(
+                int(key[:16], 16)
+                if privacy is not None and "epsilon" in privacy else None
+            ),
         )
         return _Job(
-            key=instance_key(table, k, algorithm, self.backend),
+            key=key,
             task=task,
             budget=TimeBudget(timeout).start(),
             future=asyncio.get_running_loop().create_future(),
@@ -622,6 +856,13 @@ class AnonymizationService:
                 if capture_state else None
             ),
             plan=plan_dict,
+            epsilon=(
+                privacy.get("epsilon") if privacy is not None else None
+            ),
+            dataset=(
+                table_hash(table)
+                if privacy is not None and "epsilon" in privacy else None
+            ),
         )
 
     def _admit_delta(self, request: dict) -> _Job:
@@ -767,6 +1008,10 @@ class AnonymizationService:
         """
         if "error" in outcome:
             self.rejected += 1
+            if job.epsilon is not None and cache in ("miss", "bypass"):
+                # nothing was released: give the ε back (followers that
+                # coalesced on this failure never charged)
+                self.accountant.refund(job.dataset or "", job.epsilon)
             return _error(outcome["code"], outcome["error"])
         if cache in ("miss", "bypass"):
             self._solved_keys.add(job.key)
@@ -925,6 +1170,7 @@ class AnonymizationService:
             "planned": self.planned,
             "solved_instances": len(self._solved_keys),
             "cache": self.cache.as_dict(),
+            "privacy": self.accountant.as_dict(),
             "batches": {
                 "count": len(sizes),
                 "max_size": max(sizes) if sizes else 0,
@@ -959,6 +1205,9 @@ def _solution(
     }
     if "cap_exceeded" in outcome:
         response["cap_exceeded"] = outcome["cap_exceeded"]
+    for extra in ("privacy", "dp"):
+        if extra in outcome:
+            response[extra] = outcome[extra]
     return response
 
 

@@ -7,6 +7,7 @@ from repro.experiments import (
     RatioRow,
     comparison,
     k_sweep,
+    privacy_experiment,
     ratio_experiment,
     threshold_experiment,
 )
@@ -126,6 +127,45 @@ class TestSweepAndComparison:
         )
         assert set(traces) == {"only_center"}
         assert traces["only_center"]["n_rows"] == 12
+
+
+class TestPrivacyExperiment:
+    def test_anonymity_defeats_the_adversary(self):
+        exp = privacy_experiment(n=60, ks=(1, 3))
+        baseline, protected = exp.point(1), exp.point(3)
+        assert baseline.stars == 0  # k=1 is the no-op baseline
+        assert baseline.fraction_unique > protected.fraction_unique
+        assert protected.fraction_unique <= 1 / 3
+        assert exp.reidentification_drop > 1.0
+
+    def test_deterministic(self):
+        def signature(exp):
+            return [
+                (p.k, p.stars, p.fraction_unique, p.min_match,
+                 p.mean_match, p.inference_accuracy, p.classes)
+                for p in exp.points
+            ]
+
+        first = privacy_experiment(n=40, ks=(2,))
+        second = privacy_experiment(n=40, ks=(2,))
+        assert signature(first) == signature(second)
+
+    def test_resume_reuses_recorded_cells(self, tmp_path):
+        from repro.artifacts import RunStore
+
+        config = {"n": 40, "epsilon": 1.0}
+        store = RunStore(tmp_path, experiment="privacy", config=config)
+        first = privacy_experiment(n=40, ks=(1, 2), store=store)
+        resumed = RunStore(tmp_path, experiment="privacy", config=config,
+                           resume=True)
+        second = privacy_experiment(n=40, ks=(1, 2), store=resumed)
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            privacy_experiment(ks=())
+        with pytest.raises(ValueError):
+            privacy_experiment(epsilon=0.0)
 
 
 class TestRunnersNeverMutateAlgorithms:

@@ -89,7 +89,13 @@ class TestLDiverseAnonymizer:
             [(0, 0, "flu"), (0, 0, "cold"), (0, 1, "flu"), (0, 1, "hep")]
         )
         result = LDiverseAnonymizer(2).anonymize(table, 2)
-        assert result.anonymized.degree == 2  # sensitive column split off
+        # Same schema as the input: the sensitive column is split off
+        # for the solve but reattached untouched in the release.
+        assert result.anonymized.degree == table.degree
+        assert result.anonymized.attributes == table.attributes
+        assert result.anonymized.column(2) == table.column(2)
+        released_qi = result.anonymized.project([0, 1])
+        assert is_l_diverse(released_qi, table.column(2), 2)
 
     def test_needs_two_columns(self):
         with pytest.raises(ValueError, match="quasi-identifier"):

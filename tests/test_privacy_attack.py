@@ -1,0 +1,208 @@
+"""The projection/intersection attack harness and its CLI surface.
+
+Covers the adversary model (auxiliary-column linkage with majority-vote
+sensitive inference), the schema regressions that motivated it — the
+l-diversity release must come back with the sensitive column attached —
+and the ``kanon risk --sensitive`` / ``kanon attack`` command paths.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.alphabet import STAR
+from repro.core.table import Table
+from repro.privacy.attack import AttackReport, projection_attack
+from repro.privacy.ldiversity import LDiverseAnonymizer
+from repro.privacy.risk import journalist_risk
+from repro.privacy.tcloseness import TCloseAnonymizer
+
+
+def clinic_table() -> Table:
+    return Table(
+        [
+            (34, "02139", "flu"),
+            (34, "02139", "cold"),
+            (47, "02141", "flu"),
+            (47, "02141", "hep"),
+        ],
+        attributes=["age", "zip", "diagnosis"],
+    )
+
+
+class TestProjectionAttack:
+    def test_raw_release_reidentifies_everyone(self):
+        table = Table(
+            [(1, "a", "x"), (2, "b", "y"), (3, "c", "z")],
+            attributes=["age", "zip", "diag"],
+        )
+        report = projection_attack(table, table, ["age", "zip"],
+                                   sensitive="diag")
+        assert report.targets == 3
+        assert report.unique == 3
+        assert report.fraction_unique == 1.0
+        assert report.min_match == 1
+        assert report.inference_accuracy == 1.0
+
+    def test_suppressed_release_resists(self):
+        original = clinic_table()
+        released = Table(
+            [
+                (34, STAR, "flu"),
+                (34, STAR, "cold"),
+                (47, STAR, "flu"),
+                (47, STAR, "hep"),
+            ],
+            attributes=original.attributes,
+        )
+        report = projection_attack(released, original, ["age", "zip"],
+                                   sensitive="diagnosis")
+        assert report.unique == 0
+        assert report.min_match == 2
+        assert report.mean_match == 2.0
+
+    def test_columns_by_index_match_columns_by_name(self):
+        original = clinic_table()
+        by_name = projection_attack(original, original, ["age", "zip"],
+                                    sensitive="diagnosis")
+        by_index = projection_attack(original, original, [0, 1],
+                                     sensitive=2)
+        assert by_name == by_index
+
+    def test_inference_is_majority_vote_within_match_set(self):
+        original = Table(
+            [(1, "flu"), (1, "flu"), (1, "cold")],
+            attributes=["zip", "diag"],
+        )
+        released = Table(
+            [(1, "flu"), (1, "flu"), (1, "cold")],
+            attributes=["zip", "diag"],
+        )
+        report = projection_attack(released, original, ["zip"],
+                                   sensitive="diag")
+        # every target's match set is all three rows; the vote is "flu"
+        assert report.inference_correct == 2
+        assert report.inference_accuracy == pytest.approx(2 / 3)
+
+    def test_without_sensitive_no_inference_is_reported(self):
+        table = clinic_table()
+        report = projection_attack(table, table, ["age", "zip"])
+        assert report.inference_correct == 0
+        assert report.inference_accuracy == 0.0
+
+    def test_validation(self):
+        table = clinic_table()
+        with pytest.raises(ValueError):
+            projection_attack(table, table.project([0, 1]), ["age"])
+        with pytest.raises(ValueError):
+            projection_attack(table, table, [])
+        with pytest.raises(ValueError):
+            projection_attack(table, table, ["age", "age"])
+        with pytest.raises(ValueError):  # sensitive can't be auxiliary
+            projection_attack(table, table, ["age", "diagnosis"],
+                              sensitive="diagnosis")
+
+    def test_empty_tables(self):
+        empty = Table([], attributes=["a", "b"])
+        report = projection_attack(empty, empty, ["a"])
+        assert report == AttackReport(
+            targets=0, unique=0, fraction_unique=0.0, min_match=0,
+            mean_match=0.0, inference_correct=0, inference_accuracy=0.0,
+        )
+
+    def test_as_dict_round_trips(self):
+        table = clinic_table()
+        report = projection_attack(table, table, ["age"])
+        assert report.as_dict()["targets"] == table.n_rows
+        json.dumps(report.as_dict())  # JSON-ready
+
+
+class TestReleaseSchemaRegression:
+    """The l-diversity release lost its sensitive column (degree m-1);
+    both entry points must return a same-schema table."""
+
+    def test_anonymize_returns_full_schema(self):
+        table = clinic_table()
+        result = LDiverseAnonymizer(2).anonymize(table, 2)
+        assert result.anonymized.degree == table.degree
+        assert result.anonymized.attributes == table.attributes
+        assert result.anonymized.column("diagnosis") == table.column(
+            "diagnosis"
+        )
+
+    def test_anonymize_with_sensitive_keeps_identifier_schema(self):
+        table = clinic_table()
+        identifiers = table.project(["age", "zip"])
+        result = LDiverseAnonymizer(2).anonymize_with_sensitive(
+            identifiers, 2, table.column("diagnosis")
+        )
+        assert result.anonymized.degree == identifiers.degree
+
+    def test_tclose_anonymize_returns_full_schema(self):
+        table = clinic_table()
+        result = TCloseAnonymizer(0.6).anonymize(table, 2)
+        assert result.anonymized.degree == table.degree
+        assert result.anonymized.attributes == table.attributes
+
+
+class TestJournalistStarRegression:
+    def test_starred_population_row_raises(self):
+        released = Table([(1, 2)])
+        population = Table([(1, 2), (STAR, 2)])
+        with pytest.raises(ValueError, match="star-free"):
+            journalist_risk(released, population)
+
+
+@pytest.fixture
+def clinic_csv(tmp_path):
+    path = tmp_path / "clinic.csv"
+    path.write_text(
+        "age,zip,diagnosis\n"
+        "34,02139,flu\n34,02139,cold\n47,02141,flu\n47,02141,hep\n"
+    )
+    return path
+
+
+class TestRiskSensitiveFlag:
+    def test_sensitive_column_projected_out(self, clinic_csv, capsys):
+        """Without --sensitive the diagnosis column makes every row
+        unique (max risk 1.0); with it risk reflects the QI classes."""
+        assert main(["risk", str(clinic_csv)]) == 0
+        naive = capsys.readouterr().out
+        assert "max prosecutor risk: 1.0000" in naive
+        assert main(["risk", str(clinic_csv), "--sensitive",
+                     "diagnosis"]) == 0
+        informed = capsys.readouterr().out
+        assert "max prosecutor risk: 0.5000" in informed
+
+    def test_unknown_sensitive_column_exits(self, clinic_csv, capsys):
+        assert main(["risk", str(clinic_csv), "--sensitive", "nope"]) == 2
+
+
+class TestAttackCommand:
+    def test_human_output(self, clinic_csv, tmp_path, capsys):
+        out = tmp_path / "released.csv"
+        assert main(["anonymize", str(clinic_csv), "-k", "2",
+                     "--ldiv", "2", "-o", str(out)]) == 0
+        assert main(["attack", str(clinic_csv), str(out),
+                     "--aux", "age,zip", "--sensitive", "diagnosis"]) == 0
+        text = capsys.readouterr().out
+        assert "uniquely re-identified: 0" in text
+        assert "inference accuracy" in text
+
+    def test_json_output(self, clinic_csv, capsys):
+        assert main(["attack", str(clinic_csv), str(clinic_csv),
+                     "--aux", "age,zip", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["targets"] == 4
+        assert report["unique"] == 0  # duplicate QI rows are never unique
+
+    def test_headerless_indices(self, tmp_path, capsys):
+        path = tmp_path / "plain.csv"
+        path.write_text("1,a,x\n2,b,y\n")
+        assert main(["attack", str(path), str(path), "--no-header",
+                     "--aux", "0,1", "--sensitive", "2", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["fraction_unique"] == 1.0
+        assert report["inference_accuracy"] == 1.0

@@ -7,6 +7,7 @@ import pkgutil
 import pytest
 
 import repro.algorithms as algorithms_pkg
+import repro.privacy as privacy_pkg
 from repro import registry
 from repro.algorithms import (
     CenterCoverAnonymizer,
@@ -18,19 +19,26 @@ from repro.algorithms.base import Anonymizer
 
 
 def _concrete_algorithm_classes() -> set[type]:
-    """Every concrete Anonymizer subclass defined in repro.algorithms."""
+    """Every concrete Anonymizer subclass defined in repro.algorithms
+    or repro.privacy (the privacy wrappers register there too)."""
     found = set()
-    for mod_info in pkgutil.iter_modules(algorithms_pkg.__path__):
-        module = importlib.import_module(
-            f"repro.algorithms.{mod_info.name}"
-        )
-        for _, obj in inspect.getmembers(module, inspect.isclass):
-            if (
-                issubclass(obj, Anonymizer)
-                and not inspect.isabstract(obj)
-                and obj.__module__.startswith("repro.algorithms")
-            ):
-                found.add(obj)
+    packages = (
+        ("repro.algorithms", algorithms_pkg),
+        ("repro.privacy", privacy_pkg),
+    )
+    prefixes = tuple(name for name, _ in packages)
+    for pkg_name, pkg in packages:
+        for mod_info in pkgutil.iter_modules(pkg.__path__):
+            module = importlib.import_module(
+                f"{pkg_name}.{mod_info.name}"
+            )
+            for _, obj in inspect.getmembers(module, inspect.isclass):
+                if (
+                    issubclass(obj, Anonymizer)
+                    and not inspect.isabstract(obj)
+                    and obj.__module__.startswith(prefixes)
+                ):
+                    found.add(obj)
     return found
 
 
